@@ -1,0 +1,166 @@
+// Package bdi is the public facade of a from-scratch Go implementation
+// of the big-data-integration pipeline described in Dong & Srivastava's
+// ICDE 2013 tutorial "Big Data Integration": record linkage at scale
+// (blocking, meta-blocking, probabilistic matching, clustering,
+// incremental linkage), schema alignment (probabilistic mediated
+// schema, linkage-aware attribute matching, unit-transform discovery)
+// and data fusion (voting, TruthFinder, ACCU/POPACCU, copy detection,
+// ACCUCOPY), plus the synthetic web-of-sources generator used to
+// evaluate them.
+//
+// The quickest way in is the end-to-end pipeline:
+//
+//	world := bdi.NewWorld(bdi.WorldConfig{Seed: 1, NumEntities: 100})
+//	web := bdi.BuildWeb(world, bdi.SourceConfig{Seed: 2, NumSources: 20})
+//	report, err := bdi.NewPipeline(bdi.PipelineConfig{}).Run(web.Dataset)
+//
+// Individual stages are available through the re-exported constructors
+// below; the full machinery lives in the internal packages and is
+// exercised by the examples under examples/ and the experiment harness
+// in cmd/bdibench.
+package bdi
+
+import (
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/datagen"
+	"repro/internal/eval"
+	"repro/internal/fusion"
+)
+
+// Data model re-exports.
+type (
+	// Dataset is a collection of sources and their records.
+	Dataset = data.Dataset
+	// Record is one source's description of one entity.
+	Record = data.Record
+	// Source describes one data source.
+	Source = data.Source
+	// Value is a dynamically typed attribute value.
+	Value = data.Value
+	// Item identifies one attribute of one entity (a fusion data item).
+	Item = data.Item
+	// Claim is one (item, source, value) observation.
+	Claim = data.Claim
+	// ClaimSet is an indexed collection of claims.
+	ClaimSet = data.ClaimSet
+	// Pair is an unordered pair of record IDs.
+	Pair = data.Pair
+	// ScoredPair attaches a match score to a pair.
+	ScoredPair = data.ScoredPair
+	// Cluster is a set of record IDs believed to be one entity.
+	Cluster = data.Cluster
+	// Clustering is a partition of records into entities.
+	Clustering = data.Clustering
+)
+
+// Constructors and value helpers.
+var (
+	// NewDataset returns an empty dataset.
+	NewDataset = data.NewDataset
+	// NewRecord allocates a record with an empty field map.
+	NewRecord = data.NewRecord
+	// NewClaimSet returns an empty claim set.
+	NewClaimSet = data.NewClaimSet
+	// NewPair canonicalises an unordered record-ID pair.
+	NewPair = data.NewPair
+	// StringValue wraps a string attribute value.
+	StringValue = data.String
+	// NumberValue wraps a numeric attribute value.
+	NumberValue = data.Number
+	// BoolValue wraps a boolean attribute value.
+	BoolValue = data.Bool
+	// TimeValue wraps a timestamp attribute value.
+	TimeValue = data.Time
+	// ParseValue converts a raw string to the most specific Value.
+	ParseValue = data.Parse
+	// ReadJSON parses a dataset from its JSON form.
+	ReadJSON = data.ReadJSON
+	// ReadCSV parses a dataset from its CSV form.
+	ReadCSV = data.ReadCSV
+)
+
+// Pipeline re-exports.
+type (
+	// PipelineConfig controls an end-to-end pipeline run.
+	PipelineConfig = core.Config
+	// Pipeline is the end-to-end integration flow.
+	Pipeline = core.Pipeline
+	// Report is the full output of a pipeline run.
+	Report = core.Report
+	// Order selects linkage-first or schema-first stage ordering.
+	Order = core.Order
+)
+
+// Pipeline orderings.
+const (
+	// LinkageFirst links records before aligning schemas (recommended).
+	LinkageFirst = core.LinkageFirst
+	// SchemaFirst aligns schemas before linking (traditional ordering).
+	SchemaFirst = core.SchemaFirst
+)
+
+// NewPipeline builds a pipeline, resolving config defaults.
+func NewPipeline(cfg PipelineConfig) *Pipeline { return core.New(cfg) }
+
+// BuildFuser resolves a fusion method by name: "vote", "truthfinder",
+// "accu", "popaccu" or "accucopy".
+var BuildFuser = core.BuildFuser
+
+// Fusion re-exports.
+type (
+	// Fuser decides the true value of every item in a claim set.
+	Fuser = fusion.Fuser
+	// FusionResult is the outcome of fusing a claim set.
+	FusionResult = fusion.Result
+)
+
+// Generator re-exports: the synthetic web of sources.
+type (
+	// WorldConfig controls entity-universe generation.
+	WorldConfig = datagen.WorldConfig
+	// World is a generated entity universe.
+	World = datagen.World
+	// SourceConfig controls the source population laid over a world.
+	SourceConfig = datagen.SourceConfig
+	// Web is a generated world, source population and emitted dataset.
+	Web = datagen.Web
+	// ClaimConfig controls direct claim-set generation for fusion.
+	ClaimConfig = datagen.ClaimConfig
+	// ClaimWorld is a generated claim set with ground truth.
+	ClaimWorld = datagen.ClaimWorld
+	// TemporalConfig controls multi-epoch snapshot generation.
+	TemporalConfig = datagen.TemporalConfig
+	// TemporalWorld is a sequence of evolving snapshots.
+	TemporalWorld = datagen.TemporalWorld
+)
+
+var (
+	// NewWorld generates an entity universe.
+	NewWorld = datagen.NewWorld
+	// BuildWeb lays a source population over a world and emits records.
+	BuildWeb = datagen.BuildWeb
+	// BuildClaims generates a claim world for fusion experiments.
+	BuildClaims = datagen.BuildClaims
+	// BuildTemporal evolves a web over multiple epochs.
+	BuildTemporal = datagen.BuildTemporal
+)
+
+// Evaluation re-exports.
+type (
+	// PRF bundles precision, recall and F1.
+	PRF = eval.PRF
+	// BlockingQuality describes a candidate-pair set.
+	BlockingQuality = eval.BlockingQuality
+)
+
+var (
+	// EvalClusters scores a clustering against ground truth pairwise.
+	EvalClusters = eval.Clusters
+	// EvalPairs scores predicted match pairs against truth pairs.
+	EvalPairs = eval.Pairs
+	// EvalBlocking computes reduction ratio and pair completeness.
+	EvalBlocking = eval.Blocking
+	// EvalFusion computes value-level fusion accuracy.
+	EvalFusion = eval.FusionAccuracy
+)

@@ -1,0 +1,357 @@
+package bdi
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// One benchmark per experiment in DESIGN.md's index. Each iteration
+// regenerates the experiment's workload and recomputes its table, so
+// ns/op measures the full cost of reproducing that result. Key quality
+// figures are attached as custom metrics so `go test -bench` output
+// doubles as a results summary.
+
+func benchExperiment(b *testing.B, id string, metric func() (string, float64)) {
+	b.Helper()
+	r := experiments.Runner{Seed: 42}
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if metric != nil {
+		name, v := metric()
+		b.ReportMetric(v, name)
+	}
+}
+
+func BenchmarkE1FusionUnderCopying(b *testing.B) {
+	benchExperiment(b, "E1", func() (string, float64) {
+		_, res, err := experiments.E1(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return "accucopy@heavy", res.Accuracy[1.0]["accucopy"]
+	})
+}
+
+func BenchmarkE2Convergence(b *testing.B) {
+	benchExperiment(b, "E2", func() (string, float64) {
+		_, res, err := experiments.E2(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return "final-accuracy", res.Accuracy[len(res.Accuracy)-1]
+	})
+}
+
+func BenchmarkE3Blocking(b *testing.B) {
+	benchExperiment(b, "E3", func() (string, float64) {
+		_, res, err := experiments.E3(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return "token-PC", res.Quality["token(title)"].PairCompleteness
+	})
+}
+
+func BenchmarkE4MetaBlocking(b *testing.B) {
+	benchExperiment(b, "E4", func() (string, float64) {
+		_, res, err := experiments.E4(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return "ecbs+wep-PC", res.Meta["ecbs+wep"].PairCompleteness
+	})
+}
+
+func BenchmarkE5Matchers(b *testing.B) {
+	benchExperiment(b, "E5", func() (string, float64) {
+		_, res, err := experiments.E5(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return "rule-F1@dirt1", res.F1[1]["rule(id)"]
+	})
+}
+
+func BenchmarkE6Clustering(b *testing.B) {
+	benchExperiment(b, "E6", func() (string, float64) {
+		_, res, err := experiments.E6(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return "correlation-F1", res.PRF["correlation"].F1
+	})
+}
+
+func BenchmarkE7Incremental(b *testing.B) {
+	benchExperiment(b, "E7", func() (string, float64) {
+		_, res, err := experiments.E7(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return "incremental-F1", res.FinalIncrementalF1
+	})
+}
+
+func BenchmarkE8SchemaAlignment(b *testing.B) {
+	benchExperiment(b, "E8", func() (string, float64) {
+		_, res, err := experiments.E8(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return "align-F1@max-sources", res.LinkageF1[len(res.LinkageF1)-1]
+	})
+}
+
+func BenchmarkE9ScaleOut(b *testing.B) {
+	benchExperiment(b, "E9", func() (string, float64) {
+		_, res, err := experiments.E9(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return "pairs/sec@max-workers", res.Throughput[len(res.Throughput)-1]
+	})
+}
+
+func BenchmarkE10LessIsMore(b *testing.B) {
+	benchExperiment(b, "E10", func() (string, float64) {
+		_, res, err := experiments.E10(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return "greedy-accuracy", res.Greedy.Quality
+	})
+}
+
+func BenchmarkE11DomainStudy(b *testing.B) {
+	benchExperiment(b, "E11", func() (string, float64) {
+		_, res, err := experiments.E11(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return "accucopy@stock", res.Accuracy["stock-like (heavy copying)"]["accucopy"]
+	})
+}
+
+func BenchmarkE12Temporal(b *testing.B) {
+	benchExperiment(b, "E12", func() (string, float64) {
+		_, res, err := experiments.E12(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return "temporal-F1@evolving", res.EvolvingTemporalF1
+	})
+}
+
+func BenchmarkE13EndToEnd(b *testing.B) {
+	benchExperiment(b, "E13", func() (string, float64) {
+		_, res, err := experiments.E13(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return "linkage-F1", res.LinkageF1
+	})
+}
+
+func BenchmarkE14OrderAblation(b *testing.B) {
+	benchExperiment(b, "E14", func() (string, float64) {
+		_, res, err := experiments.E14(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return "linkage-first-align-F1", res.LinkageFirstAlignF1
+	})
+}
+
+func BenchmarkE15OnlineFusion(b *testing.B) {
+	benchExperiment(b, "E15", func() (string, float64) {
+		_, res, err := experiments.E15(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return "mean-probes", res.MeanProbes
+	})
+}
+
+func BenchmarkE16PayAsYouGo(b *testing.B) {
+	benchExperiment(b, "E16", func() (string, float64) {
+		_, res, err := experiments.E16(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return "F1@60q", res.F1[len(res.F1)-1]
+	})
+}
+
+func BenchmarkE17Ablations(b *testing.B) {
+	benchExperiment(b, "E17", func() (string, float64) {
+		_, res, err := experiments.E17(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return "bootstrap-gain", res.FuseBootstrap - res.FuseNoBootstrap
+	})
+}
+
+func BenchmarkE18LSH(b *testing.B) {
+	benchExperiment(b, "E18", func() (string, float64) {
+		_, res, err := experiments.E18(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return "lsh16x2-PC", res.Quality["minhash(16x2)"].PairCompleteness
+	})
+}
+
+func BenchmarkE19Deception(b *testing.B) {
+	benchExperiment(b, "E19", func() (string, float64) {
+		_, res, err := experiments.E19(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return "accucopy@8liars", res.Accuracy[8]["accucopy"]
+	})
+}
+
+func BenchmarkE20ProgressiveER(b *testing.B) {
+	benchExperiment(b, "E20", func() (string, float64) {
+		_, res, err := experiments.E20(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return "recall@10%budget", res.Progressive[2]
+	})
+}
+
+func BenchmarkE21Discovery(b *testing.B) {
+	benchExperiment(b, "E21", func() (string, float64) {
+		_, res, err := experiments.E21(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return "final-recall", res.Recall[len(res.Recall)-1]
+	})
+}
+
+func BenchmarkE22WrapperInduction(b *testing.B) {
+	benchExperiment(b, "E22", func() (string, float64) {
+		_, res, err := experiments.E22(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return "reinduced-recall", res.ReinducedRecall
+	})
+}
+
+// Micro-benchmarks for the primitives the pipeline spends its time in.
+
+func BenchmarkPipelineEndToEnd(b *testing.B) {
+	world := NewWorld(WorldConfig{Seed: 1, NumEntities: 60})
+	web := BuildWeb(world, SourceConfig{Seed: 2, NumSources: 12, DirtLevel: 1})
+	p := NewPipeline(PipelineConfig{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Run(web.Dataset); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateWeb(b *testing.B) {
+	world := NewWorld(WorldConfig{Seed: 1, NumEntities: 200})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildWeb(world, SourceConfig{Seed: int64(i), NumSources: 20, DirtLevel: 2})
+	}
+}
+
+func BenchmarkJaccardTitle(b *testing.B) {
+	x, y := "nova camera pro 300 deluxe", "nova camera pro 300"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Jaccard(x, y)
+	}
+}
+
+func BenchmarkJaroWinklerTitle(b *testing.B) {
+	x, y := "nova camera pro 300 deluxe", "nova camera pro 300"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		JaroWinkler(x, y)
+	}
+}
+
+func BenchmarkLevenshteinTitle(b *testing.B) {
+	x, y := "nova camera pro 300 deluxe", "nova camera pro 300"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Levenshtein(x, y)
+	}
+}
+
+func BenchmarkTokenBlocking(b *testing.B) {
+	world := NewWorld(WorldConfig{Seed: 3, NumEntities: 150})
+	web := BuildWeb(world, SourceConfig{Seed: 4, NumSources: 15, DirtLevel: 1})
+	records := web.Dataset.Records()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildBlocks(records, TokenBlockingKey("title")).Pairs()
+	}
+}
+
+func BenchmarkFuseACCU(b *testing.B) {
+	cw := BuildClaims(ClaimConfig{Seed: 5, NumItems: 300, NumSources: 12})
+	f := ACCU{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Fuse(cw.Claims); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFuseACCUCOPY(b *testing.B) {
+	cw := BuildClaims(ClaimConfig{Seed: 6, NumItems: 200, NumSources: 8, NumCopiers: 4})
+	f := ACCUCOPY{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Fuse(cw.Claims); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIncrementalInsert(b *testing.B) {
+	world := NewWorld(WorldConfig{Seed: 7, NumEntities: 500, Categories: []string{"camera"}})
+	web := BuildWeb(world, SourceConfig{Seed: 8, NumSources: 20, DirtLevel: 1})
+	records := web.Dataset.Records()
+	linker := NewIncrementalLinker(TitleTokenKey, ThresholdMatcher{
+		Comparator: UniformComparator(Jaccard, "title"),
+		Threshold:  0.72,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := records[i%len(records)].Clone()
+		r.ID = r.ID + "-" + itoa(i)
+		if _, err := linker.Insert(web.Dataset.Source(r.SourceID), r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}

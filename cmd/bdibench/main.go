@@ -1,0 +1,52 @@
+// Command bdibench regenerates the experiment tables indexed in
+// DESIGN.md (E1–E14): fusion under copying, EM convergence, blocking
+// trade-offs, meta-blocking, matcher quality, clustering comparison,
+// incremental linkage, schema alignment, scale-out, source selection,
+// domain regimes, temporal linkage, the end-to-end pipeline and the
+// stage-ordering ablation.
+//
+// Usage:
+//
+//	bdibench            # run every experiment
+//	bdibench -exp E1    # run one experiment
+//	bdibench -seed 7    # change the workload seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment ID (E1..E14) or 'all'")
+		seed = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	runner := experiments.Runner{Seed: *seed}
+	ids := experiments.All()
+	if *exp != "all" {
+		ids = strings.Split(strings.ToUpper(*exp), ",")
+	}
+	failed := 0
+	for _, id := range ids {
+		start := time.Now()
+		tab, err := runner.Run(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bdibench: %s: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Println(tab)
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

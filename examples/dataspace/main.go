@@ -1,0 +1,102 @@
+// Dataspace-style pay-as-you-go integration: instead of committing to
+// one mediated schema up front, build a probabilistic schema ensemble,
+// answer attribute-mapping queries under uncertainty, spend a small
+// oracle budget on the most uncertain correspondences, fuse online with
+// early termination, and query the integrated entities by keyword —
+// the "pay-as-you-go" programme the tutorial surveys for web-scale
+// Variety.
+//
+//	go run ./examples/dataspace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	bdi "repro"
+)
+
+func main() {
+	// A heterogeneous single-category web (heavy renaming + units).
+	world := bdi.NewWorld(bdi.WorldConfig{Seed: 21, NumEntities: 40, Categories: []string{"camera"}})
+	web := bdi.BuildWeb(world, bdi.SourceConfig{
+		Seed: 22, NumSources: 8, DirtLevel: 1,
+		Heterogeneity: 0.7, IdentifierRate: 0.95,
+		HeadFraction: 0.4, TailCoverage: 0.3,
+	})
+	d := web.Dataset
+	fmt.Printf("web: %d records from %d sources\n\n", d.NumRecords(), d.NumSources())
+
+	// --- 1. Probabilistic mediated-schema ensemble.
+	profiles := bdi.AttrProfiler{}.Build(d)
+	ens, err := bdi.BuildSchemaEnsemble(profiles, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("schema ensemble: %d candidate schemas\n", len(ens.Candidates))
+	for i, c := range ens.Candidates {
+		fmt.Printf("  candidate %d: P=%.3f, %d mediated attributes\n", i, c.P, len(c.Schema.Attrs))
+	}
+	// Probabilistic mapping query for one source attribute.
+	sample := profiles[0].SourceAttr
+	fmt.Printf("\nmapping distribution for %s:\n", sample)
+	for _, ans := range ens.MapAttr(sample) {
+		fmt.Printf("  -> %q with P=%.3f\n", ans.Mediated, ans.P)
+	}
+
+	// --- 2. Pay-as-you-go: a 20-question oracle budget on the most
+	//     uncertain correspondences (simulated from generator truth).
+	canonical := map[bdi.SourceAttr]string{}
+	for _, gs := range web.Sources {
+		for canon, local := range gs.Dialect.Rename {
+			canonical[bdi.SourceAttr{Source: gs.ID, Attr: local}] = canon
+		}
+	}
+	oracle := func(a, b bdi.SourceAttr) bool {
+		return canonical[a] != "" && canonical[a] == canonical[b]
+	}
+	fb, err := (bdi.SchemaFeedback{Threshold: 0.5, Budget: 20}).Run(profiles, oracle)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npay-as-you-go: asked %d questions, schema now has %d mediated attributes\n",
+		fb.Questions, len(fb.Schema.Attrs))
+
+	// --- 3. Online fusion with early termination over a claims
+	//     workload: answers finalise after probing few sources.
+	cw := bdi.BuildClaims(bdi.ClaimConfig{
+		Seed: 23, NumItems: 120, NumSources: 12,
+		MinAccuracy: 0.5, MaxAccuracy: 0.95,
+	})
+	on := bdi.OnlineFusion{Accuracy: cw.TrueAccuracy}
+	or, err := on.FuseOnline(cw.Claims)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var probeSum float64
+	for _, p := range or.Probes {
+		probeSum += float64(p)
+	}
+	acc, _ := bdi.EvalFusion(or.Values, cw.Claims)
+	fmt.Printf("\nonline fusion: accuracy %.3f probing %.1f of 12 sources on average\n",
+		acc, probeSum/float64(len(or.Probes)))
+
+	// --- 4. End-to-end + keyword query over the integrated entities.
+	rep, err := bdi.NewPipeline(bdi.PipelineConfig{Fuser: "accu"}).Run(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ents, err := rep.Entities()
+	if err != nil {
+		log.Fatal(err)
+	}
+	query := ents[0].Title
+	hits, err := rep.Search(query, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nquery %q:\n", query)
+	for _, h := range hits {
+		fmt.Printf("  %.3f  %s  (%d records from %v)\n", h.Score, h.Entity.Title, len(h.Entity.Records), h.Entity.Sources)
+	}
+}

@@ -1,0 +1,207 @@
+// Package blocking implements the candidate-pair generation techniques
+// the Big Data Integration tutorial surveys for taming the Volume
+// dimension of record linkage: standard key blocking, sorted
+// neighbourhood, q-gram blocking, canopy clustering, suffix and token
+// blocking, block purging, and meta-blocking over the blocking graph.
+package blocking
+
+import (
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/tokenize"
+)
+
+// KeyFunc derives zero or more blocking keys from a record. A record
+// lands in one block per distinct key.
+type KeyFunc func(r *data.Record) []string
+
+// Blocker produces candidate pairs from a set of records.
+type Blocker interface {
+	// Candidates returns the deduplicated candidate pairs for records.
+	Candidates(records []*data.Record) []data.Pair
+}
+
+// Blocks groups record IDs by blocking key. Exposed for meta-blocking,
+// which consumes blocks rather than pairs.
+type Blocks map[string][]string
+
+// BuildBlocks applies key to every record and groups IDs by key. Within
+// a block, IDs appear in input order. Records yielding no keys are
+// unblocked (they generate no candidates).
+func BuildBlocks(records []*data.Record, key KeyFunc) Blocks {
+	b := Blocks{}
+	for _, r := range records {
+		seen := map[string]bool{}
+		for _, k := range key(r) {
+			if k == "" || seen[k] {
+				continue
+			}
+			seen[k] = true
+			b[k] = append(b[k], r.ID)
+		}
+	}
+	return b
+}
+
+// Pairs expands blocks into deduplicated candidate pairs.
+func (b Blocks) Pairs() []data.Pair {
+	seen := map[data.Pair]bool{}
+	keys := b.sortedKeys()
+	var out []data.Pair
+	for _, k := range keys {
+		ids := b[k]
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				p := data.NewPair(ids[i], ids[j])
+				if !seen[p] {
+					seen[p] = true
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Comparisons counts the total pairwise comparisons implied by the
+// blocks, counting duplicates across blocks (the meta-blocking cost
+// measure).
+func (b Blocks) Comparisons() int {
+	n := 0
+	for _, ids := range b {
+		n += len(ids) * (len(ids) - 1) / 2
+	}
+	return n
+}
+
+// Purge removes blocks larger than maxSize — the standard block-purging
+// heuristic that drops high-frequency, low-information keys (e.g. the
+// block for brand "acme"). It returns the purged copy.
+func (b Blocks) Purge(maxSize int) Blocks {
+	if maxSize <= 0 {
+		return b
+	}
+	out := Blocks{}
+	for k, ids := range b {
+		if len(ids) <= maxSize {
+			out[k] = ids
+		}
+	}
+	return out
+}
+
+func (b Blocks) sortedKeys() []string {
+	keys := make([]string, 0, len(b))
+	for k := range b {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Standard is classic key blocking: records sharing any key are
+// candidates.
+type Standard struct {
+	Key KeyFunc
+	// MaxBlock purges blocks above this size when > 0.
+	MaxBlock int
+}
+
+// Candidates implements Blocker.
+func (s Standard) Candidates(records []*data.Record) []data.Pair {
+	return BuildBlocks(records, s.Key).Purge(s.MaxBlock).Pairs()
+}
+
+// AttrPrefixKey blocks on the first n runes of the normalised attribute
+// value — the textbook blocking key.
+func AttrPrefixKey(attr string, n int) KeyFunc {
+	return func(r *data.Record) []string {
+		v := r.Get(attr)
+		if v.IsNull() {
+			return nil
+		}
+		p := tokenize.Prefix(v.String(), n)
+		if p == "" {
+			return nil
+		}
+		return []string{p}
+	}
+}
+
+// AttrExactKey blocks on the full normalised attribute value (identifier
+// blocking, e.g. on a product id).
+func AttrExactKey(attr string) KeyFunc {
+	return func(r *data.Record) []string {
+		v := r.Get(attr)
+		if v.IsNull() {
+			return nil
+		}
+		k := tokenize.Normalize(v.String())
+		if k == "" {
+			return nil
+		}
+		return []string{k}
+	}
+}
+
+// TokenKey emits one key per distinct normalised token of the attribute
+// — token blocking, the schema-agnostic baseline from the heterogeneous
+// ER literature.
+func TokenKey(attrs ...string) KeyFunc {
+	return func(r *data.Record) []string {
+		var keys []string
+		for _, attr := range attrs {
+			v := r.Get(attr)
+			if v.IsNull() {
+				continue
+			}
+			keys = append(keys, tokenize.Words(v.String())...)
+		}
+		return keys
+	}
+}
+
+// AllTokensKey emits a key per token of every field value — used when
+// schemas are unaligned and attribute names are unreliable.
+func AllTokensKey() KeyFunc {
+	return func(r *data.Record) []string {
+		var keys []string
+		for _, a := range r.Attrs() {
+			keys = append(keys, tokenize.Words(r.Fields[a].String())...)
+		}
+		return keys
+	}
+}
+
+// QGramKey emits the padded q-grams of the attribute value as keys,
+// tolerating typos in the blocking key at the cost of more blocks.
+func QGramKey(attr string, q int) KeyFunc {
+	return func(r *data.Record) []string {
+		v := r.Get(attr)
+		if v.IsNull() {
+			return nil
+		}
+		return tokenize.QGrams(v.String(), q)
+	}
+}
+
+// SuffixKey emits all suffixes of the normalised value with length >=
+// minLen (suffix-array blocking), robust to prefix corruption.
+func SuffixKey(attr string, minLen int) KeyFunc {
+	return func(r *data.Record) []string {
+		v := r.Get(attr)
+		if v.IsNull() {
+			return nil
+		}
+		s := []rune(tokenize.Normalize(v.String()))
+		if len(s) < minLen {
+			return nil
+		}
+		var keys []string
+		for i := 0; i+minLen <= len(s); i++ {
+			keys = append(keys, string(s[i:]))
+		}
+		return keys
+	}
+}

@@ -1,0 +1,60 @@
+package blocking
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/datagen"
+)
+
+func TestSelectKeyRanksSensibly(t *testing.T) {
+	w := datagen.NewWorld(datagen.WorldConfig{Seed: 201, NumEntities: 60, Categories: []string{"camera"}})
+	web := datagen.BuildWeb(w, datagen.SourceConfig{
+		Seed: 202, NumSources: 10, DirtLevel: 2,
+		HeadFraction: 0.4, TailCoverage: 0.3,
+	})
+	records := web.Dataset.Records()
+	truth := web.Dataset.GroundTruthClusters().Pairs()
+
+	scores, best, err := SelectKey(records, truth, DefaultKeyCandidates("title"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 6 {
+		t.Fatalf("scores = %d", len(scores))
+	}
+	if best != scores[0].Name {
+		t.Error("winner must be the top-ranked candidate")
+	}
+	// Sorted best-first with scores in range.
+	for i, s := range scores {
+		if s.Score < 0 || s.Score > 1 {
+			t.Errorf("%s score %f out of range", s.Name, s.Score)
+		}
+		if i > 0 && s.Score > scores[i-1].Score {
+			t.Error("scores not sorted")
+		}
+	}
+	// Exact blocking on dirt-2 titles has poor PC; the winner must beat
+	// it on the combined score.
+	var exact KeyScore
+	for _, s := range scores {
+		if s.Name == "exact" {
+			exact = s
+		}
+	}
+	if scores[0].Score <= exact.Score && scores[0].Name != "exact" {
+		t.Errorf("winner %s (%f) does not beat exact (%f)", scores[0].Name, scores[0].Score, exact.Score)
+	}
+}
+
+func TestSelectKeyValidation(t *testing.T) {
+	records := propRecords(3, 10)
+	if _, _, err := SelectKey(records, nil, DefaultKeyCandidates("title")); err == nil {
+		t.Error("no truth must error")
+	}
+	truth := []data.Pair{data.NewPair("a", "b")}
+	if _, _, err := SelectKey(records, truth, nil); err == nil {
+		t.Error("no candidates must error")
+	}
+}

@@ -1,0 +1,99 @@
+package blocking
+
+import (
+	"sort"
+
+	"repro/internal/data"
+)
+
+// Progressive blocking for budget-limited (anytime) entity resolution:
+// instead of emitting all candidate pairs at once, emit them in
+// decreasing expected-match-likelihood order, so that a resolution run
+// cut off after any comparison budget has found as many true matches
+// as possible. The heuristic ordering follows the progressive-ER
+// literature: pairs from *smaller* blocks first (rare keys are more
+// discriminative), and within a block in insertion order; pairs
+// co-occurring in several blocks are promoted by their best (smallest)
+// block.
+type Progressive struct {
+	Key KeyFunc
+	// MaxBlock skips blocks larger than this entirely (0 = no limit).
+	MaxBlock int
+}
+
+// Stream returns candidate pairs in progressive order, deduplicated.
+func (p Progressive) Stream(records []*data.Record) []data.Pair {
+	blocks := BuildBlocks(records, p.Key)
+	type blockEntry struct {
+		key string
+		ids []string
+	}
+	entries := make([]blockEntry, 0, len(blocks))
+	for k, ids := range blocks {
+		if len(ids) < 2 {
+			continue
+		}
+		if p.MaxBlock > 0 && len(ids) > p.MaxBlock {
+			continue
+		}
+		entries = append(entries, blockEntry{key: k, ids: ids})
+	}
+	// Smaller blocks first; ties by key for determinism.
+	sort.Slice(entries, func(i, j int) bool {
+		if len(entries[i].ids) != len(entries[j].ids) {
+			return len(entries[i].ids) < len(entries[j].ids)
+		}
+		return entries[i].key < entries[j].key
+	})
+	seen := map[data.Pair]bool{}
+	var out []data.Pair
+	for _, e := range entries {
+		for i := 0; i < len(e.ids); i++ {
+			for j := i + 1; j < len(e.ids); j++ {
+				pair := data.NewPair(e.ids[i], e.ids[j])
+				if !seen[pair] {
+					seen[pair] = true
+					out = append(out, pair)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Candidates implements Blocker (the full stream).
+func (p Progressive) Candidates(records []*data.Record) []data.Pair {
+	return p.Stream(records)
+}
+
+// RecallCurve measures, for each budget (number of comparisons), the
+// fraction of truth pairs found within the first `budget` pairs of the
+// given candidate order — the progressive-ER evaluation curve.
+func RecallCurve(ordered []data.Pair, truth []data.Pair, budgets []int) []float64 {
+	truthSet := make(map[data.Pair]bool, len(truth))
+	for _, p := range truth {
+		truthSet[p] = true
+	}
+	if len(truthSet) == 0 {
+		return make([]float64, len(budgets))
+	}
+	sort.Ints(budgets)
+	out := make([]float64, len(budgets))
+	found := 0
+	bi := 0
+	for i, p := range ordered {
+		if truthSet[p] {
+			found++
+		}
+		for bi < len(budgets) && i+1 == budgets[bi] {
+			out[bi] = float64(found) / float64(len(truthSet))
+			bi++
+		}
+	}
+	// Budgets beyond the stream length get the final recall.
+	final := float64(found) / float64(len(truthSet))
+	for ; bi < len(budgets); bi++ {
+		out[bi] = final
+	}
+	return out
+}

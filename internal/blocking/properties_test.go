@@ -1,0 +1,132 @@
+package blocking
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/data"
+	"repro/internal/datagen"
+)
+
+func propRecords(seed int64, n int) []*data.Record {
+	w := datagen.NewWorld(datagen.WorldConfig{Seed: seed, NumEntities: n, Categories: []string{"camera"}})
+	web := datagen.BuildWeb(w, datagen.SourceConfig{
+		Seed: seed + 1, NumSources: 6, DirtLevel: 1, HeadFraction: 0.5, TailCoverage: 0.3,
+	})
+	return web.Dataset.Records()
+}
+
+// TestBlockersEmitValidPairs: every blocker yields canonical pairs of
+// existing record IDs, no self-pairs, no duplicates.
+func TestBlockersEmitValidPairs(t *testing.T) {
+	records := propRecords(7, 30)
+	known := map[string]bool{}
+	for _, r := range records {
+		known[r.ID] = true
+	}
+	blockers := map[string]Blocker{
+		"token":    Standard{Key: TokenKey("title")},
+		"exact":    Standard{Key: AttrExactKey("title")},
+		"qgram":    Standard{Key: QGramKey("title", 3)},
+		"sn":       SortedNeighborhood{Keys: []KeyFunc{AttrExactKey("title")}, Window: 4},
+		"minhash":  MinHashLSH{Seed: 3},
+		"phonetic": Standard{Key: PhoneticKey("title", "soundex")},
+		"progress": Progressive{Key: TokenKey("title")},
+	}
+	for name, b := range blockers {
+		seen := map[data.Pair]bool{}
+		for _, p := range b.Candidates(records) {
+			if p.A >= p.B {
+				t.Fatalf("%s: non-canonical pair %v", name, p)
+			}
+			if !known[p.A] || !known[p.B] {
+				t.Fatalf("%s: pair references unknown record %v", name, p)
+			}
+			if seen[p] {
+				t.Fatalf("%s: duplicate pair %v", name, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+// TestSortedNeighborhoodWindowMonotone: a wider window's candidate set
+// contains the narrower window's.
+func TestSortedNeighborhoodWindowMonotone(t *testing.T) {
+	records := propRecords(11, 25)
+	f := func(w uint8) bool {
+		win := int(w%6) + 2
+		small := SortedNeighborhood{Keys: []KeyFunc{AttrExactKey("title")}, Window: win}
+		large := SortedNeighborhood{Keys: []KeyFunc{AttrExactKey("title")}, Window: win + 3}
+		smallSet := pairSet(small.Candidates(records))
+		largeSet := pairSet(large.Candidates(records))
+		for p := range smallSet {
+			if !largeSet[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPurgeMonotone: purging with a smaller cap never yields more
+// blocks, and purged blocks are a subset.
+func TestPurgeMonotone(t *testing.T) {
+	records := propRecords(13, 40)
+	blocks := BuildBlocks(records, TokenKey("title"))
+	f := func(a, b uint8) bool {
+		lo, hi := int(a%20)+1, int(a%20)+1+int(b%20)
+		pl := blocks.Purge(lo)
+		ph := blocks.Purge(hi)
+		if len(pl) > len(ph) {
+			return false
+		}
+		for k := range pl {
+			if _, ok := ph[k]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProgressiveStreamIsPermutationOfCandidates: the progressive
+// stream contains exactly the standard candidate set, reordered.
+func TestProgressiveStreamIsPermutationOfCandidates(t *testing.T) {
+	records := propRecords(17, 30)
+	prog := Progressive{Key: TokenKey("title")}.Stream(records)
+	std := Standard{Key: TokenKey("title")}.Candidates(records)
+	if len(prog) != len(std) {
+		t.Fatalf("stream %d pairs vs standard %d", len(prog), len(std))
+	}
+	ps := pairSet(prog)
+	for _, p := range std {
+		if !ps[p] {
+			t.Fatalf("standard pair %v missing from stream", p)
+		}
+	}
+}
+
+// TestMetaBlockingOutputSubset: meta-blocking only ever prunes — its
+// candidates are a subset of the raw block pairs.
+func TestMetaBlockingOutputSubset(t *testing.T) {
+	records := propRecords(19, 30)
+	blocks := BuildBlocks(records, TokenKey("title"))
+	raw := pairSet(blocks.Pairs())
+	for _, weight := range []WeightScheme{CBS, ECBS, JS} {
+		for _, prune := range []PruneScheme{WEP, CEP, WNP} {
+			got := MetaBlocker{Weight: weight, Prune: prune}.Candidates(blocks)
+			for _, p := range got {
+				if !raw[p] {
+					t.Fatalf("%v/%v emitted pair %v outside raw candidates", weight, prune, p)
+				}
+			}
+		}
+	}
+}

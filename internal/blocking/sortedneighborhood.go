@@ -1,0 +1,98 @@
+package blocking
+
+import (
+	"sort"
+
+	"repro/internal/data"
+)
+
+// SortedNeighborhood implements the sorted-neighbourhood method: records
+// are sorted by a sorting key and every pair within a sliding window of
+// size Window becomes a candidate. MultiPass runs one pass per key
+// function and unions the candidates, the standard remedy for key
+// corruption.
+type SortedNeighborhood struct {
+	Keys   []KeyFunc // one pass per key; each must yield ≤1 key
+	Window int       // window size (≥2); default 5
+}
+
+// Candidates implements Blocker.
+func (sn SortedNeighborhood) Candidates(records []*data.Record) []data.Pair {
+	w := sn.Window
+	if w < 2 {
+		w = 5
+	}
+	seen := map[data.Pair]bool{}
+	var out []data.Pair
+	for _, key := range sn.Keys {
+		type entry struct{ k, id string }
+		entries := make([]entry, 0, len(records))
+		for _, r := range records {
+			ks := key(r)
+			if len(ks) == 0 || ks[0] == "" {
+				continue
+			}
+			entries = append(entries, entry{k: ks[0], id: r.ID})
+		}
+		sort.Slice(entries, func(i, j int) bool {
+			if entries[i].k != entries[j].k {
+				return entries[i].k < entries[j].k
+			}
+			return entries[i].id < entries[j].id
+		})
+		for i := range entries {
+			for j := i + 1; j < len(entries) && j < i+w; j++ {
+				p := data.NewPair(entries[i].id, entries[j].id)
+				if !seen[p] {
+					seen[p] = true
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Canopy implements canopy clustering with a cheap similarity: records
+// are greedily grouped under canopies using Sim; pairs within a canopy
+// are candidates. Loose < Tight thresholds follow McCallum et al.:
+// records within Loose of a centre join its canopy (and may join
+// others); records within Tight are removed from further consideration
+// as centres.
+type Canopy struct {
+	Sim   func(a, b *data.Record) float64
+	Loose float64 // canopy-membership threshold (lower)
+	Tight float64 // removal threshold (higher)
+}
+
+// Candidates implements Blocker.
+func (c Canopy) Candidates(records []*data.Record) []data.Pair {
+	remaining := append([]*data.Record(nil), records...)
+	seen := map[data.Pair]bool{}
+	var out []data.Pair
+	for len(remaining) > 0 {
+		center := remaining[0]
+		canopy := []*data.Record{center}
+		var next []*data.Record
+		for _, r := range remaining[1:] {
+			s := c.Sim(center, r)
+			if s >= c.Loose {
+				canopy = append(canopy, r)
+			}
+			if s < c.Tight {
+				next = append(next, r)
+			}
+		}
+		remaining = next
+		for i := 0; i < len(canopy); i++ {
+			for j := i + 1; j < len(canopy); j++ {
+				p := data.NewPair(canopy[i].ID, canopy[j].ID)
+				if !seen[p] {
+					seen[p] = true
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,477 @@
+// Package core orchestrates the end-to-end big-data-integration
+// pipeline the ICDE 2013 tutorial describes: blocking → record linkage
+// → schema alignment → data fusion, with the linkage-before-alignment
+// ordering the tutorial advocates for identifier-rich domains (and the
+// traditional schema-first ordering available for the ablation).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/blocking"
+	"repro/internal/data"
+	"repro/internal/fusion"
+	"repro/internal/linkage"
+	"repro/internal/schema"
+	"repro/internal/similarity"
+)
+
+// Order selects the pipeline stage ordering.
+type Order int
+
+const (
+	// LinkageFirst links records on identifiers/text first and uses the
+	// clusters as instance evidence for schema alignment — the
+	// tutorial's recommended ordering at web scale.
+	LinkageFirst Order = iota
+	// SchemaFirst aligns schemas from names and value distributions
+	// only, normalises, then links — the traditional ordering.
+	SchemaFirst
+)
+
+// String names the ordering.
+func (o Order) String() string {
+	if o == SchemaFirst {
+		return "schema-first"
+	}
+	return "linkage-first"
+}
+
+// Config controls a pipeline run. The zero value is usable.
+type Config struct {
+	Order Order
+
+	// Blocking.
+	BlockAttrs []string // token-blocking attributes; default {"title"}
+	MaxBlock   int      // purge blocks larger than this; default 100
+	MetaBlock  bool     // apply meta-blocking (ECBS/WEP) after token blocking
+
+	// Matching.
+	IdentifierAttrs []string // exact-match attributes; default {"pid"}
+	MatchAttrs      []string // comparator attributes; default {"title"}
+	MatchThreshold  float64  // default 0.6
+	FellegiSunter   bool     // train an FS matcher instead of threshold
+
+	// Clustering: "components" (default), "center", "merge",
+	// "correlation", or "swoosh" (merge-based resolution inside blocks:
+	// accumulated evidence can link records no pair of originals
+	// matches directly).
+	Clusterer string
+
+	// Schema alignment.
+	AlignThreshold float64 // default 0.5
+
+	// Fusion: "vote" (default), "weighted", "truthfinder", "accu",
+	// "popaccu", "accucopy".
+	Fuser string
+
+	// Workers for parallel matching; default NumCPU via parallel pkg.
+	Workers int
+}
+
+func (c *Config) defaults() {
+	if len(c.BlockAttrs) == 0 {
+		c.BlockAttrs = []string{"title"}
+	}
+	if c.MaxBlock <= 0 {
+		c.MaxBlock = 100
+	}
+	if c.IdentifierAttrs == nil {
+		c.IdentifierAttrs = []string{"pid"}
+	}
+	if len(c.MatchAttrs) == 0 {
+		c.MatchAttrs = []string{"title"}
+	}
+	if c.MatchThreshold <= 0 {
+		c.MatchThreshold = 0.6
+	}
+	if c.Clusterer == "" {
+		c.Clusterer = "components"
+	}
+	if c.AlignThreshold <= 0 {
+		c.AlignThreshold = 0.5
+	}
+	if c.Fuser == "" {
+		c.Fuser = "vote"
+	}
+}
+
+// Report is the full output of a pipeline run.
+type Report struct {
+	Candidates int               // candidate pairs after blocking
+	Matched    []data.ScoredPair // pairs the matcher accepted
+	Clusters   data.Clustering   // linkage result
+
+	Schema     *schema.MediatedSchema
+	Transforms []schema.Transform
+	Normalized *data.Dataset // records rewritten into the mediated schema
+
+	Claims *data.ClaimSet // claims over (cluster, mediated attr)
+	Fusion *fusion.Result
+
+	StageTime map[string]time.Duration
+}
+
+// Pipeline runs the configured integration flow.
+type Pipeline struct {
+	cfg Config
+}
+
+// New builds a pipeline, resolving config defaults.
+func New(cfg Config) *Pipeline {
+	cfg.defaults()
+	return &Pipeline{cfg: cfg}
+}
+
+// Config returns the resolved configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// Validate rejects configurations naming unknown components, so typos
+// fail loudly instead of silently running defaults.
+func (c Config) Validate() error {
+	switch c.Clusterer {
+	case "", "components", "center", "merge", "correlation", "swoosh":
+	default:
+		return fmt.Errorf("core: unknown clusterer %q (want components, center, merge, correlation or swoosh)", c.Clusterer)
+	}
+	if _, err := BuildFuser(c.Fuser); err != nil {
+		return err
+	}
+	if c.MatchThreshold < 0 || c.MatchThreshold > 1 {
+		return fmt.Errorf("core: match threshold %f out of [0,1]", c.MatchThreshold)
+	}
+	if c.AlignThreshold < 0 || c.AlignThreshold > 1 {
+		return fmt.Errorf("core: align threshold %f out of [0,1]", c.AlignThreshold)
+	}
+	return nil
+}
+
+// Run executes the pipeline over a dataset.
+func (p *Pipeline) Run(d *data.Dataset) (*Report, error) {
+	if err := p.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if d == nil || d.NumRecords() == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	rep := &Report{StageTime: map[string]time.Duration{}}
+	switch p.cfg.Order {
+	case SchemaFirst:
+		return p.runSchemaFirst(d, rep)
+	default:
+		return p.runLinkageFirst(d, rep)
+	}
+}
+
+func (p *Pipeline) runLinkageFirst(d *data.Dataset, rep *Report) (*Report, error) {
+	if err := p.linkStage(d, rep); err != nil {
+		return nil, err
+	}
+	if err := p.alignStage(d, rep, rep.Clusters); err != nil {
+		return nil, err
+	}
+	if err := p.fuseStage(rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func (p *Pipeline) runSchemaFirst(d *data.Dataset, rep *Report) (*Report, error) {
+	// Align with name+instance evidence only (no clusters yet).
+	if err := p.alignStage(d, rep, nil); err != nil {
+		return nil, err
+	}
+	// Link over the normalised dataset.
+	if err := p.linkStage(rep.Normalized, rep); err != nil {
+		return nil, err
+	}
+	// Rebuild claims with the final clusters.
+	if err := p.fuseStage(rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// linkStage: blocking → matching → clustering.
+func (p *Pipeline) linkStage(d *data.Dataset, rep *Report) error {
+	records := d.Records()
+
+	start := time.Now()
+	var candidates []data.Pair
+	keyFn := blocking.TokenKey(p.cfg.BlockAttrs...)
+	blocks := blocking.BuildBlocks(records, keyFn).Purge(p.cfg.MaxBlock)
+	if p.cfg.MetaBlock {
+		candidates = blocking.MetaBlocker{
+			Weight: blocking.ECBS, Prune: blocking.WEP,
+		}.Candidates(blocks)
+	} else {
+		candidates = blocks.Pairs()
+	}
+	// Identifier blocking always contributes candidates: records
+	// sharing an identifier must be compared no matter what.
+	for _, attr := range p.cfg.IdentifierAttrs {
+		idPairs := blocking.Standard{Key: blocking.AttrExactKey(attr)}.Candidates(records)
+		candidates = append(candidates, idPairs...)
+	}
+	candidates = dedupePairs(candidates)
+	rep.Candidates = len(candidates)
+	rep.StageTime["blocking"] += time.Since(start)
+
+	start = time.Now()
+	matcher, err := p.buildMatcher(d, candidates)
+	if err != nil {
+		return err
+	}
+	rep.Matched = linkage.MatchPairs(d, candidates, matcher, p.cfg.Workers)
+	rep.StageTime["matching"] += time.Since(start)
+
+	start = time.Now()
+	if p.cfg.Clusterer == "swoosh" {
+		clusters, err := p.swooshCluster(d, records, rep.Matched, matcher)
+		if err != nil {
+			return err
+		}
+		rep.Clusters = clusters
+	} else {
+		var ids []string
+		for _, r := range records {
+			ids = append(ids, r.ID)
+		}
+		rep.Clusters = p.buildClusterer().Cluster(ids, rep.Matched)
+	}
+	rep.StageTime["clustering"] += time.Since(start)
+	return nil
+}
+
+// swooshCluster runs R-Swoosh within each connected component of the
+// match graph (the candidate groups), so merged evidence can recruit
+// records the pairwise matcher missed, without paying O(n²) over the
+// whole corpus.
+func (p *Pipeline) swooshCluster(d *data.Dataset, records []*data.Record,
+	matched []data.ScoredPair, matcher linkage.Matcher) (data.Clustering, error) {
+	var ids []string
+	for _, r := range records {
+		ids = append(ids, r.ID)
+	}
+	coarse := (linkage.ConnectedComponents{}).Cluster(ids, matched)
+	uf := linkage.NewUnionFind()
+	for _, id := range ids {
+		uf.Add(id)
+	}
+	sw := linkage.Swoosh{Matcher: matcher}
+	for _, group := range coarse {
+		if len(group) < 2 {
+			continue
+		}
+		recs := make([]*data.Record, 0, len(group))
+		for _, id := range group {
+			if r := d.Record(id); r != nil {
+				recs = append(recs, r)
+			}
+		}
+		resolved, _, err := sw.Resolve(recs)
+		if err != nil {
+			return nil, fmt.Errorf("core: swoosh clustering: %w", err)
+		}
+		for _, cl := range resolved {
+			for i := 1; i < len(cl); i++ {
+				uf.Union(cl[0], cl[i])
+			}
+		}
+	}
+	var out data.Clustering
+	for _, set := range uf.Sets() {
+		out = append(out, set)
+	}
+	return out.Normalize(), nil
+}
+
+func (p *Pipeline) buildMatcher(d *data.Dataset, candidates []data.Pair) (linkage.Matcher, error) {
+	attrs := append([]string(nil), p.cfg.MatchAttrs...)
+	if p.cfg.FellegiSunter {
+		// A probabilistic matcher needs several comparison fields to
+		// separate the classes; widen with the most frequent attributes
+		// (the ones many sources kept under their canonical names).
+		attrs = append(attrs, topAttrs(d, 5, attrs)...)
+	}
+	fields := make([]similarity.FieldWeight, 0, len(attrs))
+	for _, a := range attrs {
+		w := 1.0
+		if a == "title" {
+			w = 2
+		}
+		fields = append(fields, similarity.FieldWeight{Attr: a, Weight: w, Metric: similarity.Jaccard})
+	}
+	cmp := similarity.NewRecordComparator(fields...)
+	if p.cfg.FellegiSunter {
+		fs := linkage.NewFellegiSunter(cmp)
+		fs.Threshold = 0.9
+		fs.AgreeAt = 0.7
+		if err := fs.Train(d, candidates, 15); err != nil {
+			return nil, fmt.Errorf("core: training matcher: %w", err)
+		}
+		return &fsWithIdentifier{fs: fs, exact: p.cfg.IdentifierAttrs}, nil
+	}
+	return linkage.RuleMatcher{
+		Exact:      p.cfg.IdentifierAttrs,
+		Comparator: cmp,
+		Threshold:  p.cfg.MatchThreshold,
+	}, nil
+}
+
+// fsWithIdentifier short-circuits identifier equality ahead of the
+// probabilistic model, mirroring RuleMatcher's behaviour.
+type fsWithIdentifier struct {
+	fs    *linkage.FellegiSunter
+	exact []string
+}
+
+// Match implements linkage.Matcher.
+func (m *fsWithIdentifier) Match(a, b *data.Record) (float64, bool) {
+	for _, attr := range m.exact {
+		va, vb := a.Get(attr), b.Get(attr)
+		if !va.IsNull() && !vb.IsNull() && va.Key() == vb.Key() {
+			return 1, true
+		}
+	}
+	return m.fs.Match(a, b)
+}
+
+func (p *Pipeline) buildClusterer() linkage.Clusterer {
+	switch p.cfg.Clusterer {
+	case "center":
+		return linkage.Center{}
+	case "merge":
+		return linkage.MergeCenter{}
+	case "correlation":
+		return linkage.CorrelationClustering{MinScore: p.cfg.MatchThreshold}
+	default:
+		return linkage.ConnectedComponents{}
+	}
+}
+
+// alignStage: profiling → (optional linkage evidence) → mediated schema
+// → transforms → normalisation.
+func (p *Pipeline) alignStage(d *data.Dataset, rep *Report, clusters data.Clustering) error {
+	start := time.Now()
+	profiles := schema.Profiler{}.Build(d)
+	aligner := schema.Aligner{Threshold: p.cfg.AlignThreshold}
+	if clusters != nil {
+		le := schema.NewLinkageEvidence(d, clusters)
+		aligner.Evidence = le.Blend
+	}
+	ms, err := aligner.Align(profiles)
+	if err != nil {
+		return fmt.Errorf("core: schema alignment: %w", err)
+	}
+	rep.Schema = ms
+	if clusters != nil {
+		rep.Transforms = schema.DiscoverTransforms(d, clusters, ms, 3)
+	}
+	norm := schema.NewNormalizer(ms, rep.Transforms)
+	rep.Normalized = norm.ApplyAll(d)
+	rep.StageTime["alignment"] += time.Since(start)
+	return nil
+}
+
+// fuseStage: claims over (cluster, mediated attribute) → fusion.
+func (p *Pipeline) fuseStage(rep *Report) error {
+	if rep.Normalized == nil || rep.Clusters == nil {
+		return fmt.Errorf("core: fusion requires alignment and linkage results")
+	}
+	start := time.Now()
+	var attrs []string
+	for _, ma := range rep.Schema.Attrs {
+		attrs = append(attrs, ma.Name)
+	}
+	attrs = dedupeStrings(attrs)
+	rep.Claims = data.ClaimsFromClusters(rep.Normalized, rep.Clusters, attrs)
+	fuser, err := BuildFuser(p.cfg.Fuser)
+	if err != nil {
+		return err
+	}
+	res, err := fuser.Fuse(rep.Claims)
+	if err != nil {
+		return fmt.Errorf("core: fusion: %w", err)
+	}
+	rep.Fusion = res
+	rep.StageTime["fusion"] += time.Since(start)
+	return nil
+}
+
+// BuildFuser resolves a fuser by name.
+func BuildFuser(name string) (fusion.Fuser, error) {
+	switch name {
+	case "", "vote":
+		return fusion.MajorityVote{}, nil
+	case "truthfinder":
+		return fusion.TruthFinder{}, nil
+	case "accu":
+		return fusion.ACCU{}, nil
+	case "popaccu":
+		return fusion.ACCU{Popularity: true}, nil
+	case "accucopy":
+		return fusion.ACCUCOPY{}, nil
+	case "numeric":
+		return fusion.NumericFusion{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown fuser %q", name)
+	}
+}
+
+// topAttrs returns the k most frequent attributes in the dataset,
+// excluding identifiers, bookkeeping fields and already-chosen attrs.
+func topAttrs(d *data.Dataset, k int, exclude []string) []string {
+	skip := map[string]bool{"title": true, "pid": true, "epoch": true}
+	for _, a := range exclude {
+		skip[a] = true
+	}
+	counts := d.Attributes()
+	// Sort by count desc, name asc for determinism.
+	for i := 1; i < len(counts); i++ {
+		for j := i; j > 0; j-- {
+			a, b := counts[j-1], counts[j]
+			if b.Count > a.Count || (b.Count == a.Count && b.Attr < a.Attr) {
+				counts[j-1], counts[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	var out []string
+	for _, ac := range counts {
+		if skip[ac.Attr] {
+			continue
+		}
+		out = append(out, ac.Attr)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+func dedupePairs(ps []data.Pair) []data.Pair {
+	seen := map[data.Pair]bool{}
+	out := ps[:0:0]
+	for _, p := range ps {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func dedupeStrings(ss []string) []string {
+	seen := map[string]bool{}
+	out := ss[:0:0]
+	for _, s := range ss {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

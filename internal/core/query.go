@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/similarity"
+	"repro/internal/tokenize"
+)
+
+// Query layer over a completed pipeline Report: look integrated
+// entities up by keyword and read their fused, mediated-schema records
+// — the user-facing payoff of the integration.
+
+// Entity is one integrated entity: its cluster, provenance and fused
+// values.
+type Entity struct {
+	// ID is the fusion entity id ("e<i>" over the normalised clusters).
+	ID string
+	// Records lists the contributing record IDs.
+	Records []string
+	// Sources lists the distinct contributing source IDs, sorted.
+	Sources []string
+	// Title is a representative title (the longest contributed one).
+	Title string
+	// Values holds the fused value per mediated attribute.
+	Values map[string]data.Value
+	// Confidence per mediated attribute.
+	Confidence map[string]float64
+}
+
+// Entities materialises every integrated entity from the report,
+// ordered by entity ID.
+func (r *Report) Entities() ([]*Entity, error) {
+	if r.Normalized == nil || r.Clusters == nil || r.Fusion == nil {
+		return nil, fmt.Errorf("core: report is incomplete (run the pipeline first)")
+	}
+	norm := r.Clusters.Normalize()
+	out := make([]*Entity, 0, len(norm))
+	for ci, cl := range norm {
+		e := &Entity{
+			ID:         fmt.Sprintf("e%d", ci),
+			Records:    append([]string(nil), cl...),
+			Values:     map[string]data.Value{},
+			Confidence: map[string]float64{},
+		}
+		srcSet := map[string]bool{}
+		for _, rid := range cl {
+			rec := r.Normalized.Record(rid)
+			if rec == nil {
+				continue
+			}
+			srcSet[rec.SourceID] = true
+			if t := rec.Get("title"); !t.IsNull() && len(t.Str) > len(e.Title) {
+				e.Title = t.Str
+			}
+		}
+		for s := range srcSet {
+			e.Sources = append(e.Sources, s)
+		}
+		sort.Strings(e.Sources)
+		out = append(out, e)
+	}
+	// Attach fused values.
+	for it, v := range r.Fusion.Values {
+		idx := entityIndex(it.Entity)
+		if idx < 0 || idx >= len(out) {
+			continue
+		}
+		out[idx].Values[it.Attr] = v
+		out[idx].Confidence[it.Attr] = r.Fusion.Confidence[it]
+	}
+	return out, nil
+}
+
+func entityIndex(id string) int {
+	if len(id) < 2 || id[0] != 'e' {
+		return -1
+	}
+	n := 0
+	for i := 1; i < len(id); i++ {
+		c := id[i]
+		if c < '0' || c > '9' {
+			return -1
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// Hit is one query result with its relevance score.
+type Hit struct {
+	Entity *Entity
+	Score  float64
+}
+
+// Search ranks integrated entities against a keyword query by Jaccard
+// similarity between the query and each entity's title plus fused
+// string values, returning up to limit hits with score > 0.
+func (r *Report) Search(query string, limit int) ([]Hit, error) {
+	ents, err := r.Entities()
+	if err != nil {
+		return nil, err
+	}
+	if limit <= 0 {
+		limit = 10
+	}
+	qNorm := tokenize.Normalize(query)
+	if qNorm == "" {
+		return nil, fmt.Errorf("core: empty query")
+	}
+	hits := make([]Hit, 0, len(ents))
+	for _, e := range ents {
+		text := e.Title
+		for _, attr := range sortedAttrs(e.Values) {
+			if v := e.Values[attr]; v.Kind == data.KindString {
+				text += " " + v.Str
+			}
+		}
+		// Overlap rewards queries that are sub-descriptions of the
+		// entity; blend with Jaccard so longer entity texts still rank
+		// sanely.
+		s := 0.7*similarity.Overlap(qNorm, text) + 0.3*similarity.Jaccard(qNorm, text)
+		if s > 0 {
+			hits = append(hits, Hit{Entity: e, Score: s})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Entity.ID < hits[j].Entity.ID
+	})
+	if len(hits) > limit {
+		hits = hits[:limit]
+	}
+	return hits, nil
+}
+
+func sortedAttrs(m map[string]data.Value) []string {
+	out := make([]string, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}

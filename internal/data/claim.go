@@ -1,0 +1,152 @@
+package data
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Item identifies a data item in the fusion sense: one attribute of one
+// (linked) entity, e.g. "the capacity of battery X".
+type Item struct {
+	Entity string // entity or cluster identifier
+	Attr   string // attribute name (in the aligned/mediated schema)
+}
+
+// String renders the item as "entity.attr".
+func (it Item) String() string { return it.Entity + "." + it.Attr }
+
+// Claim is a single (item, source, value) observation: source claims
+// that item has the given value.
+type Claim struct {
+	Item   Item
+	Source string
+	Value  Value
+}
+
+// ClaimSet is a collection of claims with indexes by item and by source.
+// Fusion algorithms operate on ClaimSets.
+type ClaimSet struct {
+	claims  []Claim
+	byItem  map[Item][]int
+	bySrc   map[string][]int
+	truth   map[Item]Value // optional ground truth for evaluation
+	itemSet []Item         // deterministic item order (first appearance)
+}
+
+// NewClaimSet returns an empty claim set.
+func NewClaimSet() *ClaimSet {
+	return &ClaimSet{
+		byItem: map[Item][]int{},
+		bySrc:  map[string][]int{},
+		truth:  map[Item]Value{},
+	}
+}
+
+// Add appends a claim. Null values are ignored (a source that says
+// nothing about an item makes no claim).
+func (cs *ClaimSet) Add(c Claim) {
+	if c.Value.IsNull() {
+		return
+	}
+	idx := len(cs.claims)
+	cs.claims = append(cs.claims, c)
+	if _, seen := cs.byItem[c.Item]; !seen {
+		cs.itemSet = append(cs.itemSet, c.Item)
+	}
+	cs.byItem[c.Item] = append(cs.byItem[c.Item], idx)
+	cs.bySrc[c.Source] = append(cs.bySrc[c.Source], idx)
+}
+
+// SetTruth records the ground-truth value of an item (evaluation only).
+func (cs *ClaimSet) SetTruth(it Item, v Value) { cs.truth[it] = v }
+
+// Truth returns the ground-truth value of an item and whether one is known.
+func (cs *ClaimSet) Truth(it Item) (Value, bool) {
+	v, ok := cs.truth[it]
+	return v, ok
+}
+
+// Len returns the number of claims.
+func (cs *ClaimSet) Len() int { return len(cs.claims) }
+
+// NumItems returns the number of distinct data items.
+func (cs *ClaimSet) NumItems() int { return len(cs.itemSet) }
+
+// Items returns the distinct items in first-appearance order.
+func (cs *ClaimSet) Items() []Item {
+	return append([]Item(nil), cs.itemSet...)
+}
+
+// Sources returns the distinct claiming source IDs, sorted.
+func (cs *ClaimSet) Sources() []string {
+	out := make([]string, 0, len(cs.bySrc))
+	for s := range cs.bySrc {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ItemClaims returns the claims about one item, in insertion order.
+func (cs *ClaimSet) ItemClaims(it Item) []Claim {
+	idxs := cs.byItem[it]
+	out := make([]Claim, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, cs.claims[i])
+	}
+	return out
+}
+
+// SourceClaims returns the claims made by one source, in insertion order.
+func (cs *ClaimSet) SourceClaims(src string) []Claim {
+	idxs := cs.bySrc[src]
+	out := make([]Claim, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, cs.claims[i])
+	}
+	return out
+}
+
+// All returns a copy of every claim in insertion order.
+func (cs *ClaimSet) All() []Claim { return append([]Claim(nil), cs.claims...) }
+
+// Validate checks internal invariants; it is used by tests.
+func (cs *ClaimSet) Validate() error {
+	n := 0
+	for it, idxs := range cs.byItem {
+		for _, i := range idxs {
+			if cs.claims[i].Item != it {
+				return fmt.Errorf("data: claim %d indexed under wrong item", i)
+			}
+		}
+		n += len(idxs)
+	}
+	if n != len(cs.claims) {
+		return fmt.Errorf("data: item index covers %d of %d claims", n, len(cs.claims))
+	}
+	return nil
+}
+
+// ClaimsFromClusters converts linked records into a claim set: each
+// cluster becomes an entity whose ID is the cluster index rendered as
+// "e<i>" (or the majority ground-truth EntityID when carry is true —
+// used when building evaluation claim sets).
+func ClaimsFromClusters(d *Dataset, clusters Clustering, attrs []string) *ClaimSet {
+	cs := NewClaimSet()
+	norm := clusters.Normalize()
+	for ci, cl := range norm {
+		ent := fmt.Sprintf("e%d", ci)
+		for _, rid := range cl {
+			r := d.Record(rid)
+			if r == nil {
+				continue
+			}
+			for _, a := range attrs {
+				if v := r.Get(a); !v.IsNull() {
+					cs.Add(Claim{Item: Item{Entity: ent, Attr: a}, Source: r.SourceID, Value: v})
+				}
+			}
+		}
+	}
+	return cs
+}

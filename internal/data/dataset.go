@@ -1,0 +1,173 @@
+package data
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dataset is the unit of work for the pipeline: a set of sources and the
+// records they contribute, with fast lookup indexes. A Dataset is built
+// once and treated as immutable by pipeline stages; incremental
+// operation appends via AddRecord/AddSource.
+type Dataset struct {
+	sources map[string]*Source
+	records map[string]*Record
+	bySrc   map[string][]string // source ID → record IDs, insertion order
+	order   []string            // record IDs in insertion order
+}
+
+// NewDataset returns an empty dataset.
+func NewDataset() *Dataset {
+	return &Dataset{
+		sources: map[string]*Source{},
+		records: map[string]*Record{},
+		bySrc:   map[string][]string{},
+	}
+}
+
+// AddSource registers a source. Re-adding an existing ID replaces its
+// metadata but keeps its records.
+func (d *Dataset) AddSource(s *Source) error {
+	if s == nil || s.ID == "" {
+		return fmt.Errorf("data: source must have a non-empty ID")
+	}
+	d.sources[s.ID] = s
+	return nil
+}
+
+// AddRecord inserts a record. The record's source must already exist and
+// the record ID must be fresh.
+func (d *Dataset) AddRecord(r *Record) error {
+	if r == nil || r.ID == "" {
+		return fmt.Errorf("data: record must have a non-empty ID")
+	}
+	if _, ok := d.sources[r.SourceID]; !ok {
+		return fmt.Errorf("data: record %q references unknown source %q", r.ID, r.SourceID)
+	}
+	if _, dup := d.records[r.ID]; dup {
+		return fmt.Errorf("data: duplicate record ID %q", r.ID)
+	}
+	d.records[r.ID] = r
+	d.bySrc[r.SourceID] = append(d.bySrc[r.SourceID], r.ID)
+	d.order = append(d.order, r.ID)
+	return nil
+}
+
+// RemoveRecord deletes a record by ID; it reports whether it was present.
+func (d *Dataset) RemoveRecord(id string) bool {
+	r, ok := d.records[id]
+	if !ok {
+		return false
+	}
+	delete(d.records, id)
+	d.bySrc[r.SourceID] = deleteString(d.bySrc[r.SourceID], id)
+	d.order = deleteString(d.order, id)
+	return true
+}
+
+func deleteString(s []string, v string) []string {
+	for i, x := range s {
+		if x == v {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// Source returns the source with the given ID, or nil.
+func (d *Dataset) Source(id string) *Source { return d.sources[id] }
+
+// Record returns the record with the given ID, or nil.
+func (d *Dataset) Record(id string) *Record { return d.records[id] }
+
+// NumSources returns the number of registered sources.
+func (d *Dataset) NumSources() int { return len(d.sources) }
+
+// NumRecords returns the number of records.
+func (d *Dataset) NumRecords() int { return len(d.records) }
+
+// Sources returns all sources sorted by ID.
+func (d *Dataset) Sources() []*Source {
+	out := make([]*Source, 0, len(d.sources))
+	for _, s := range d.sources {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Records returns all records in insertion order.
+func (d *Dataset) Records() []*Record {
+	out := make([]*Record, 0, len(d.order))
+	for _, id := range d.order {
+		out = append(out, d.records[id])
+	}
+	return out
+}
+
+// SourceRecords returns the records of one source in insertion order.
+func (d *Dataset) SourceRecords(sourceID string) []*Record {
+	ids := d.bySrc[sourceID]
+	out := make([]*Record, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, d.records[id])
+	}
+	return out
+}
+
+// Attributes returns every attribute name appearing in any record,
+// sorted, with its occurrence count.
+func (d *Dataset) Attributes() []AttrCount {
+	counts := map[string]int{}
+	for _, id := range d.order {
+		for a := range d.records[id].Fields {
+			counts[a]++
+		}
+	}
+	out := make([]AttrCount, 0, len(counts))
+	for a, n := range counts {
+		out = append(out, AttrCount{Attr: a, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Attr < out[j].Attr })
+	return out
+}
+
+// AttrCount pairs an attribute name with its record-occurrence count.
+type AttrCount struct {
+	Attr  string
+	Count int
+}
+
+// GroundTruthClusters groups record IDs by ground-truth EntityID.
+// Records with empty EntityID are skipped. Used only by evaluation.
+func (d *Dataset) GroundTruthClusters() Clustering {
+	byEnt := map[string][]string{}
+	for _, id := range d.order {
+		r := d.records[id]
+		if r.EntityID == "" {
+			continue
+		}
+		byEnt[r.EntityID] = append(byEnt[r.EntityID], id)
+	}
+	out := make(Clustering, 0, len(byEnt))
+	for _, ids := range byEnt {
+		out = append(out, ids)
+	}
+	return out.Normalize()
+}
+
+// Merge copies every source and record of other into d. Record-ID
+// collisions are an error.
+func (d *Dataset) Merge(other *Dataset) error {
+	for _, s := range other.Sources() {
+		if err := d.AddSource(s); err != nil {
+			return err
+		}
+	}
+	for _, r := range other.Records() {
+		if err := d.AddRecord(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

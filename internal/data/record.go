@@ -1,0 +1,167 @@
+package data
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Record is one source's description of one real-world entity: a bag of
+// attribute → value fields plus provenance. EntityID carries the
+// generator's ground truth when known and is never consulted by the
+// pipeline itself — only by evaluation code.
+type Record struct {
+	ID       string           // globally unique record identifier
+	SourceID string           // owning source
+	EntityID string           // ground-truth entity id ("" if unknown)
+	Fields   map[string]Value // attribute name → value
+}
+
+// NewRecord allocates a record with an empty field map.
+func NewRecord(id, sourceID string) *Record {
+	return &Record{ID: id, SourceID: sourceID, Fields: map[string]Value{}}
+}
+
+// Set stores a field, dropping null values so that "absent" and "null"
+// coincide. It returns the record for chaining.
+func (r *Record) Set(attr string, v Value) *Record {
+	if r.Fields == nil {
+		r.Fields = map[string]Value{}
+	}
+	if v.IsNull() {
+		delete(r.Fields, attr)
+		return r
+	}
+	r.Fields[attr] = v
+	return r
+}
+
+// Get returns the value of attr, or null if absent.
+func (r *Record) Get(attr string) Value {
+	if r.Fields == nil {
+		return Null()
+	}
+	return r.Fields[attr]
+}
+
+// Has reports whether the record carries a non-null value for attr.
+func (r *Record) Has(attr string) bool { return !r.Get(attr).IsNull() }
+
+// Attrs returns the record's attribute names in sorted order.
+func (r *Record) Attrs() []string {
+	attrs := make([]string, 0, len(r.Fields))
+	for a := range r.Fields {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	return attrs
+}
+
+// Clone returns a deep copy of the record.
+func (r *Record) Clone() *Record {
+	c := &Record{ID: r.ID, SourceID: r.SourceID, EntityID: r.EntityID,
+		Fields: make(map[string]Value, len(r.Fields))}
+	for a, v := range r.Fields {
+		c.Fields[a] = v
+	}
+	return c
+}
+
+// String renders the record compactly for debugging.
+func (r *Record) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s@%s{", r.ID, r.SourceID)
+	for i, a := range r.Attrs() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%s", a, r.Fields[a])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Source describes one data source. TrueAccuracy and CopiesFrom are
+// generator ground truth used only by evaluation and by the generator
+// itself; integration code must not read them.
+type Source struct {
+	ID           string
+	Name         string
+	TrueAccuracy float64  // ground truth; 0 if unknown
+	CopiesFrom   []string // ground-truth copying edges (source IDs)
+}
+
+// Pair is an unordered pair of record IDs in canonical (A < B) order.
+type Pair struct{ A, B string }
+
+// NewPair canonicalises the order of its arguments.
+func NewPair(a, b string) Pair {
+	if b < a {
+		a, b = b, a
+	}
+	return Pair{A: a, B: b}
+}
+
+// Other returns the element of the pair that is not id ("" if id is not
+// a member).
+func (p Pair) Other(id string) string {
+	switch id {
+	case p.A:
+		return p.B
+	case p.B:
+		return p.A
+	}
+	return ""
+}
+
+// ScoredPair attaches a match score to a pair.
+type ScoredPair struct {
+	Pair
+	Score float64
+}
+
+// Cluster is a set of record IDs believed to describe one entity.
+type Cluster []string
+
+// Clustering is a partition of record IDs into clusters.
+type Clustering []Cluster
+
+// Normalize sorts members within each cluster and clusters by first
+// member, yielding a canonical form for comparison and display.
+func (c Clustering) Normalize() Clustering {
+	out := make(Clustering, 0, len(c))
+	for _, cl := range c {
+		if len(cl) == 0 {
+			continue
+		}
+		cp := append(Cluster(nil), cl...)
+		sort.Strings(cp)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// Pairs enumerates every intra-cluster pair in the clustering.
+func (c Clustering) Pairs() []Pair {
+	var out []Pair
+	for _, cl := range c {
+		for i := 0; i < len(cl); i++ {
+			for j := i + 1; j < len(cl); j++ {
+				out = append(out, NewPair(cl[i], cl[j]))
+			}
+		}
+	}
+	return out
+}
+
+// Assignment inverts the clustering into record-ID → cluster-index form.
+func (c Clustering) Assignment() map[string]int {
+	m := map[string]int{}
+	for i, cl := range c {
+		for _, id := range cl {
+			m[id] = i
+		}
+	}
+	return m
+}

@@ -1,0 +1,129 @@
+package data
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValueConstructorsNormaliseMissing(t *testing.T) {
+	if !String("").IsNull() {
+		t.Error("String(\"\") should be null")
+	}
+	if !Number(math.NaN()).IsNull() {
+		t.Error("Number(NaN) should be null")
+	}
+	if !Time(time.Time{}).IsNull() {
+		t.Error("Time(zero) should be null")
+	}
+	if Null().Kind != KindNull {
+		t.Error("Null() must have KindNull")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{String("x"), String("x"), true},
+		{String("x"), String("y"), false},
+		{Number(1.5), Number(1.5), true},
+		{Number(1.5), Number(2.5), false},
+		{Bool(true), Bool(true), true},
+		{Bool(true), Bool(false), false},
+		{Null(), Null(), true},
+		{String("1"), Number(1), false},
+		{Time(time.Unix(10, 0)), Time(time.Unix(10, 0).UTC()), true},
+	}
+	for i, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("case %d: Equal(%v,%v)=%v want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueStringRoundTripThroughParse(t *testing.T) {
+	vals := []Value{
+		String("hello world"),
+		Number(42),
+		Number(-3.25),
+		Bool(true),
+		Bool(false),
+		Time(time.Date(2020, 5, 4, 3, 2, 1, 0, time.UTC)),
+		Null(),
+	}
+	for _, v := range vals {
+		got := Parse(v.String())
+		if !got.Equal(v) {
+			t.Errorf("Parse(%q) = %v, want %v", v.String(), got, v)
+		}
+	}
+}
+
+func TestParseClassifiesKinds(t *testing.T) {
+	cases := []struct {
+		in   string
+		kind ValueKind
+	}{
+		{"", KindNull},
+		{"   ", KindNull},
+		{"3.14", KindNumber},
+		{"-7", KindNumber},
+		{"true", KindBool},
+		{"FALSE", KindBool},
+		{"2021-01-02T03:04:05Z", KindTime},
+		{"galaxy s21", KindString},
+		{"NaN", KindString}, // NaN must not become a number
+	}
+	for _, c := range cases {
+		if got := Parse(c.in).Kind; got != c.kind {
+			t.Errorf("Parse(%q).Kind = %v, want %v", c.in, got, c.kind)
+		}
+	}
+}
+
+func TestValueKeyDistinguishesKinds(t *testing.T) {
+	a, b := String("true"), Bool(true)
+	if a.Key() == b.Key() {
+		t.Error("string \"true\" and bool true must have distinct keys")
+	}
+	if String("1").Key() == Number(1).Key() {
+		t.Error("string \"1\" and number 1 must have distinct keys")
+	}
+}
+
+func TestCompareIsTotalOrder(t *testing.T) {
+	// Antisymmetry and consistency with Equal, property-checked over
+	// number values.
+	f := func(x, y float64) bool {
+		a, b := Number(x), Number(y)
+		if a.IsNull() || b.IsNull() { // NaN inputs
+			return true
+		}
+		c1, c2 := Compare(a, b), Compare(b, a)
+		if c1 != -c2 {
+			return false
+		}
+		return (c1 == 0) == a.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareOrdersKinds(t *testing.T) {
+	if Compare(Null(), String("a")) >= 0 {
+		t.Error("null must sort before strings")
+	}
+	if Compare(String("a"), String("b")) >= 0 {
+		t.Error("a < b")
+	}
+	if Compare(Time(time.Unix(1, 0)), Time(time.Unix(2, 0))) >= 0 {
+		t.Error("earlier time must sort first")
+	}
+	if Compare(Bool(false), Bool(true)) >= 0 {
+		t.Error("false < true")
+	}
+}

@@ -1,0 +1,216 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/data"
+)
+
+// ClaimConfig controls direct claim-set generation for fusion
+// experiments (E1, E2, E10, E11): a set of data items with known truth,
+// a population of independent sources with drawn accuracies, and an
+// optional population of copiers that replicate a target source's
+// claims — mistakes included.
+type ClaimConfig struct {
+	Seed      int64
+	NumItems  int
+	NumValues int // size of each item's value domain (>= 2); default 10
+
+	NumSources  int
+	MinAccuracy float64 // default 0.5
+	MaxAccuracy float64 // default 0.95
+	Coverage    float64 // per-source probability of claiming each item; default 0.8
+
+	// NumCopiers sources are appended that copy CopyRate of their claims
+	// from a designated independent source and answer independently
+	// otherwise (with accuracy drawn like any source).
+	NumCopiers int
+	CopyRate   float64 // default 0.9
+	// CopierSpread: number of distinct targets the copiers share.
+	// Default 1 (all copiers copy the same source — worst case for
+	// naive voting).
+	CopierSpread int
+	// CopierMinAccuracy/CopierMaxAccuracy bound the copiers' OWN
+	// accuracy on the claims they answer independently. Default: the
+	// general Min/MaxAccuracy range. Setting these apart from the
+	// independents creates the shared-vs-own accuracy discrepancy that
+	// copy-direction inference exploits.
+	CopierMinAccuracy float64
+	CopierMaxAccuracy float64
+
+	// NumDeceptive sources are appended that lie systematically: for
+	// DeceptionRate of the items they cover they claim a fixed wrong
+	// value (the same one every time — a deliberate misinformation
+	// campaign, the tutorial's "deceit" face of Veracity), answering
+	// truthfully otherwise. Their effective accuracy is far below
+	// random guessing, which accuracy-aware fusers can exploit by
+	// *inverting* their testimony.
+	NumDeceptive  int
+	DeceptionRate float64 // default 0.95
+}
+
+func (c *ClaimConfig) defaults() {
+	if c.NumItems <= 0 {
+		c.NumItems = 100
+	}
+	if c.NumValues < 2 {
+		c.NumValues = 10
+	}
+	if c.NumSources <= 0 {
+		c.NumSources = 10
+	}
+	if c.MinAccuracy <= 0 {
+		c.MinAccuracy = 0.5
+	}
+	if c.MaxAccuracy <= 0 {
+		c.MaxAccuracy = 0.95
+	}
+	if c.Coverage <= 0 {
+		c.Coverage = 0.8
+	}
+	if c.CopyRate <= 0 {
+		c.CopyRate = 0.9
+	}
+	if c.CopierSpread <= 0 {
+		c.CopierSpread = 1
+	}
+	if c.DeceptionRate <= 0 {
+		c.DeceptionRate = 0.95
+	}
+	if c.CopierMinAccuracy <= 0 {
+		c.CopierMinAccuracy = c.MinAccuracy
+	}
+	if c.CopierMaxAccuracy <= 0 {
+		c.CopierMaxAccuracy = c.MaxAccuracy
+	}
+}
+
+// ClaimWorld is a generated claim set plus its ground truth metadata.
+type ClaimWorld struct {
+	Claims *data.ClaimSet
+	// TrueAccuracy per source ID (independent and copier alike).
+	TrueAccuracy map[string]float64
+	// CopiesFrom maps copier source ID → target source ID.
+	CopiesFrom map[string]string
+	Items      []data.Item
+}
+
+// BuildClaims generates the claim world.
+func BuildClaims(cfg ClaimConfig) *ClaimWorld {
+	cfg.defaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	cw := &ClaimWorld{
+		Claims:       data.NewClaimSet(),
+		TrueAccuracy: map[string]float64{},
+		CopiesFrom:   map[string]string{},
+	}
+
+	// Items with truth at value index 0; wrong values are indices 1..n-1.
+	type itemSpec struct {
+		item  data.Item
+		truth data.Value
+		wrong []data.Value
+	}
+	items := make([]itemSpec, cfg.NumItems)
+	for i := range items {
+		it := data.Item{Entity: fmt.Sprintf("e%04d", i), Attr: "value"}
+		truth := data.String(fmt.Sprintf("v%d-0", i))
+		wrong := make([]data.Value, cfg.NumValues-1)
+		for j := range wrong {
+			wrong[j] = data.String(fmt.Sprintf("v%d-%d", i, j+1))
+		}
+		items[i] = itemSpec{item: it, truth: truth, wrong: wrong}
+		cw.Claims.SetTruth(it, truth)
+		cw.Items = append(cw.Items, it)
+	}
+
+	// Independent sources.
+	independent := make([]string, cfg.NumSources)
+	claimsBySrc := map[string]map[data.Item]data.Value{}
+	for s := 0; s < cfg.NumSources; s++ {
+		id := fmt.Sprintf("src-%03d", s)
+		independent[s] = id
+		acc := cfg.MinAccuracy + r.Float64()*(cfg.MaxAccuracy-cfg.MinAccuracy)
+		cw.TrueAccuracy[id] = acc
+		claimsBySrc[id] = map[data.Item]data.Value{}
+		for _, spec := range items {
+			if r.Float64() >= cfg.Coverage {
+				continue
+			}
+			v := spec.truth
+			if r.Float64() >= acc {
+				v = spec.wrong[r.Intn(len(spec.wrong))]
+			}
+			claimsBySrc[id][spec.item] = v
+		}
+	}
+
+	// Copiers: replicate a target's claim with probability CopyRate,
+	// else answer independently.
+	targets := make([]string, cfg.CopierSpread)
+	for i := range targets {
+		targets[i] = independent[r.Intn(len(independent))]
+	}
+	for c := 0; c < cfg.NumCopiers; c++ {
+		id := fmt.Sprintf("cop-%03d", c)
+		target := targets[c%len(targets)]
+		cw.CopiesFrom[id] = target
+		acc := cfg.CopierMinAccuracy + r.Float64()*(cfg.CopierMaxAccuracy-cfg.CopierMinAccuracy)
+		cw.TrueAccuracy[id] = acc
+		claimsBySrc[id] = map[data.Item]data.Value{}
+		for _, spec := range items {
+			tv, covered := claimsBySrc[target][spec.item]
+			if covered && r.Float64() < cfg.CopyRate {
+				claimsBySrc[id][spec.item] = tv
+				continue
+			}
+			if r.Float64() >= cfg.Coverage {
+				continue
+			}
+			v := spec.truth
+			if r.Float64() >= acc {
+				v = spec.wrong[r.Intn(len(spec.wrong))]
+			}
+			claimsBySrc[id][spec.item] = v
+		}
+	}
+
+	// Deceptive sources: pick one fixed wrong value per item and push it
+	// relentlessly.
+	for dcp := 0; dcp < cfg.NumDeceptive; dcp++ {
+		id := fmt.Sprintf("lie-%03d", dcp)
+		cw.TrueAccuracy[id] = 1 - cfg.DeceptionRate // truthful remainder
+		claimsBySrc[id] = map[data.Item]data.Value{}
+		for _, spec := range items {
+			if r.Float64() >= cfg.Coverage {
+				continue
+			}
+			if r.Float64() < cfg.DeceptionRate {
+				// The campaign's fixed falsehood for this item: all
+				// deceptive sources push the same one (a coordinated
+				// misinformation campaign).
+				claimsBySrc[id][spec.item] = spec.wrong[0]
+			} else {
+				claimsBySrc[id][spec.item] = spec.truth
+			}
+		}
+	}
+
+	// Emit claims in deterministic order: sources sorted, items in
+	// generation order.
+	srcIDs := make([]string, 0, len(claimsBySrc))
+	for id := range claimsBySrc {
+		srcIDs = append(srcIDs, id)
+	}
+	sort.Strings(srcIDs)
+	for _, id := range srcIDs {
+		for _, spec := range items {
+			if v, ok := claimsBySrc[id][spec.item]; ok {
+				cw.Claims.Add(data.Claim{Item: spec.item, Source: id, Value: v})
+			}
+		}
+	}
+	return cw
+}

@@ -1,0 +1,225 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/data"
+	"repro/internal/tokenize"
+)
+
+// Dirt controls record-level perturbation, modelling extraction noise
+// and source formatting idiosyncrasies (the Variety dimension at the
+// instance level).
+type Dirt struct {
+	TypoRate     float64 // per-string probability of one character typo
+	TokenDrop    float64 // probability of dropping one token from titles
+	TokenSwap    float64 // probability of swapping two adjacent tokens
+	AbbrevRate   float64 // probability of abbreviating a token
+	MissingRate  float64 // per-field probability of omitting the value
+	NumberJitter float64 // relative jitter applied to numeric values
+	CaseNoise    float64 // probability of random casing on strings
+}
+
+// DirtLevel returns a preset: 0 = clean, 1 = light, 2 = moderate,
+// 3 = heavy. Levels beyond 3 are clamped.
+func DirtLevel(level int) Dirt {
+	switch {
+	case level <= 0:
+		return Dirt{}
+	case level == 1:
+		return Dirt{TypoRate: 0.05, TokenDrop: 0.05, TokenSwap: 0.05,
+			AbbrevRate: 0.05, MissingRate: 0.05, NumberJitter: 0.01, CaseNoise: 0.2}
+	case level == 2:
+		return Dirt{TypoRate: 0.15, TokenDrop: 0.12, TokenSwap: 0.10,
+			AbbrevRate: 0.12, MissingRate: 0.15, NumberJitter: 0.03, CaseNoise: 0.4}
+	default:
+		return Dirt{TypoRate: 0.30, TokenDrop: 0.25, TokenSwap: 0.20,
+			AbbrevRate: 0.25, MissingRate: 0.30, NumberJitter: 0.08, CaseNoise: 0.6}
+	}
+}
+
+const typoAlphabet = "abcdefghijklmnopqrstuvwxyz"
+
+// typo applies one random character edit (substitute, delete, insert,
+// transpose) to s.
+func typo(r *rand.Rand, s string) string {
+	runes := []rune(s)
+	if len(runes) == 0 {
+		return s
+	}
+	i := r.Intn(len(runes))
+	switch r.Intn(4) {
+	case 0: // substitute
+		runes[i] = rune(typoAlphabet[r.Intn(len(typoAlphabet))])
+	case 1: // delete
+		runes = append(runes[:i], runes[i+1:]...)
+	case 2: // insert
+		c := rune(typoAlphabet[r.Intn(len(typoAlphabet))])
+		runes = append(runes[:i], append([]rune{c}, runes[i:]...)...)
+	default: // transpose
+		if i+1 < len(runes) {
+			runes[i], runes[i+1] = runes[i+1], runes[i]
+		}
+	}
+	return string(runes)
+}
+
+// PerturbString applies the Dirt's string noise to s.
+func (d Dirt) PerturbString(r *rand.Rand, s string) string {
+	tokens := tokenize.Words(s)
+	if len(tokens) == 0 {
+		return s
+	}
+	if len(tokens) > 1 && r.Float64() < d.TokenDrop {
+		i := r.Intn(len(tokens))
+		tokens = append(tokens[:i], tokens[i+1:]...)
+	}
+	if len(tokens) > 1 && r.Float64() < d.TokenSwap {
+		i := r.Intn(len(tokens) - 1)
+		tokens[i], tokens[i+1] = tokens[i+1], tokens[i]
+	}
+	for i, tok := range tokens {
+		if len(tok) > 3 && r.Float64() < d.AbbrevRate {
+			tokens[i] = tok[:3] // crude abbreviation: prefix truncation
+			continue
+		}
+		if r.Float64() < d.TypoRate {
+			tokens[i] = typo(r, tok)
+		}
+	}
+	out := strings.Join(tokens, " ")
+	if r.Float64() < d.CaseNoise {
+		out = strings.ToUpper(out[:1]) + out[1:]
+	}
+	return out
+}
+
+// PerturbValue applies kind-appropriate noise: strings get PerturbString,
+// numbers get relative jitter, other kinds pass through.
+func (d Dirt) PerturbValue(r *rand.Rand, v data.Value) data.Value {
+	switch v.Kind {
+	case data.KindString:
+		return data.String(d.PerturbString(r, v.Str))
+	case data.KindNumber:
+		if d.NumberJitter > 0 && r.Float64() < 0.5 {
+			jit := 1 + (r.Float64()*2-1)*d.NumberJitter
+			return data.Number(roundTo(v.Num*jit, 2))
+		}
+		return v
+	default:
+		return v
+	}
+}
+
+func roundTo(x float64, digits int) float64 {
+	p := 1.0
+	for i := 0; i < digits; i++ {
+		p *= 10
+	}
+	return float64(int64(x*p+0.5)) / p
+}
+
+// SchemaDialect renames canonical attributes and rescales numeric units
+// — the Variety dimension at the schema level. Each source gets its own
+// dialect.
+type SchemaDialect struct {
+	// Rename maps canonical attribute name → source-local name.
+	Rename map[string]string
+	// UnitScale maps canonical attribute name → multiplicative factor
+	// applied to numeric values (e.g. grams → ounces).
+	UnitScale map[string]float64
+}
+
+// attrSynonyms provides per-suffix local-name pools for dialects.
+var attrSynonyms = map[string][]string{
+	"brand":           {"brand", "manufacturer", "maker", "brand name", "mfr"},
+	"color":           {"color", "colour", "finish", "shade"},
+	"weight_g":        {"weight", "item weight", "wt", "weight grams", "net weight"},
+	"price_usd":       {"price", "list price", "cost", "msrp", "price usd"},
+	"material":        {"material", "build material", "construction", "body material"},
+	"warranty_months": {"warranty", "warranty period", "guarantee", "warranty months"},
+	"width_cm":        {"width", "item width", "w", "width cm"},
+	"battery_mah":     {"battery", "battery capacity", "batt mah", "battery size"},
+	"wireless":        {"wireless", "wifi", "cordless", "is wireless"},
+	"screen_in":       {"screen size", "display", "screen", "display size"},
+}
+
+// unitScales lists plausible per-suffix unit conversions a source might
+// adopt (value 1 means canonical units).
+var unitScales = map[string][]float64{
+	"weight_g":  {1, 1, 0.001 /*kg*/, 0.03527 /*oz*/},
+	"width_cm":  {1, 1, 0.3937 /*in*/, 10 /*mm*/},
+	"screen_in": {1, 1, 2.54 /*cm*/},
+}
+
+// NewSchemaDialect draws a dialect for the given canonical attributes.
+// heterogeneity in [0,1] controls how often a non-canonical local name
+// or unit is chosen.
+func NewSchemaDialect(r *rand.Rand, attrs []string, heterogeneity float64) SchemaDialect {
+	d := SchemaDialect{Rename: map[string]string{}, UnitScale: map[string]float64{}}
+	for _, a := range attrs {
+		suffix := a
+		if i := strings.Index(a, "_"); i >= 0 {
+			suffix = a[i+1:]
+		}
+		pool := attrSynonyms[suffix]
+		if len(pool) == 0 || r.Float64() >= heterogeneity {
+			d.Rename[a] = a
+		} else {
+			d.Rename[a] = pool[r.Intn(len(pool))]
+		}
+		if scales := unitScales[suffix]; len(scales) > 0 && r.Float64() < heterogeneity {
+			d.UnitScale[a] = scales[r.Intn(len(scales))]
+		} else {
+			d.UnitScale[a] = 1
+		}
+	}
+	return d
+}
+
+// Apply maps a canonical (attr, value) through the dialect, returning
+// the source-local attribute name and value.
+func (d SchemaDialect) Apply(attr string, v data.Value) (string, data.Value) {
+	name, ok := d.Rename[attr]
+	if !ok {
+		name = attr
+	}
+	if v.Kind == data.KindNumber {
+		if s := d.UnitScale[attr]; s != 0 && s != 1 {
+			v = data.Number(roundTo(v.Num*s, 3))
+		}
+	}
+	return name, v
+}
+
+// wrongValueFor draws a plausible-but-wrong value of the same kind as
+// the truth, distinct from it. domain supplies alternative true values
+// observed for the attribute (other entities' values), making errors
+// realistic confusions rather than random noise.
+func wrongValueFor(r *rand.Rand, truth data.Value, domain []data.Value) data.Value {
+	for attempt := 0; attempt < 8; attempt++ {
+		if len(domain) > 0 {
+			cand := domain[r.Intn(len(domain))]
+			if !cand.Equal(truth) && !cand.IsNull() {
+				return cand
+			}
+		}
+	}
+	// Fabricate when the domain is degenerate.
+	switch truth.Kind {
+	case data.KindNumber:
+		delta := 1 + float64(r.Intn(9))
+		if r.Intn(2) == 0 {
+			delta = -delta
+		}
+		return data.Number(truth.Num + delta)
+	case data.KindBool:
+		return data.Bool(!truth.Bool)
+	case data.KindString:
+		return data.String(truth.Str + fmt.Sprintf(" %c", 'a'+rune(r.Intn(26))))
+	default:
+		return data.String("unknown")
+	}
+}

@@ -1,0 +1,166 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/data"
+)
+
+// TemporalConfig controls the velocity substrate: a sequence of epoch
+// snapshots in which entities evolve (attribute drift), sources churn
+// (pages appear and disappear) and new records arrive — the workload
+// for incremental linkage (E7) and temporal linkage (E12).
+type TemporalConfig struct {
+	Seed   int64
+	Epochs int // number of snapshots; default 5
+
+	// DriftRate: per-epoch probability that an evolving entity changes
+	// one attribute value (e.g. a price update or a person moving
+	// affiliation). Default 0.3.
+	DriftRate float64
+	// EvolvingFraction of entities are subject to drift; the rest are
+	// stable. Default 0.5.
+	EvolvingFraction float64
+	// ChurnRate: per-epoch probability that a given source/entity page
+	// disappears, and equal probability mass of fresh appearances.
+	// Default 0.1.
+	ChurnRate float64
+}
+
+func (c *TemporalConfig) defaults() {
+	if c.Epochs <= 0 {
+		c.Epochs = 5
+	}
+	if c.DriftRate <= 0 {
+		c.DriftRate = 0.3
+	}
+	if c.EvolvingFraction <= 0 {
+		c.EvolvingFraction = 0.5
+	}
+	if c.ChurnRate <= 0 {
+		c.ChurnRate = 0.1
+	}
+}
+
+// Snapshot is one epoch's view of the web: the records visible at that
+// epoch. Records carry an "epoch" numeric field.
+type Snapshot struct {
+	Epoch   int
+	Dataset *data.Dataset
+}
+
+// TemporalWorld is an evolving world: per-epoch snapshots plus the
+// drift log for evaluation.
+type TemporalWorld struct {
+	Snapshots []Snapshot
+	// Evolving lists the entity IDs subject to drift.
+	Evolving map[string]bool
+}
+
+// BuildTemporal evolves a generated web over cfg.Epochs epochs. Each
+// snapshot is an independent Dataset (records get epoch-suffixed IDs);
+// evolving entities change drifting attribute values between epochs, so
+// late-epoch records of an evolving entity disagree with early ones.
+func BuildTemporal(w *World, scfg SourceConfig, cfg TemporalConfig) *TemporalWorld {
+	cfg.defaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	tw := &TemporalWorld{Evolving: map[string]bool{}}
+
+	for i, e := range w.Entities {
+		// Deterministic choice independent of map order.
+		if float64(i%100)/100 < cfg.EvolvingFraction {
+			tw.Evolving[e.ID] = true
+		}
+	}
+
+	// The evolving state: a deep copy of entity values that drifts.
+	state := map[string]map[string]data.Value{}
+	for _, e := range w.Entities {
+		vals := make(map[string]data.Value, len(e.Values))
+		for a, v := range e.Values {
+			vals[a] = v
+		}
+		state[e.ID] = vals
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if epoch > 0 {
+			driftEntities(r, w, state, tw.Evolving, cfg.DriftRate)
+		}
+		// Install the drifted values into a cloned world and re-emit.
+		wc := *w
+		wc.Entities = make([]*Entity, len(w.Entities))
+		for i, e := range w.Entities {
+			ec := *e
+			ec.Values = state[e.ID]
+			wc.Entities[i] = &ec
+		}
+		ecfg := scfg
+		ecfg.Seed = scfg.Seed + int64(epoch)*7919 // stable per-epoch churn
+		web := BuildWeb(&wc, ecfg)
+		snap := Snapshot{Epoch: epoch, Dataset: data.NewDataset()}
+		for _, s := range web.Dataset.Sources() {
+			if err := snap.Dataset.AddSource(s); err != nil {
+				panic(err)
+			}
+		}
+		for _, rec := range web.Dataset.Records() {
+			rc := rec.Clone()
+			rc.ID = fmt.Sprintf("%s-t%d", rec.ID, epoch)
+			rc.Set("epoch", data.Number(float64(epoch)))
+			if err := snap.Dataset.AddRecord(rc); err != nil {
+				panic(err)
+			}
+		}
+		tw.Snapshots = append(tw.Snapshots, snap)
+	}
+	return tw
+}
+
+// driftEntities mutates one random drifting attribute of each evolving
+// entity with probability driftRate.
+func driftEntities(r *rand.Rand, w *World, state map[string]map[string]data.Value,
+	evolving map[string]bool, driftRate float64) {
+	// Domains for realistic drifted values.
+	domains := map[string][]data.Value{}
+	for _, e := range w.Entities {
+		for a, v := range e.Values {
+			domains[a] = append(domains[a], v)
+		}
+	}
+	for _, e := range w.Entities {
+		if !evolving[e.ID] || r.Float64() >= driftRate {
+			continue
+		}
+		vals := state[e.ID]
+		attrs := make([]string, 0, len(vals))
+		for a := range vals {
+			attrs = append(attrs, a)
+		}
+		sort.Strings(attrs)
+		if len(attrs) == 0 {
+			continue
+		}
+		a := attrs[r.Intn(len(attrs))]
+		vals[a] = wrongValueFor(r, vals[a], domains[a]) // "wrong" = new distinct value
+	}
+}
+
+// Union merges every snapshot into one dataset (records keep their
+// epoch-suffixed IDs), the input for temporal linkage.
+func (tw *TemporalWorld) Union() *data.Dataset {
+	out := data.NewDataset()
+	for _, snap := range tw.Snapshots {
+		for _, s := range snap.Dataset.Sources() {
+			_ = out.AddSource(s) // same sources across epochs
+		}
+		for _, rec := range snap.Dataset.Records() {
+			if err := out.AddRecord(rec); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return out
+}

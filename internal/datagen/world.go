@@ -1,0 +1,160 @@
+// Package datagen generates the synthetic "web of sources" that stands
+// in for the proprietary web corpora used by the works the Big Data
+// Integration tutorial surveys. A generated world has a ground-truth
+// entity universe (products with typed attributes, Zipf popularity),
+// a population of sources (head and tail, with per-source accuracy,
+// coverage, schema dialect, format dialect and optional copying), and
+// emits datasets, claim sets and temporal snapshot sequences. All
+// randomness flows from an explicit seed, so every experiment is
+// reproducible bit-for-bit.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/data"
+)
+
+// Entity is a ground-truth real-world entity: a product with a stable
+// identifier, a category, a display name and canonical attribute values.
+type Entity struct {
+	ID         string
+	Category   string
+	Name       string // canonical display title
+	Identifier string // manufacturer-style product id (UPC-like)
+	Values     map[string]data.Value
+	Popularity float64 // Zipf weight; higher = appears in more sources
+}
+
+// World is a generated entity universe plus its attribute schema.
+type World struct {
+	Entities   []*Entity
+	Categories []string
+	// Attrs maps category → canonical attribute names.
+	Attrs map[string][]string
+}
+
+// WorldConfig controls universe generation.
+type WorldConfig struct {
+	Seed         int64
+	NumEntities  int
+	Categories   []string // default: camera, phone, tv
+	AttrsPerCat  int      // canonical attributes per category (default 6)
+	ZipfExponent float64  // popularity skew (default 1.0)
+}
+
+func (c *WorldConfig) defaults() {
+	if len(c.Categories) == 0 {
+		c.Categories = []string{"camera", "phone", "tv"}
+	}
+	if c.AttrsPerCat <= 0 {
+		c.AttrsPerCat = 6
+	}
+	if c.ZipfExponent <= 0 {
+		c.ZipfExponent = 1.0
+	}
+	if c.NumEntities <= 0 {
+		c.NumEntities = 100
+	}
+}
+
+var (
+	brandVocab = []string{"acme", "zenix", "orion", "nova", "kestrel", "atlas",
+		"lumen", "vertex", "solaris", "quanta", "helio", "boreal"}
+	seriesVocab = []string{"pro", "max", "ultra", "lite", "plus", "neo",
+		"prime", "air", "mini", "core"}
+	colorVocab    = []string{"black", "white", "silver", "red", "blue", "gray"}
+	materialVocab = []string{"aluminum", "plastic", "steel", "glass", "carbon"}
+)
+
+// attrSpec describes how one canonical attribute draws its values.
+type attrSpec struct {
+	name string
+	gen  func(r *rand.Rand) data.Value
+}
+
+// categoryAttrs builds the attribute specs for a category. The first
+// AttrsPerCat specs are used; the list mixes categorical strings and
+// numeric measures so every value kind is exercised downstream.
+func categoryAttrs(cat string, n int, r *rand.Rand) []attrSpec {
+	specs := []attrSpec{
+		{"brand", func(r *rand.Rand) data.Value { return data.String(brandVocab[r.Intn(len(brandVocab))]) }},
+		{"color", func(r *rand.Rand) data.Value { return data.String(colorVocab[r.Intn(len(colorVocab))]) }},
+		{"weight_g", func(r *rand.Rand) data.Value { return data.Number(float64(100 + r.Intn(3000))) }},
+		{"price_usd", func(r *rand.Rand) data.Value { return data.Number(float64(50 + r.Intn(2000))) }},
+		{"material", func(r *rand.Rand) data.Value { return data.String(materialVocab[r.Intn(len(materialVocab))]) }},
+		{"warranty_months", func(r *rand.Rand) data.Value { return data.Number(float64((1 + r.Intn(4)) * 12)) }},
+		{"width_cm", func(r *rand.Rand) data.Value {
+			return data.Number(math.Round(float64(5+r.Intn(120)) + r.Float64()*0.9))
+		}},
+		{"battery_mah", func(r *rand.Rand) data.Value { return data.Number(float64(1000 + 500*r.Intn(9))) }},
+		{"wireless", func(r *rand.Rand) data.Value { return data.Bool(r.Intn(2) == 0) }},
+		{"screen_in", func(r *rand.Rand) data.Value { return data.Number(float64(4 + r.Intn(60))) }},
+	}
+	// Prefix attribute names with the category so that categories have
+	// disjoint canonical schemas, like real vertical domains do.
+	out := make([]attrSpec, 0, n)
+	for i := 0; i < n && i < len(specs); i++ {
+		s := specs[i]
+		out = append(out, attrSpec{name: cat + "_" + s.name, gen: s.gen})
+	}
+	return out
+}
+
+// NewWorld generates an entity universe from the config.
+func NewWorld(cfg WorldConfig) *World {
+	cfg.defaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	w := &World{
+		Categories: append([]string(nil), cfg.Categories...),
+		Attrs:      map[string][]string{},
+	}
+	specsByCat := map[string][]attrSpec{}
+	for _, cat := range w.Categories {
+		specs := categoryAttrs(cat, cfg.AttrsPerCat, r)
+		specsByCat[cat] = specs
+		names := make([]string, len(specs))
+		for i, s := range specs {
+			names[i] = s.name
+		}
+		w.Attrs[cat] = names
+	}
+	for i := 0; i < cfg.NumEntities; i++ {
+		cat := w.Categories[i%len(w.Categories)]
+		e := &Entity{
+			ID:       fmt.Sprintf("ent-%04d", i),
+			Category: cat,
+			Values:   map[string]data.Value{},
+			// rank-based Zipf popularity
+			Popularity: 1 / math.Pow(float64(i/len(w.Categories)+1), cfg.ZipfExponent),
+		}
+		brand := brandVocab[r.Intn(len(brandVocab))]
+		series := seriesVocab[r.Intn(len(seriesVocab))]
+		model := 100 + r.Intn(900)
+		e.Name = fmt.Sprintf("%s %s %s %d", brand, cat, series, model)
+		e.Identifier = fmt.Sprintf("%s-%s%d-%04d", strings.ToUpper(brand[:3]), strings.ToUpper(series[:2]), model, r.Intn(10000))
+		for _, s := range specsByCat[cat] {
+			e.Values[s.name] = s.gen(r)
+		}
+		// Brand attribute should agree with the name for realism.
+		if _, ok := e.Values[cat+"_brand"]; ok {
+			e.Values[cat+"_brand"] = data.String(brand)
+		}
+		w.Entities = append(w.Entities, e)
+	}
+	return w
+}
+
+// EntitiesByCategory returns the entities of one category in ID order.
+func (w *World) EntitiesByCategory(cat string) []*Entity {
+	var out []*Entity
+	for _, e := range w.Entities {
+		if e.Category == cat {
+			out = append(out, e)
+		}
+	}
+	return out
+}

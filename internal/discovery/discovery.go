@@ -1,0 +1,306 @@
+// Package discovery implements the source-discovery stage that feeds
+// the integration pipeline: starting from a handful of seed sources,
+// exploit the "redundancy as a friend" observation — head products
+// appear in many sources, and sources expose product identifiers for
+// search engines — to iteratively find tail sources by searching for
+// known identifiers and admitting sites that share enough of them. The
+// web itself is simulated (a SimWeb of product sites and noise sites
+// with a keyword index), standing in for live search-engine access.
+package discovery
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/datagen"
+)
+
+// Site is one website in the simulated web: product sites host product
+// pages (records); noise sites merely mention identifiers (forums,
+// spam, review aggregators) and are the precision hazard.
+type Site struct {
+	ID        string
+	IsProduct bool
+	// Pages are the product records the site hosts (product sites only).
+	Pages []*data.Record
+	// Mentions are the identifiers appearing anywhere on the site —
+	// hosted products for product sites, scraped chatter for noise.
+	Mentions []string
+}
+
+// SimWeb is the simulated web: sites plus an inverted identifier index
+// (the stand-in for a search engine).
+type SimWeb struct {
+	Sites map[string]*Site
+	index map[string][]string // identifier → site IDs, sorted
+}
+
+// Search returns the sites mentioning an identifier (sorted).
+func (sw *SimWeb) Search(identifier string) []string {
+	return sw.index[identifier]
+}
+
+// ProductSites lists the ground-truth product site IDs, sorted.
+func (sw *SimWeb) ProductSites() []string {
+	var out []string
+	for id, s := range sw.Sites {
+		if s.IsProduct {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SimWebConfig controls simulated-web construction around a generated
+// source web.
+type SimWebConfig struct {
+	Seed int64
+	// NumNoiseSites of identifier-mentioning non-product sites. Default
+	// equal to the number of product sites.
+	NumNoiseSites int
+	// NoiseMentions is how many (random, real) identifiers each noise
+	// site mentions. Default 3.
+	NoiseMentions int
+}
+
+// BuildSimWeb wraps each source of a generated web as a product site
+// and adds noise sites that mention random real identifiers.
+func BuildSimWeb(web *datagen.Web, cfg SimWebConfig) *SimWeb {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	numNoise := cfg.NumNoiseSites
+	if numNoise <= 0 {
+		numNoise = len(web.Sources)
+	}
+	mentions := cfg.NoiseMentions
+	if mentions <= 0 {
+		mentions = 3
+	}
+
+	sw := &SimWeb{Sites: map[string]*Site{}, index: map[string][]string{}}
+	var allIDs []string
+	for _, gs := range web.Sources {
+		site := &Site{ID: gs.ID, IsProduct: true}
+		for _, rec := range web.Dataset.SourceRecords(gs.ID) {
+			site.Pages = append(site.Pages, rec)
+			if v := rec.Get("pid"); !v.IsNull() {
+				site.Mentions = append(site.Mentions, v.Str)
+				allIDs = append(allIDs, v.Str)
+			}
+		}
+		sw.Sites[site.ID] = site
+	}
+	sort.Strings(allIDs)
+	allIDs = dedupeSorted(allIDs)
+	for i := 0; i < numNoise && len(allIDs) > 0; i++ {
+		site := &Site{ID: fmt.Sprintf("noise-%03d", i)}
+		for m := 0; m < mentions; m++ {
+			site.Mentions = append(site.Mentions, allIDs[r.Intn(len(allIDs))])
+		}
+		sw.Sites[site.ID] = site
+	}
+	// Build the inverted index.
+	for _, site := range sw.Sites {
+		seen := map[string]bool{}
+		for _, id := range site.Mentions {
+			if !seen[id] {
+				seen[id] = true
+				sw.index[id] = append(sw.index[id], site.ID)
+			}
+		}
+	}
+	for id := range sw.index {
+		sort.Strings(sw.index[id])
+	}
+	return sw
+}
+
+func dedupeSorted(s []string) []string {
+	out := s[:0]
+	for i, x := range s {
+		if i == 0 || x != s[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Crawler runs the iterative discovery loop.
+type Crawler struct {
+	Web *SimWeb
+	// MinSharedIDs a candidate site must mention, out of the known
+	// identifier pool, to be admitted as a product source. Default 2 —
+	// the redundancy filter that keeps noise sites out.
+	MinSharedIDs int
+	// SearchBudget caps how many known identifiers are searched per
+	// iteration (head identifiers first — the most redundant ones).
+	// Default 50.
+	SearchBudget int
+	// MaxIterations bounds the loop. Default 10.
+	MaxIterations int
+	// RequirePages additionally demands an admitted site host product
+	// pages (a crawl-time check). Default true via NewCrawler.
+	RequirePages bool
+}
+
+// NewCrawler returns a crawler with the standard settings.
+func NewCrawler(web *SimWeb) *Crawler {
+	return &Crawler{Web: web, MinSharedIDs: 2, SearchBudget: 50, MaxIterations: 10, RequirePages: true}
+}
+
+// IterStats records one discovery iteration.
+type IterStats struct {
+	Iteration      int
+	Discovered     []string // newly admitted sites this iteration
+	KnownIDs       int      // identifier pool size at iteration start
+	CumPrecision   float64  // product fraction of everything admitted so far
+	CumRecall      float64  // fraction of product sites found so far
+	SearchesIssued int
+}
+
+// Result is the outcome of a discovery run.
+type Result struct {
+	Admitted   []string // all admitted sites in admission order (incl. seeds)
+	Iterations []IterStats
+}
+
+// Run discovers sources starting from seed site IDs.
+func (c *Crawler) Run(seeds []string) (*Result, error) {
+	if c.Web == nil {
+		return nil, fmt.Errorf("discovery: crawler needs a web")
+	}
+	minShared := c.MinSharedIDs
+	if minShared <= 0 {
+		minShared = 2
+	}
+	budget := c.SearchBudget
+	if budget <= 0 {
+		budget = 50
+	}
+	maxIter := c.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 10
+	}
+
+	known := map[string]bool{}
+	res := &Result{}
+	for _, s := range seeds {
+		if c.Web.Sites[s] == nil {
+			return nil, fmt.Errorf("discovery: unknown seed site %q", s)
+		}
+		if !known[s] {
+			known[s] = true
+			res.Admitted = append(res.Admitted, s)
+		}
+	}
+
+	productTotal := len(c.Web.ProductSites())
+	searched := map[string]bool{}
+	for iter := 0; iter < maxIter; iter++ {
+		// Identifier pool: frequency-ranked over known sites' pages —
+		// head identifiers (present in many known sources) first.
+		freq := map[string]int{}
+		for s := range known {
+			site := c.Web.Sites[s]
+			seen := map[string]bool{}
+			for _, id := range site.Mentions {
+				if !seen[id] {
+					seen[id] = true
+					freq[id]++
+				}
+			}
+		}
+		ids := make([]string, 0, len(freq))
+		for id := range freq {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool {
+			if freq[ids[i]] != freq[ids[j]] {
+				return freq[ids[i]] > freq[ids[j]]
+			}
+			return ids[i] < ids[j]
+		})
+
+		st := IterStats{Iteration: iter, KnownIDs: len(ids)}
+		// Search head identifiers; score candidate sites by distinct
+		// known identifiers they mention.
+		candScore := map[string]map[string]bool{}
+		for _, id := range ids {
+			if st.SearchesIssued >= budget {
+				break
+			}
+			if searched[id] {
+				continue
+			}
+			searched[id] = true
+			st.SearchesIssued++
+			for _, siteID := range c.Web.Search(id) {
+				if known[siteID] {
+					continue
+				}
+				if candScore[siteID] == nil {
+					candScore[siteID] = map[string]bool{}
+				}
+				candScore[siteID][id] = true
+			}
+		}
+		// Admit candidates passing the redundancy filter.
+		cands := make([]string, 0, len(candScore))
+		for siteID := range candScore {
+			cands = append(cands, siteID)
+		}
+		sort.Strings(cands)
+		for _, siteID := range cands {
+			if len(candScore[siteID]) < minShared {
+				continue
+			}
+			if c.RequirePages && len(c.Web.Sites[siteID].Pages) == 0 {
+				continue
+			}
+			known[siteID] = true
+			res.Admitted = append(res.Admitted, siteID)
+			st.Discovered = append(st.Discovered, siteID)
+		}
+		// Cumulative quality.
+		product := 0
+		for _, s := range res.Admitted {
+			if c.Web.Sites[s].IsProduct {
+				product++
+			}
+		}
+		if len(res.Admitted) > 0 {
+			st.CumPrecision = float64(product) / float64(len(res.Admitted))
+		}
+		if productTotal > 0 {
+			st.CumRecall = float64(product) / float64(productTotal)
+		}
+		res.Iterations = append(res.Iterations, st)
+		if len(st.Discovered) == 0 {
+			break
+		}
+	}
+	return res, nil
+}
+
+// Dataset assembles the pages of every admitted product site into a
+// dataset ready for the integration pipeline — discovery's hand-off.
+func (c *Crawler) Dataset(res *Result) (*data.Dataset, error) {
+	d := data.NewDataset()
+	for _, siteID := range res.Admitted {
+		site := c.Web.Sites[siteID]
+		if site == nil || len(site.Pages) == 0 {
+			continue
+		}
+		if err := d.AddSource(&data.Source{ID: site.ID, Name: site.ID}); err != nil {
+			return nil, err
+		}
+		for _, rec := range site.Pages {
+			if err := d.AddRecord(rec.Clone()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return d, nil
+}

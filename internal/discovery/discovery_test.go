@@ -1,0 +1,142 @@
+package discovery
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// simWorld builds a web with many sources (head + tail) and a noisy
+// simulated search index.
+func simWorld(seed int64, sources, noise int) (*datagen.Web, *SimWeb) {
+	w := datagen.NewWorld(datagen.WorldConfig{Seed: seed, NumEntities: 80, Categories: []string{"camera"}})
+	web := datagen.BuildWeb(w, datagen.SourceConfig{
+		Seed: seed + 1, NumSources: sources, DirtLevel: 1,
+		IdentifierRate: 1.0, // discovery is about identifier redundancy
+		HeadFraction:   0.3, TailCoverage: 0.25,
+	})
+	sw := BuildSimWeb(web, SimWebConfig{Seed: seed + 2, NumNoiseSites: noise, NoiseMentions: 3})
+	return web, sw
+}
+
+func TestBuildSimWebStructure(t *testing.T) {
+	web, sw := simWorld(1, 10, 6)
+	if got := len(sw.ProductSites()); got != 10 {
+		t.Fatalf("product sites = %d", got)
+	}
+	if got := len(sw.Sites); got != 16 {
+		t.Fatalf("total sites = %d", got)
+	}
+	// Index answers: a known identifier resolves to at least its host.
+	var anyID string
+	for _, rec := range web.Dataset.Records() {
+		if v := rec.Get("pid"); !v.IsNull() {
+			anyID = v.Str
+			break
+		}
+	}
+	if anyID == "" {
+		t.Fatal("no identifiers in web")
+	}
+	if len(sw.Search(anyID)) == 0 {
+		t.Error("index must resolve hosted identifiers")
+	}
+	if len(sw.Search("no-such-id")) != 0 {
+		t.Error("unknown identifiers resolve to nothing")
+	}
+}
+
+func TestCrawlerDiscoversTailSources(t *testing.T) {
+	_, sw := simWorld(2, 14, 10)
+	c := NewCrawler(sw)
+	// Seed with one head source.
+	res, err := c.Run([]string{"src-000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iterations) == 0 {
+		t.Fatal("no iterations ran")
+	}
+	last := res.Iterations[len(res.Iterations)-1]
+	if last.CumRecall < 0.7 {
+		t.Errorf("discovery recall = %f, want >= 0.7", last.CumRecall)
+	}
+	if last.CumPrecision < 0.95 {
+		t.Errorf("discovery precision = %f, want >= 0.95 (noise filtered)", last.CumPrecision)
+	}
+	// Recall grows (weakly) over iterations.
+	for i := 1; i < len(res.Iterations); i++ {
+		if res.Iterations[i].CumRecall < res.Iterations[i-1].CumRecall {
+			t.Error("recall must be non-decreasing")
+		}
+	}
+}
+
+func TestCrawlerRedundancyFilterBlocksNoise(t *testing.T) {
+	_, sw := simWorld(3, 10, 20)
+	strict := NewCrawler(sw) // MinSharedIDs 2, RequirePages true
+	res, err := strict.Run([]string{"src-000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Admitted {
+		if !sw.Sites[s].IsProduct {
+			t.Errorf("noise site %s admitted by strict crawler", s)
+		}
+	}
+	// With the page check off AND threshold 1, noise can slip in —
+	// demonstrating why the redundancy filter matters.
+	loose := NewCrawler(sw)
+	loose.MinSharedIDs = 1
+	loose.RequirePages = false
+	res2, err := loose.Run([]string{"src-000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise := 0
+	for _, s := range res2.Admitted {
+		if !sw.Sites[s].IsProduct {
+			noise++
+		}
+	}
+	if noise == 0 {
+		t.Error("loose crawler should admit some noise (otherwise the filter is untested)")
+	}
+}
+
+func TestCrawlerValidation(t *testing.T) {
+	if _, err := (&Crawler{}).Run([]string{"x"}); err == nil {
+		t.Error("missing web must error")
+	}
+	_, sw := simWorld(4, 6, 2)
+	c := NewCrawler(sw)
+	if _, err := c.Run([]string{"ghost"}); err == nil {
+		t.Error("unknown seed must error")
+	}
+}
+
+func TestCrawlerDatasetHandoff(t *testing.T) {
+	_, sw := simWorld(5, 12, 8)
+	c := NewCrawler(sw)
+	res, err := c.Run([]string{"src-000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Dataset(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumSources() == 0 || d.NumRecords() == 0 {
+		t.Fatal("empty hand-off dataset")
+	}
+	// Every record belongs to an admitted product site.
+	admitted := map[string]bool{}
+	for _, s := range res.Admitted {
+		admitted[s] = true
+	}
+	for _, r := range d.Records() {
+		if !admitted[r.SourceID] {
+			t.Fatalf("record %s from un-admitted source %s", r.ID, r.SourceID)
+		}
+	}
+}

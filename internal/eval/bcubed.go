@@ -1,0 +1,65 @@
+package eval
+
+import "repro/internal/data"
+
+// BCubed computes the B-cubed precision/recall/F1 of a predicted
+// clustering against ground truth: per-record precision is the fraction
+// of its predicted cluster that truly co-refers with it; per-record
+// recall is the fraction of its true cluster it was placed with. The
+// macro-average over records is less dominated by large clusters than
+// pairwise P/R — the complementary standard metric for entity
+// resolution. Records present in only one clustering are ignored.
+func BCubed(predicted, truth data.Clustering) PRF {
+	pa, ta := predicted.Assignment(), truth.Assignment()
+	// Cluster membership indexes.
+	predMembers := membersByCluster(predicted)
+	truthMembers := membersByCluster(truth)
+
+	var pSum, rSum float64
+	n := 0
+	for id, pc := range pa {
+		tc, ok := ta[id]
+		if !ok {
+			continue
+		}
+		n++
+		// Precision: of the records predicted together with id, how
+		// many share its true cluster.
+		same := 0
+		for _, other := range predMembers[pc] {
+			if ta[other] == tc {
+				if _, known := ta[other]; known {
+					same++
+				}
+			}
+		}
+		pSum += float64(same) / float64(len(predMembers[pc]))
+		// Recall: of the records truly together with id, how many were
+		// predicted with it.
+		got := 0
+		for _, other := range truthMembers[tc] {
+			if pa[other] == pc {
+				if _, known := pa[other]; known {
+					got++
+				}
+			}
+		}
+		rSum += float64(got) / float64(len(truthMembers[tc]))
+	}
+	if n == 0 {
+		return PRF{}
+	}
+	m := PRF{Precision: pSum / float64(n), Recall: rSum / float64(n)}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}
+
+func membersByCluster(c data.Clustering) map[int][]string {
+	out := map[int][]string{}
+	for i, cl := range c {
+		out[i] = append([]string(nil), cl...)
+	}
+	return out
+}

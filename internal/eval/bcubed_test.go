@@ -1,0 +1,71 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func TestBCubedPerfect(t *testing.T) {
+	c := data.Clustering{{"a", "b"}, {"c"}}
+	m := BCubed(c, c)
+	if m.Precision != 1 || m.Recall != 1 || m.F1 != 1 {
+		t.Errorf("identical clusterings: %+v", m)
+	}
+}
+
+func TestBCubedSplit(t *testing.T) {
+	truth := data.Clustering{{"a", "b", "c", "d"}}
+	split := data.Clustering{{"a", "b"}, {"c", "d"}}
+	m := BCubed(split, truth)
+	if m.Precision != 1 {
+		t.Errorf("split precision = %f, want 1", m.Precision)
+	}
+	if math.Abs(m.Recall-0.5) > 1e-9 {
+		t.Errorf("split recall = %f, want 0.5", m.Recall)
+	}
+}
+
+func TestBCubedMerge(t *testing.T) {
+	truth := data.Clustering{{"a", "b"}, {"c", "d"}}
+	merged := data.Clustering{{"a", "b", "c", "d"}}
+	m := BCubed(merged, truth)
+	if m.Recall != 1 {
+		t.Errorf("merge recall = %f, want 1", m.Recall)
+	}
+	if math.Abs(m.Precision-0.5) > 1e-9 {
+		t.Errorf("merge precision = %f, want 0.5", m.Precision)
+	}
+}
+
+func TestBCubedLessDominatedByLargeClusters(t *testing.T) {
+	// One giant correct cluster and many split singleton-pairs: pairwise
+	// recall is dominated by the giant cluster's pairs; B-cubed averages
+	// per record, so the split pairs pull it down harder.
+	truth := data.Clustering{
+		{"g1", "g2", "g3", "g4", "g5", "g6", "g7", "g8", "g9", "g10"},
+		{"x1", "x2"}, {"y1", "y2"}, {"z1", "z2"},
+	}
+	pred := data.Clustering{
+		{"g1", "g2", "g3", "g4", "g5", "g6", "g7", "g8", "g9", "g10"},
+		{"x1"}, {"x2"}, {"y1"}, {"y2"}, {"z1"}, {"z2"},
+	}
+	pw := Clusters(pred, truth)
+	bc := BCubed(pred, truth)
+	if bc.Recall >= pw.Recall {
+		t.Errorf("b-cubed recall %f should be below pairwise %f here", bc.Recall, pw.Recall)
+	}
+}
+
+func TestBCubedIgnoresUnsharedRecords(t *testing.T) {
+	truth := data.Clustering{{"a", "b"}}
+	pred := data.Clustering{{"a", "b"}, {"only-in-pred"}}
+	m := BCubed(pred, truth)
+	if m.F1 != 1 {
+		t.Errorf("unshared record must be ignored: %+v", m)
+	}
+	if got := BCubed(data.Clustering{}, truth); got.F1 != 0 {
+		t.Errorf("no shared records: %+v", got)
+	}
+}

@@ -1,0 +1,127 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/data"
+)
+
+func TestNewPRF(t *testing.T) {
+	m := NewPRF(8, 2, 4)
+	if math.Abs(m.Precision-0.8) > 1e-9 {
+		t.Errorf("P = %f", m.Precision)
+	}
+	if math.Abs(m.Recall-8.0/12) > 1e-9 {
+		t.Errorf("R = %f", m.Recall)
+	}
+	want := 2 * 0.8 * (8.0 / 12) / (0.8 + 8.0/12)
+	if math.Abs(m.F1-want) > 1e-9 {
+		t.Errorf("F1 = %f, want %f", m.F1, want)
+	}
+	z := NewPRF(0, 0, 0)
+	if z.Precision != 0 || z.Recall != 0 || z.F1 != 0 {
+		t.Error("0/0 must define to 0")
+	}
+}
+
+func TestPRFBounds(t *testing.T) {
+	f := func(tp, fp, fn uint8) bool {
+		m := NewPRF(int(tp), int(fp), int(fn))
+		return m.Precision >= 0 && m.Precision <= 1 &&
+			m.Recall >= 0 && m.Recall <= 1 &&
+			m.F1 >= 0 && m.F1 <= 1 &&
+			m.F1 <= math.Max(m.Precision, m.Recall)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairs(t *testing.T) {
+	pred := []data.Pair{data.NewPair("a", "b"), data.NewPair("c", "d")}
+	truth := []data.Pair{data.NewPair("b", "a"), data.NewPair("e", "f")}
+	m := Pairs(pred, truth)
+	if m.TP != 1 || m.FP != 1 || m.FN != 1 {
+		t.Errorf("counts tp=%d fp=%d fn=%d", m.TP, m.FP, m.FN)
+	}
+}
+
+func TestClustersPerfect(t *testing.T) {
+	c := data.Clustering{{"a", "b", "c"}, {"d"}}
+	m := Clusters(c, c)
+	if m.F1 != 1 {
+		t.Errorf("identical clusterings F1 = %f", m.F1)
+	}
+}
+
+func TestClustersSplitMerge(t *testing.T) {
+	truth := data.Clustering{{"a", "b", "c", "d"}}
+	split := data.Clustering{{"a", "b"}, {"c", "d"}}
+	m := Clusters(split, truth)
+	// Split: perfect precision, partial recall (2 of 6 pairs).
+	if m.Precision != 1 {
+		t.Errorf("split precision = %f", m.Precision)
+	}
+	if math.Abs(m.Recall-2.0/6) > 1e-9 {
+		t.Errorf("split recall = %f", m.Recall)
+	}
+	merged := data.Clustering{{"a", "b", "x", "y"}}
+	m2 := Clusters(merged, data.Clustering{{"a", "b"}, {"x", "y"}})
+	if m2.Recall != 1 || m2.Precision >= 1 {
+		t.Errorf("merge P=%f R=%f", m2.Precision, m2.Recall)
+	}
+}
+
+func TestBlocking(t *testing.T) {
+	truth := []data.Pair{data.NewPair("a", "b"), data.NewPair("c", "d")}
+	cands := []data.Pair{data.NewPair("a", "b"), data.NewPair("a", "c")}
+	q := Blocking(cands, truth, 4) // 6 total pairs
+	if q.TotalPairs != 6 || q.Candidates != 2 {
+		t.Fatalf("totals wrong: %+v", q)
+	}
+	if math.Abs(q.ReductionRatio-4.0/6) > 1e-9 {
+		t.Errorf("RR = %f", q.ReductionRatio)
+	}
+	if math.Abs(q.PairCompleteness-0.5) > 1e-9 {
+		t.Errorf("PC = %f", q.PairCompleteness)
+	}
+	if math.Abs(q.PairQuality-0.5) > 1e-9 {
+		t.Errorf("PQ = %f", q.PairQuality)
+	}
+}
+
+func TestFusionAccuracy(t *testing.T) {
+	cs := data.NewClaimSet()
+	i1 := data.Item{Entity: "e1", Attr: "x"}
+	i2 := data.Item{Entity: "e2", Attr: "x"}
+	i3 := data.Item{Entity: "e3", Attr: "x"}
+	cs.SetTruth(i1, data.Number(1))
+	cs.SetTruth(i2, data.Number(2))
+	fused := map[data.Item]data.Value{
+		i1: data.Number(1),
+		i2: data.Number(99),
+		i3: data.Number(3), // no truth: skipped
+	}
+	acc, n := FusionAccuracy(fused, cs)
+	if n != 2 || math.Abs(acc-0.5) > 1e-9 {
+		t.Errorf("acc=%f n=%d", acc, n)
+	}
+}
+
+func TestVariationOfInformation(t *testing.T) {
+	a := data.Clustering{{"a", "b"}, {"c", "d"}}
+	if vi := VariationOfInformation(a, a); math.Abs(vi) > 1e-9 {
+		t.Errorf("identical VI = %f, want 0", vi)
+	}
+	b := data.Clustering{{"a", "c"}, {"b", "d"}}
+	if vi := VariationOfInformation(a, b); vi <= 0 {
+		t.Errorf("different clusterings VI = %f, want > 0", vi)
+	}
+	// VI is symmetric.
+	c := data.Clustering{{"a"}, {"b"}, {"c", "d"}}
+	if math.Abs(VariationOfInformation(a, c)-VariationOfInformation(c, a)) > 1e-9 {
+		t.Error("VI must be symmetric")
+	}
+}

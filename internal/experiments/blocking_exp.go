@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/blocking"
+	"repro/internal/data"
+	"repro/internal/datagen"
+	"repro/internal/eval"
+	"repro/internal/linkage"
+	"repro/internal/similarity"
+)
+
+// dirtyWeb builds the blocking/linkage workload: a single-category web
+// with duplicate-rich sources and configurable dirt.
+func dirtyWeb(seed int64, entities, sources, dirt int) *datagen.Web {
+	w := datagen.NewWorld(datagen.WorldConfig{
+		Seed: seed, NumEntities: entities, Categories: []string{"camera"},
+	})
+	return datagen.BuildWeb(w, datagen.SourceConfig{
+		Seed: seed + 1, NumSources: sources, DirtLevel: dirt,
+		IdentifierRate: 0.9, Heterogeneity: 0.3,
+		HeadFraction: 0.4, TailCoverage: 0.3,
+	})
+}
+
+// E3Result is the structured output of E3.
+type E3Result struct {
+	// Quality[method] holds the blocking quality metrics.
+	Quality map[string]eval.BlockingQuality
+	Methods []string
+}
+
+// E3 — blocking method trade-off: pair completeness vs reduction ratio
+// for the classic blocking family.
+func E3(seed int64) (*Table, *E3Result, error) {
+	web := dirtyWeb(seed, 80, 12, 2)
+	records := web.Dataset.Records()
+	truth := web.Dataset.GroundTruthClusters().Pairs()
+	n := len(records)
+
+	title := func(kf blocking.KeyFunc) blocking.Blocker {
+		return blocking.Standard{Key: kf, MaxBlock: 200}
+	}
+	methods := []struct {
+		name string
+		b    blocking.Blocker
+	}{
+		{"exact(title)", title(blocking.AttrExactKey("title"))},
+		{"prefix3(title)", title(blocking.AttrPrefixKey("title", 3))},
+		{"prefix5(title)", title(blocking.AttrPrefixKey("title", 5))},
+		{"token(title)", title(blocking.TokenKey("title"))},
+		{"qgram3(title)", title(blocking.QGramKey("title", 3))},
+		{"sn(w=3)", blocking.SortedNeighborhood{Keys: []blocking.KeyFunc{blocking.AttrExactKey("title")}, Window: 3}},
+		{"sn(w=5)", blocking.SortedNeighborhood{Keys: []blocking.KeyFunc{blocking.AttrExactKey("title")}, Window: 5}},
+		{"sn(w=9)", blocking.SortedNeighborhood{Keys: []blocking.KeyFunc{blocking.AttrExactKey("title")}, Window: 9}},
+	}
+	res := &E3Result{Quality: map[string]eval.BlockingQuality{}}
+	tab := &Table{
+		ID: "E3", Title: "blocking: reduction ratio vs pair completeness",
+		Columns: []string{"method", "candidates", "RR", "PC", "PQ"},
+	}
+	for _, m := range methods {
+		cands := m.b.Candidates(records)
+		q := eval.Blocking(cands, truth, n)
+		res.Quality[m.name] = q
+		res.Methods = append(res.Methods, m.name)
+		tab.Rows = append(tab.Rows, []string{
+			m.name, d1(q.Candidates), f4(q.ReductionRatio), f4(q.PairCompleteness), f4(q.PairQuality),
+		})
+	}
+	tab.Notes = "token/q-gram blocking trade RR for PC; wider SN windows raise PC and lower RR"
+	return tab, res, nil
+}
+
+// E4Result is the structured output of E4.
+type E4Result struct {
+	BaselineComparisons int
+	BaselinePC          float64
+	// Rows[scheme+prune] = (comparisons, PC).
+	Meta map[string]eval.BlockingQuality
+}
+
+// E4 — meta-blocking vs raw token blocking: comparisons cut at small
+// pair-completeness loss (shape of Papadakis et al.).
+func E4(seed int64) (*Table, *E4Result, error) {
+	web := dirtyWeb(seed, 80, 12, 2)
+	records := web.Dataset.Records()
+	truth := web.Dataset.GroundTruthClusters().Pairs()
+	n := len(records)
+
+	blocks := blocking.BuildBlocks(records, blocking.TokenKey("title"))
+	base := eval.Blocking(blocks.Pairs(), truth, n)
+	res := &E4Result{
+		BaselineComparisons: blocks.Comparisons(),
+		BaselinePC:          base.PairCompleteness,
+		Meta:                map[string]eval.BlockingQuality{},
+	}
+	tab := &Table{
+		ID: "E4", Title: "meta-blocking vs token blocking",
+		Columns: []string{"config", "candidates", "PC", "PQ"},
+	}
+	tab.Rows = append(tab.Rows, []string{
+		"token-blocking", d1(base.Candidates), f4(base.PairCompleteness), f4(base.PairQuality),
+	})
+	weights := map[string]blocking.WeightScheme{"cbs": blocking.CBS, "ecbs": blocking.ECBS, "js": blocking.JS}
+	prunes := map[string]blocking.PruneScheme{"wep": blocking.WEP, "cep": blocking.CEP, "wnp": blocking.WNP}
+	for _, wn := range []string{"cbs", "ecbs", "js"} {
+		for _, pn := range []string{"wep", "cep", "wnp"} {
+			mb := blocking.MetaBlocker{Weight: weights[wn], Prune: prunes[pn]}
+			q := eval.Blocking(mb.Candidates(blocks), truth, n)
+			key := wn + "+" + pn
+			res.Meta[key] = q
+			tab.Rows = append(tab.Rows, []string{key, d1(q.Candidates), f4(q.PairCompleteness), f4(q.PairQuality)})
+		}
+	}
+	tab.Notes = "meta-blocking should cut candidates sharply while keeping most pair completeness"
+	return tab, res, nil
+}
+
+// E5Result is the structured output of E5.
+type E5Result struct {
+	// F1[dirt][matcher] over dirt levels 1..3.
+	F1 map[int]map[string]float64
+}
+
+// E5 — matcher quality across dirtiness: identifier rule vs similarity
+// threshold vs unsupervised Fellegi-Sunter.
+func E5(seed int64) (*Table, *E5Result, error) {
+	res := &E5Result{F1: map[int]map[string]float64{}}
+	tab := &Table{
+		ID: "E5", Title: "matcher F1 across dirt levels",
+		Columns: []string{"dirt", "rule(id)", "threshold", "fellegi-sunter"},
+	}
+	for dirt := 1; dirt <= 3; dirt++ {
+		web := dirtyWeb(seed+int64(dirt)*37, 60, 10, dirt)
+		d := web.Dataset
+		records := d.Records()
+		truth := d.GroundTruthClusters().Pairs()
+		cands := blocking.Standard{Key: blocking.TokenKey("title"), MaxBlock: 200}.Candidates(records)
+		cands = append(cands, blocking.Standard{Key: blocking.AttrExactKey("pid")}.Candidates(records)...)
+
+		cmp := similarity.NewRecordComparator(
+			similarity.FieldWeight{Attr: "title", Weight: 2, Metric: similarity.Jaccard},
+			similarity.FieldWeight{Attr: "camera_brand", Weight: 1},
+			similarity.FieldWeight{Attr: "camera_color", Weight: 1},
+			similarity.FieldWeight{Attr: "camera_weight_g", Weight: 1},
+			similarity.FieldWeight{Attr: "camera_price_usd", Weight: 1},
+		)
+		fs := linkage.NewFellegiSunter(cmp)
+		fs.AgreeAt = 0.7
+		fs.Threshold = 0.8
+		if err := fs.Train(d, cands, 15); err != nil {
+			return nil, nil, err
+		}
+		matchers := []struct {
+			name string
+			m    linkage.Matcher
+		}{
+			{"rule(id)", linkage.RuleMatcher{Exact: []string{"pid"}}},
+			{"threshold", linkage.ThresholdMatcher{Comparator: cmp, Threshold: 0.65}},
+			{"fellegi-sunter", fs},
+		}
+		res.F1[dirt] = map[string]float64{}
+		row := []string{d1(dirt)}
+		for _, m := range matchers {
+			matched := linkage.MatchPairs(d, cands, m.m, 4)
+			var pred []data.Pair
+			for _, sp := range matched {
+				pred = append(pred, sp.Pair)
+			}
+			prf := eval.Pairs(pred, truth)
+			res.F1[dirt][m.name] = prf.F1
+			row = append(row, f3(prf.F1))
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	tab.Notes = "all matchers degrade with dirt; the identifier rule is most robust when ids are published"
+	return tab, res, nil
+}
+
+// E9Result is the structured output of E9.
+type E9Result struct {
+	Workers    []int
+	Throughput []float64 // matched pairs per second
+	Elapsed    []time.Duration
+}
+
+// E9 — scale-out: pairwise matching throughput vs worker count.
+func E9(seed int64) (*Table, *E9Result, error) {
+	web := dirtyWeb(seed, 300, 20, 1)
+	d := web.Dataset
+	records := d.Records()
+	cands := blocking.Standard{Key: blocking.TokenKey("title"), MaxBlock: 400}.Candidates(records)
+	m := linkage.ThresholdMatcher{
+		Comparator: similarity.UniformComparator(similarity.Jaccard, "title"),
+		Threshold:  0.6,
+	}
+	res := &E9Result{}
+	tab := &Table{
+		ID: "E9", Title: "matching throughput vs workers",
+		Columns: []string{"workers", "candidates", "elapsed", "pairs/sec"},
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		start := time.Now()
+		const reps = 5
+		for r := 0; r < reps; r++ {
+			linkage.MatchPairs(d, cands, m, w)
+		}
+		el := time.Since(start) / reps
+		tput := float64(len(cands)) / el.Seconds()
+		res.Workers = append(res.Workers, w)
+		res.Elapsed = append(res.Elapsed, el)
+		res.Throughput = append(res.Throughput, tput)
+		tab.Rows = append(tab.Rows, []string{d1(w), d1(len(cands)), el.String(), f3(tput)})
+	}
+	tab.Notes = "throughput should rise with workers until cores saturate"
+	return tab, res, nil
+}

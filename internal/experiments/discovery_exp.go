@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/discovery"
+	"repro/internal/eval"
+)
+
+// E21Result is the structured output of E21.
+type E21Result struct {
+	// Per-iteration cumulative recall/precision of the standard crawler.
+	Recall    []float64
+	Precision []float64
+	// LooseNoiseAdmitted counts noise sites the filterless crawler lets
+	// in (the ablation).
+	LooseNoiseAdmitted int
+	// HandoffLinkageF1 is the pipeline's linkage quality over the
+	// discovered dataset — discovery feeding integration end-to-end.
+	HandoffLinkageF1 float64
+}
+
+// E21 — source discovery by identifier redundancy: recall/precision of
+// the focused crawl per iteration, the redundancy-filter ablation, and
+// the hand-off of the discovered corpus into the integration pipeline.
+func E21(seed int64) (*Table, *E21Result, error) {
+	w := datagen.NewWorld(datagen.WorldConfig{Seed: seed, NumEntities: 80, Categories: []string{"camera"}})
+	web := datagen.BuildWeb(w, datagen.SourceConfig{
+		Seed: seed + 1, NumSources: 16, DirtLevel: 1,
+		IdentifierRate: 1.0, HeadFraction: 0.3, TailCoverage: 0.25,
+	})
+	sw := discovery.BuildSimWeb(web, discovery.SimWebConfig{Seed: seed + 2, NumNoiseSites: 16, NoiseMentions: 3})
+
+	c := discovery.NewCrawler(sw)
+	res := &E21Result{}
+	run, err := c.Run([]string{"src-000"})
+	if err != nil {
+		return nil, nil, err
+	}
+	tab := &Table{
+		ID: "E21", Title: "source discovery by identifier redundancy",
+		Columns: []string{"iteration", "new sites", "known ids", "cum precision", "cum recall"},
+	}
+	for _, st := range run.Iterations {
+		res.Recall = append(res.Recall, st.CumRecall)
+		res.Precision = append(res.Precision, st.CumPrecision)
+		tab.Rows = append(tab.Rows, []string{
+			d1(st.Iteration), d1(len(st.Discovered)), d1(st.KnownIDs),
+			f4(st.CumPrecision), f4(st.CumRecall),
+		})
+	}
+
+	// Ablation: no redundancy filter, no page check.
+	loose := discovery.NewCrawler(sw)
+	loose.MinSharedIDs = 1
+	loose.RequirePages = false
+	runLoose, err := loose.Run([]string{"src-000"})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, s := range runLoose.Admitted {
+		if !sw.Sites[s].IsProduct {
+			res.LooseNoiseAdmitted++
+		}
+	}
+
+	// Hand-off: integrate the discovered corpus.
+	d, err := c.Dataset(run)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := core.New(core.Config{}).Run(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.HandoffLinkageF1 = eval.Clusters(rep.Clusters, d.GroundTruthClusters()).F1
+	tab.Rows = append(tab.Rows,
+		[]string{"(ablation)", "no-filter noise admitted", d1(res.LooseNoiseAdmitted), "", ""},
+		[]string{"(hand-off)", "pipeline linkage F1", f4(res.HandoffLinkageF1), "", ""},
+	)
+	tab.Notes = "redundancy filtering keeps precision ~1 while recall climbs; the filterless ablation admits noise sites"
+	return tab, res, nil
+}

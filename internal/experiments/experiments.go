@@ -1,0 +1,192 @@
+// Package experiments implements the reproduction harness: one function
+// per experiment in DESIGN.md's index (E1–E14), each generating its
+// workload, running the systems under test and returning a printable
+// table plus structured results that the test suite asserts shape
+// properties on. cmd/bdibench and the root-level benchmarks are thin
+// wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/data"
+	"repro/internal/datagen"
+	"repro/internal/eval"
+	"repro/internal/fusion"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   string
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+func f4(x float64) string { return fmt.Sprintf("%.4f", x) }
+func d1(x int) string     { return fmt.Sprintf("%d", x) }
+
+// fuserAccuracy runs a fuser over a claim set and returns truth-sample
+// accuracy.
+func fuserAccuracy(f fusion.Fuser, cs *data.ClaimSet) (float64, error) {
+	res, err := f.Fuse(cs)
+	if err != nil {
+		return 0, err
+	}
+	acc, n := eval.FusionAccuracy(res.Values, cs)
+	if n == 0 {
+		return 0, fmt.Errorf("experiments: claim set has no truth sample")
+	}
+	return acc, nil
+}
+
+// standardFusers is the method line-up for fusion experiments.
+func standardFusers() []fusion.Fuser {
+	return []fusion.Fuser{
+		fusion.MajorityVote{},
+		fusion.TruthFinder{},
+		fusion.ACCU{},
+		fusion.ACCU{Popularity: true},
+		fusion.ACCUCOPY{},
+	}
+}
+
+// E1Result is the structured output of E1.
+type E1Result struct {
+	// Accuracy[copierFraction][fuserName] = truth-sample accuracy.
+	Accuracy map[float64]map[string]float64
+	Fracs    []float64
+}
+
+// E1 — fusion accuracy under copying: Vote vs TruthFinder vs ACCU vs
+// POPACCU vs ACCUCOPY as the copier population grows (shape of Dong et
+// al. VLDB'09).
+func E1(seed int64) (*Table, *E1Result, error) {
+	fracs := []float64{0, 0.25, 0.5, 0.75, 1.0} // copiers per independent source
+	res := &E1Result{Accuracy: map[float64]map[string]float64{}, Fracs: fracs}
+	const nIndep = 8
+	tab := &Table{
+		ID:      "E1",
+		Title:   "fusion accuracy vs copier population",
+		Columns: []string{"copiers/indep"},
+	}
+	for _, f := range standardFusers() {
+		tab.Columns = append(tab.Columns, f.Name())
+	}
+	for _, frac := range fracs {
+		cw := datagen.BuildClaims(datagen.ClaimConfig{
+			Seed: seed + int64(frac*100), NumItems: 200, NumValues: 8,
+			NumSources: nIndep, MinAccuracy: 0.55, MaxAccuracy: 0.9,
+			NumCopiers: int(frac * nIndep), CopyRate: 0.95, CopierSpread: 1,
+		})
+		row := []string{f3(frac)}
+		res.Accuracy[frac] = map[string]float64{}
+		for _, f := range standardFusers() {
+			acc, err := fuserAccuracy(f, cw.Claims)
+			if err != nil {
+				return nil, nil, err
+			}
+			res.Accuracy[frac][f.Name()] = acc
+			row = append(row, f3(acc))
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	tab.Notes = "copy-aware fusion should hold accuracy as copiers grow; naive voting should degrade"
+	return tab, res, nil
+}
+
+// E2Result is the structured output of E2.
+type E2Result struct {
+	Iteration []int
+	Accuracy  []float64
+	MAE       []float64 // source-accuracy mean absolute error per iter
+}
+
+// E2 — ACCU EM convergence: accuracy and source-accuracy error per
+// iteration.
+func E2(seed int64) (*Table, *E2Result, error) {
+	cw := datagen.BuildClaims(datagen.ClaimConfig{
+		Seed: seed, NumItems: 250, NumValues: 5,
+		NumSources: 12, MinAccuracy: 0.4, MaxAccuracy: 0.95,
+	})
+	trace, err := fusion.ACCU{}.FuseTrace(cw.Claims)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &E2Result{}
+	tab := &Table{
+		ID: "E2", Title: "ACCU convergence over EM iterations",
+		Columns: []string{"iter", "accuracy", "src-acc MAE"},
+	}
+	for i, step := range trace {
+		acc, _ := eval.FusionAccuracy(step.Values, cw.Claims)
+		var mae float64
+		n := 0
+		for s, trueAcc := range cw.TrueAccuracy {
+			if est, ok := step.SourceAccuracy[s]; ok {
+				mae += abs(est - trueAcc)
+				n++
+			}
+		}
+		if n > 0 {
+			mae /= float64(n)
+		}
+		res.Iteration = append(res.Iteration, i+1)
+		res.Accuracy = append(res.Accuracy, acc)
+		res.MAE = append(res.MAE, mae)
+		tab.Rows = append(tab.Rows, []string{d1(i + 1), f4(acc), f4(mae)})
+	}
+	tab.Notes = "accuracy should be non-decreasing and converge within ~10 iterations"
+	return tab, res, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,157 @@
+package extract
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/datagen"
+)
+
+// siteRecords produces clean records for one site of a generated web.
+func siteRecords(t *testing.T, seed int64) []*data.Record {
+	t.Helper()
+	w := datagen.NewWorld(datagen.WorldConfig{Seed: seed, NumEntities: 40, Categories: []string{"camera"}})
+	web := datagen.BuildWeb(w, datagen.SourceConfig{
+		Seed: seed + 1, NumSources: 2, DirtLevel: 0,
+		HeadFraction: 1, HeadCoverage: 0.9, Heterogeneity: -1,
+	})
+	recs := web.Dataset.SourceRecords("src-000")
+	if len(recs) < 10 {
+		t.Fatalf("only %d records", len(recs))
+	}
+	return recs
+}
+
+func TestRenderAndInduceRoundTrip(t *testing.T) {
+	recs := siteRecords(t, 41)
+	attrs := recs[0].Attrs()
+	tmpl := NewTemplate(7, attrs)
+	pages := make([]Page, len(recs))
+	for i, r := range recs {
+		pages[i] = tmpl.Render(r)
+	}
+	w, err := Induce(pages, tmpl.Sep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Fields) == 0 {
+		t.Fatal("no fields induced")
+	}
+	extracted := make([]*data.Record, len(pages))
+	for i, p := range pages {
+		extracted[i] = w.Extract(p, recs[i].ID, "src-000")
+	}
+	prec, rec := ExtractionQuality(tmpl, recs, extracted)
+	if prec < 0.95 {
+		t.Errorf("extraction precision = %f", prec)
+	}
+	if rec < 0.9 {
+		t.Errorf("extraction recall = %f", rec)
+	}
+	// Boilerplate never leaks into records.
+	for _, e := range extracted {
+		for _, a := range e.Attrs() {
+			if strings.Contains(a, "shipping") || strings.Contains(a, "copyright") {
+				t.Fatalf("boilerplate extracted as field %q", a)
+			}
+		}
+	}
+}
+
+func TestInduceNeedsPages(t *testing.T) {
+	if _, err := Induce(nil, ": "); err == nil {
+		t.Error("no pages must error")
+	}
+	if _, err := Induce([]Page{{Lines: []string{"x: 1"}}}, ": "); err == nil {
+		t.Error("one page must error")
+	}
+}
+
+func TestWrapperBreaksOnRedesignAndRecovers(t *testing.T) {
+	recs := siteRecords(t, 43)
+	attrs := recs[0].Attrs()
+	tmpl := NewTemplate(9, attrs)
+	oldPages := make([]Page, len(recs))
+	for i, r := range recs {
+		oldPages[i] = tmpl.Render(r)
+	}
+	w, err := Induce(oldPages, tmpl.Sep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The redesign renames 60% of labels.
+	redesigned := tmpl.Mutate(10, 0.6)
+	newPages := make([]Page, len(recs))
+	for i, r := range recs {
+		newPages[i] = redesigned.Render(r)
+	}
+	// Old wrapper on new pages: recall collapses on renamed labels.
+	extractedOld := make([]*data.Record, len(newPages))
+	for i, p := range newPages {
+		extractedOld[i] = w.Extract(p, recs[i].ID, "src-000")
+	}
+	_, recOld := ExtractionQuality(redesigned, recs, extractedOld)
+	if recOld > 0.7 {
+		t.Errorf("stale wrapper recall = %f; the redesign should break it", recOld)
+	}
+
+	// Re-induction restores extraction.
+	w2, err := Induce(newPages, redesigned.Sep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extractedNew := make([]*data.Record, len(newPages))
+	for i, p := range newPages {
+		extractedNew[i] = w2.Extract(p, recs[i].ID, "src-000")
+	}
+	precNew, recNew := ExtractionQuality(redesigned, recs, extractedNew)
+	if recNew < 0.9 || precNew < 0.95 {
+		t.Errorf("re-induced wrapper P=%f R=%f", precNew, recNew)
+	}
+	if recNew <= recOld {
+		t.Error("re-induction must recover recall")
+	}
+}
+
+func TestMutatePreservesAttrs(t *testing.T) {
+	tmpl := NewTemplate(1, []string{"a", "b", "c"})
+	mut := tmpl.Mutate(2, 1.0)
+	if len(mut.LabelOf) != 3 || len(mut.Order) != 3 {
+		t.Fatal("mutation lost attributes")
+	}
+	renamed := 0
+	for a, l := range mut.LabelOf {
+		if l != tmpl.LabelOf[a] {
+			renamed++
+		}
+	}
+	if renamed != 3 {
+		t.Errorf("renameFraction 1.0 renamed %d of 3", renamed)
+	}
+}
+
+func TestExtractParsesTypedValues(t *testing.T) {
+	rec := data.NewRecord("r", "s").
+		Set("price", data.Number(99.5)).
+		Set("wireless", data.Bool(true)).
+		Set("name", data.String("acme thing"))
+	rec2 := data.NewRecord("r2", "s").
+		Set("price", data.Number(120)).
+		Set("wireless", data.Bool(false)).
+		Set("name", data.String("zenix thing"))
+	tmpl := NewTemplate(3, []string{"price", "wireless", "name"})
+	pages := []Page{tmpl.Render(rec), tmpl.Render(rec2)}
+	w, err := Induce(pages, tmpl.Sep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := w.Extract(pages[0], "x", "s")
+	if got.Get(tmpl.LabelOf["price"]).Kind != data.KindNumber {
+		t.Error("price must extract as a number")
+	}
+	if got.Get(tmpl.LabelOf["wireless"]).Kind != data.KindBool {
+		t.Error("wireless must extract as a bool")
+	}
+}

@@ -1,0 +1,247 @@
+package fusion
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/data"
+)
+
+// ACCU is the Bayesian source-accuracy model (AccuVote): assuming each
+// item has one true value and N uniformly-likely false values, a source
+// with accuracy A contributes vote weight ln(N·A/(1−A)) to the values
+// it claims; value posteriors follow from normalising the exponentiated
+// vote sums; source accuracies are re-estimated as the mean posterior
+// of their claims; iterate to a fixpoint. POPACCU replaces the uniform
+// false-value assumption with the observed value popularity.
+type ACCU struct {
+	// N is the assumed number of false values per item. Default 10.
+	N float64
+	// InitialAccuracy for all sources. Default 0.8.
+	InitialAccuracy float64
+	// MaxIterations (default 20) and Epsilon (default 1e-4).
+	MaxIterations int
+	Epsilon       float64
+	// Popularity switches to POPACCU false-value modelling: the
+	// effective N per item is its observed number of distinct values.
+	Popularity bool
+
+	// Similarity, when set, enables the AccuSim variant: a value's vote
+	// score is boosted by the scores of *similar* values, so "2999" and
+	// "2998.5" reinforce each other instead of splitting the vote.
+	// SimInfluence (ρ, default 0.5) scales the boost.
+	Similarity   func(a, b data.Value) float64
+	SimInfluence float64
+
+	// copyDiscount, when set by ACCUCOPY, down-weights dependent votes:
+	// it maps (item, value key, source) to the source's independence
+	// probability in [0,1].
+	copyDiscount func(it data.Item, valueKey, source string) float64
+}
+
+// Name implements Fuser.
+func (a ACCU) Name() string {
+	if a.Similarity != nil {
+		return "accusim"
+	}
+	if a.Popularity {
+		return "popaccu"
+	}
+	return "accu"
+}
+
+// accuParams resolves defaults.
+func (a ACCU) params() (n, acc0 float64, maxIter int, eps float64) {
+	n = a.N
+	if n <= 1 {
+		n = 10
+	}
+	acc0 = a.InitialAccuracy
+	if acc0 <= 0 || acc0 >= 1 {
+		acc0 = 0.8
+	}
+	maxIter = a.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 20
+	}
+	eps = a.Epsilon
+	if eps <= 0 {
+		eps = 1e-4
+	}
+	return
+}
+
+// Fuse implements Fuser.
+func (a ACCU) Fuse(cs *data.ClaimSet) (*Result, error) {
+	n, acc0, maxIter, eps := a.params()
+
+	accuracy := map[string]float64{}
+	for _, s := range cs.Sources() {
+		accuracy[s] = acc0
+	}
+	items := cs.Items()
+	tallies := make([]*voteCounts, len(items))
+	for i, it := range items {
+		tallies[i] = tally(cs.ItemClaims(it))
+	}
+
+	const minAcc, maxAcc = 0.01, 0.99
+	post := make([]map[string]float64, len(items)) // per item: value key → P
+	iters := 0
+	for iter := 0; iter < maxIter; iter++ {
+		iters = iter + 1
+		// E: value posteriors from accuracies.
+		for i, it := range items {
+			vc := tallies[i]
+			effN := n
+			if a.Popularity {
+				if d := float64(len(vc.keyOrder)); d > 1 {
+					effN = d
+				} else {
+					effN = 2
+				}
+			}
+			scores := map[string]float64{}
+			for _, k := range vc.keyOrder {
+				var sum float64
+				for _, s := range vc.sources[k] {
+					acc := clampF(accuracy[s], minAcc, maxAcc)
+					w := math.Log(effN * acc / (1 - acc))
+					if a.copyDiscount != nil {
+						w *= a.copyDiscount(it, k, s)
+					}
+					sum += w
+				}
+				scores[k] = sum
+			}
+			if a.Similarity != nil {
+				scores = a.simAdjust(vc, scores)
+			}
+			post[i] = softmax(scores)
+		}
+		// M: accuracies from posteriors.
+		itemIndex := map[data.Item]int{}
+		for i, it := range items {
+			itemIndex[it] = i
+		}
+		maxDelta := 0.0
+		for _, s := range cs.Sources() {
+			claims := cs.SourceClaims(s)
+			if len(claims) == 0 {
+				continue
+			}
+			var sum float64
+			for _, c := range claims {
+				sum += post[itemIndex[c.Item]][c.Value.Key()]
+			}
+			next := clampF(sum/float64(len(claims)), minAcc, maxAcc)
+			if d := math.Abs(next - accuracy[s]); d > maxDelta {
+				maxDelta = d
+			}
+			accuracy[s] = next
+		}
+		if maxDelta < eps {
+			break
+		}
+	}
+
+	res := &Result{
+		Values:         map[data.Item]data.Value{},
+		Confidence:     map[data.Item]float64{},
+		SourceAccuracy: accuracy,
+		Iterations:     iters,
+	}
+	for i, it := range items {
+		vc := tallies[i]
+		keys := append([]string(nil), vc.keyOrder...)
+		sort.Strings(keys)
+		bestKey, best := "", -1.0
+		for _, k := range keys {
+			if p := post[i][k]; p > best {
+				best, bestKey = p, k
+			}
+		}
+		if bestKey != "" {
+			res.Values[it] = vc.values[bestKey]
+			res.Confidence[it] = best
+		}
+	}
+	return res, nil
+}
+
+// FuseTrace runs Fuse while recording, after each EM iteration, the
+// value produced for every item — used by the convergence experiment
+// (E2). The trace's last entry equals the final result.
+func (a ACCU) FuseTrace(cs *data.ClaimSet) ([]*Result, error) {
+	_, _, maxIter, _ := a.params()
+	var trace []*Result
+	for i := 1; i <= maxIter; i++ {
+		step := a
+		step.MaxIterations = i
+		r, err := step.Fuse(cs)
+		if err != nil {
+			return nil, err
+		}
+		trace = append(trace, r)
+		if r.Iterations < i {
+			break // converged earlier
+		}
+	}
+	return trace, nil
+}
+
+// simAdjust applies the AccuSim boost: each value's score absorbs a
+// ρ-scaled share of the scores of similar values.
+func (a ACCU) simAdjust(vc *voteCounts, scores map[string]float64) map[string]float64 {
+	rho := a.SimInfluence
+	if rho <= 0 {
+		rho = 0.5
+	}
+	adj := make(map[string]float64, len(scores))
+	for _, k := range vc.keyOrder {
+		boost := 0.0
+		for _, k2 := range vc.keyOrder {
+			if k == k2 {
+				continue
+			}
+			if sim := a.Similarity(vc.values[k], vc.values[k2]); sim > 0 {
+				boost += sim * scores[k2]
+			}
+		}
+		adj[k] = scores[k] + rho*boost
+	}
+	return adj
+}
+
+func softmax(scores map[string]float64) map[string]float64 {
+	if len(scores) == 0 {
+		return scores
+	}
+	maxS := math.Inf(-1)
+	for _, s := range scores {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	out := make(map[string]float64, len(scores))
+	var z float64
+	for k, s := range scores {
+		e := math.Exp(s - maxS)
+		out[k] = e
+		z += e
+	}
+	for k := range out {
+		out[k] /= z
+	}
+	return out
+}
+
+func clampF(x, lo, hi float64) float64 {
+	switch {
+	case x < lo:
+		return lo
+	case x > hi:
+		return hi
+	}
+	return x
+}

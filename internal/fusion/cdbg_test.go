@@ -1,0 +1,29 @@
+package fusion
+
+import (
+	"fmt"
+	"repro/internal/eval"
+	"testing"
+)
+
+func TestCopyDebug(t *testing.T) {
+	cw := copierWorld(11, 4)
+	base, _ := ACCU{}.Fuse(cw.Claims)
+	acc, _ := eval.FusionAccuracy(base.Values, cw.Claims)
+	fmt.Println("base accu accuracy:", acc)
+	for s, a := range base.SourceAccuracy {
+		fmt.Printf("%s est=%.3f true=%.3f\n", s, a, cw.TrueAccuracy[s])
+	}
+	fmt.Println("copiesFrom:", cw.CopiesFrom)
+	copies := CopyDetector{}.Detect(cw.Claims, base, base.SourceAccuracy)
+	for p, v := range copies {
+		fmt.Printf("%s-%s: %.3f\n", p.A, p.B, v)
+	}
+	// also goodbad scenario
+	cs, _ := goodBadClaims(t)
+	for _, f := range []Fuser{MajorityVote{}, ACCU{}, ACCUCOPY{}} {
+		r, _ := f.Fuse(cs)
+		a, _ := eval.FusionAccuracy(r.Values, cs)
+		fmt.Println(f.Name(), "goodbad acc:", a)
+	}
+}

@@ -1,0 +1,264 @@
+package fusion
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/data"
+)
+
+// CopyDetector estimates, for every pair of overlapping sources, the
+// posterior probability that one copies the other, following the
+// Bayesian analysis of Dong, Berti-Équille & Srivastava (VLDB'09): the
+// tell-tale signal is agreement on *false* values — independent sources
+// agree on the truth often but on any particular false value rarely.
+type CopyDetector struct {
+	// Alpha is the prior probability of copying. Default 0.1.
+	Alpha float64
+	// C is the per-item copy rate of a copier. Default 0.8.
+	C float64
+	// N is the number of false values per item. Default 10.
+	N float64
+	// MinOverlap: pairs sharing fewer items are not scored. Default 5.
+	MinOverlap int
+	// IgnoreTruth collapses the agree-on-true / agree-on-false
+	// distinction into plain agreement. Used for the bootstrap pass:
+	// when the current truth estimate may itself be corrupted by a
+	// colluding majority, truth-conditioned counting mislabels honest
+	// agreement as false-value collusion, whereas pure
+	// agreement/disagreement still separates perfect duplicators (no
+	// disagreements at all) from independent sources (independent
+	// mistakes force disagreements).
+	IgnoreTruth bool
+}
+
+func (cd CopyDetector) params() (alpha, c, n float64, minOv int) {
+	alpha = cd.Alpha
+	if alpha <= 0 || alpha >= 1 {
+		alpha = 0.1
+	}
+	c = cd.C
+	if c <= 0 || c >= 1 {
+		c = 0.8
+	}
+	n = cd.N
+	if n <= 1 {
+		n = 10
+	}
+	minOv = cd.MinOverlap
+	if minOv <= 0 {
+		minOv = 5
+	}
+	return
+}
+
+// SourcePair is an unordered pair of source IDs (A < B).
+type SourcePair struct{ A, B string }
+
+// NewSourcePair canonicalises order.
+func NewSourcePair(a, b string) SourcePair {
+	if b < a {
+		a, b = b, a
+	}
+	return SourcePair{A: a, B: b}
+}
+
+// Detect returns the posterior copy probability per overlapping source
+// pair, given the current fused truth estimate and source accuracies.
+func (cd CopyDetector) Detect(cs *data.ClaimSet, truth *Result, accuracy map[string]float64) map[SourcePair]float64 {
+	alpha, c, n, minOv := cd.params()
+
+	// Index claims: source → item → value key.
+	claimOf := map[string]map[data.Item]string{}
+	for _, s := range cs.Sources() {
+		m := map[data.Item]string{}
+		for _, cl := range cs.SourceClaims(s) {
+			m[cl.Item] = cl.Value.Key()
+		}
+		claimOf[s] = m
+	}
+	sources := cs.Sources()
+
+	out := map[SourcePair]float64{}
+	for i := 0; i < len(sources); i++ {
+		for j := i + 1; j < len(sources); j++ {
+			s1, s2 := sources[i], sources[j]
+			kt, kf, kd := 0, 0, 0
+			for it, v1 := range claimOf[s1] {
+				v2, ok := claimOf[s2][it]
+				if !ok {
+					continue
+				}
+				var truthVal data.Value
+				hasTruth := false
+				if !cd.IgnoreTruth && truth != nil {
+					truthVal, hasTruth = truth.Values[it]
+				}
+				switch {
+				case v1 != v2:
+					kd++
+				case hasTruth && v1 == truthVal.Key():
+					kt++
+				case hasTruth:
+					kf++
+				default:
+					kt++ // truth-free: count as generic agreement
+				}
+			}
+			if kt+kf+kd < minOv {
+				continue
+			}
+			a1 := defaultAcc(accuracy, s1)
+			a2 := defaultAcc(accuracy, s2)
+			// Independent-agreement probabilities.
+			pt := a1 * a2
+			pf := (1 - a1) * (1 - a2) / n
+			if cd.IgnoreTruth {
+				pt += pf // generic agreement combines both channels
+			}
+			pd := 1 - pt - pf
+			if pd < 1e-9 {
+				pd = 1e-9
+			}
+			// Copier-agreement probabilities (copy with rate c, else
+			// behave independently).
+			ct := c + (1-c)*pt
+			cf := c + (1-c)*pf
+			cdiff := (1 - c) * pd
+
+			logIndep := float64(kt)*math.Log(pt) + float64(kf)*math.Log(pf) + float64(kd)*math.Log(pd)
+			logCopy := float64(kt)*math.Log(ct) + float64(kf)*math.Log(cf) + float64(kd)*math.Log(cdiff)
+			// Posterior via log-sum-exp.
+			lc := math.Log(alpha) + logCopy
+			li := math.Log(1-alpha) + logIndep
+			m := math.Max(lc, li)
+			p := math.Exp(lc-m) / (math.Exp(lc-m) + math.Exp(li-m))
+			out[NewSourcePair(s1, s2)] = p
+		}
+	}
+	return out
+}
+
+func defaultAcc(accuracy map[string]float64, s string) float64 {
+	if a, ok := accuracy[s]; ok {
+		return clampF(a, 0.05, 0.95)
+	}
+	return 0.7
+}
+
+// ACCUCOPY interleaves ACCU fusion with copy detection: fuse, detect
+// copying from agreement-on-false-values, down-weight dependent votes,
+// and re-fuse — the full AccuCopy loop.
+type ACCUCOPY struct {
+	Accu     ACCU
+	Detector CopyDetector
+	// OuterIterations of the fuse→detect loop. Default 3.
+	OuterIterations int
+	// DisableBootstrap skips the truth-free uniform-prior first
+	// detection pass and detects against converged ACCU estimates from
+	// the start — the E17 ablation arm. Colluding majorities then evade
+	// detection (their agreement is rated unsurprising by the corrupted
+	// accuracy estimates).
+	DisableBootstrap bool
+}
+
+// Name implements Fuser.
+func (ACCUCOPY) Name() string { return "accucopy" }
+
+// Fuse implements Fuser.
+func (ac ACCUCOPY) Fuse(cs *data.ClaimSet) (*Result, error) {
+	outer := ac.OuterIterations
+	if outer <= 0 {
+		outer = 3
+	}
+	_, c, _, _ := ac.Detector.params()
+
+	accu := ac.Accu
+	res, err := accu.Fuse(cs)
+	if err != nil {
+		return nil, fmt.Errorf("fusion: accucopy initial pass: %w", err)
+	}
+	var copies map[SourcePair]float64
+	for iter := 0; iter < outer; iter++ {
+		// The first detection pass uses uniform prior accuracies: when
+		// a colluding bloc dominates the consensus, accuracy estimates
+		// calibrated against that consensus rate the bloc as
+		// near-perfect and its total agreement stops looking
+		// suspicious. Uncalibrated priors keep the agreement signal.
+		accIn := res.SourceAccuracy
+		det := ac.Detector
+		if iter == 0 && !ac.DisableBootstrap {
+			_, acc0, _, _ := accu.params()
+			accIn = map[string]float64{}
+			for _, s := range cs.Sources() {
+				accIn[s] = acc0
+			}
+			det.IgnoreTruth = true
+		}
+		copies = det.Detect(cs, res, accIn)
+		discounts := buildDiscounts(cs, copies, res.SourceAccuracy, c)
+		withDiscount := accu
+		withDiscount.copyDiscount = func(it data.Item, valueKey, source string) float64 {
+			if d, ok := discounts[discountKey{it, valueKey, source}]; ok {
+				return d
+			}
+			return 1
+		}
+		res, err = withDiscount.Fuse(cs)
+		if err != nil {
+			return nil, fmt.Errorf("fusion: accucopy pass %d: %w", iter+1, err)
+		}
+	}
+	res.Iterations = outer
+	return res, nil
+}
+
+// CopyProbabilities runs the full loop and returns the final pairwise
+// copy posteriors alongside the fused result.
+func (ac ACCUCOPY) CopyProbabilities(cs *data.ClaimSet) (*Result, map[SourcePair]float64, error) {
+	res, err := ac.Fuse(cs)
+	if err != nil {
+		return nil, nil, err
+	}
+	copies := ac.Detector.Detect(cs, res, res.SourceAccuracy)
+	return res, copies, nil
+}
+
+type discountKey struct {
+	it       data.Item
+	valueKey string
+	source   string
+}
+
+// buildDiscounts computes, per (item, value, source), the probability
+// that the source's claim is independent: among the claimants of the
+// same value, ordered by descending accuracy (the presumed copy
+// direction), each source's vote is discounted by the probability that
+// it copied from any preceding claimant.
+func buildDiscounts(cs *data.ClaimSet, copies map[SourcePair]float64,
+	accuracy map[string]float64, copyRate float64) map[discountKey]float64 {
+	out := map[discountKey]float64{}
+	for _, it := range cs.Items() {
+		vc := tally(cs.ItemClaims(it))
+		for _, k := range vc.keyOrder {
+			claimants := append([]string(nil), vc.sources[k]...)
+			sort.Slice(claimants, func(i, j int) bool {
+				ai, aj := defaultAcc(accuracy, claimants[i]), defaultAcc(accuracy, claimants[j])
+				if ai != aj {
+					return ai > aj
+				}
+				return claimants[i] < claimants[j]
+			})
+			for i, s := range claimants {
+				indep := 1.0
+				for j := 0; j < i; j++ {
+					p := copies[NewSourcePair(s, claimants[j])]
+					indep *= 1 - copyRate*p
+				}
+				out[discountKey{it, k, s}] = indep
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package fusion
+
+import (
+	"repro/internal/data"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/eval"
+)
+
+// copierWorld builds a claim world where many copiers replicate one
+// mediocre source, so naive voting is dominated by replicated mistakes.
+func copierWorld(seed int64, copiers int) *datagen.ClaimWorld {
+	return datagen.BuildClaims(datagen.ClaimConfig{
+		Seed: seed, NumItems: 200, NumValues: 8,
+		NumSources: 6, MinAccuracy: 0.55, MaxAccuracy: 0.9,
+		NumCopiers: copiers, CopyRate: 0.95, CopierSpread: 1,
+	})
+}
+
+func TestCopyDetectorFindsCopiers(t *testing.T) {
+	// Unit-test the Bayesian core in isolation: feed ground-truth
+	// values and accuracies. (The full loop's bootstrap behaviour is
+	// covered by TestACCUCOPY* below.)
+	cw := copierWorld(11, 4)
+	truthRes := &Result{Values: map[data.Item]data.Value{}}
+	for _, it := range cw.Items {
+		v, _ := cw.Claims.Truth(it)
+		truthRes.Values[it] = v
+	}
+	det := CopyDetector{}
+	copies := det.Detect(cw.Claims, truthRes, cw.TrueAccuracy)
+	if len(copies) == 0 {
+		t.Fatal("no pairs scored")
+	}
+	// True copier pairs must carry high posterior; a sample of
+	// independent pairs must carry lower.
+	var copierSum, copierN, indepSum, indepN float64
+	truePairs := map[SourcePair]bool{}
+	for cop, target := range cw.CopiesFrom {
+		truePairs[NewSourcePair(cop, target)] = true
+	}
+	for pair, p := range copies {
+		if truePairs[pair] {
+			copierSum += p
+			copierN++
+		} else if pair.A[:3] == "src" && pair.B[:3] == "src" {
+			indepSum += p
+			indepN++
+		}
+	}
+	if copierN == 0 || indepN == 0 {
+		t.Fatalf("pair coverage: %f copier, %f indep", copierN, indepN)
+	}
+	if copierSum/copierN < 0.8 {
+		t.Errorf("mean copier posterior = %f, want >= 0.8", copierSum/copierN)
+	}
+	if indepSum/indepN > 0.4 {
+		t.Errorf("mean independent posterior = %f, want <= 0.4", indepSum/indepN)
+	}
+}
+
+func TestACCUCOPYBeatsACCUUnderCopying(t *testing.T) {
+	sumVote, sumAccu, sumCopy := 0.0, 0.0, 0.0
+	seeds := []int64{11, 17, 23}
+	for _, seed := range seeds {
+		cw := copierWorld(seed, 8)
+		vote := mustAcc(t, MajorityVote{}, cw)
+		accu := mustAcc(t, ACCU{}, cw)
+		accucopy := mustAcc(t, ACCUCOPY{}, cw)
+		sumVote += vote
+		sumAccu += accu
+		sumCopy += accucopy
+	}
+	n := float64(len(seeds))
+	if sumCopy/n < sumVote/n {
+		t.Errorf("accucopy (%f) must beat vote (%f) under heavy copying", sumCopy/n, sumVote/n)
+	}
+	if sumCopy/n+0.02 < sumAccu/n {
+		t.Errorf("accucopy (%f) must not trail accu (%f)", sumCopy/n, sumAccu/n)
+	}
+}
+
+func TestNoCopiersACCUCOPYMatchesACCU(t *testing.T) {
+	cw := datagen.BuildClaims(datagen.ClaimConfig{
+		Seed: 31, NumItems: 200, NumSources: 10,
+	})
+	accu := mustAcc(t, ACCU{}, cw)
+	accucopy := mustAcc(t, ACCUCOPY{}, cw)
+	if diff := accu - accucopy; diff > 0.05 || diff < -0.05 {
+		t.Errorf("without copiers accu=%f and accucopy=%f should agree", accu, accucopy)
+	}
+}
+
+func mustAcc(t *testing.T, f Fuser, cw *datagen.ClaimWorld) float64 {
+	t.Helper()
+	res, err := f.Fuse(cw.Claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, n := eval.FusionAccuracy(res.Values, cw.Claims)
+	if n == 0 {
+		t.Fatal("nothing evaluated")
+	}
+	return acc
+}
+
+func TestCopyProbabilitiesAPI(t *testing.T) {
+	cw := copierWorld(41, 3)
+	res, copies, err := (ACCUCOPY{}).CopyProbabilities(cw.Claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) == 0 || len(copies) == 0 {
+		t.Fatal("empty outputs")
+	}
+	for pair, p := range copies {
+		if p < 0 || p > 1 {
+			t.Errorf("pair %v posterior %f out of range", pair, p)
+		}
+	}
+}
+
+func TestSourcePairCanonical(t *testing.T) {
+	if NewSourcePair("b", "a") != NewSourcePair("a", "b") {
+		t.Error("source pairs must be unordered")
+	}
+}
+
+func TestCopyDetectorMinOverlap(t *testing.T) {
+	cw := datagen.BuildClaims(datagen.ClaimConfig{
+		Seed: 51, NumItems: 3, NumSources: 4, // tiny overlap
+	})
+	base, err := ACCU{}.Fuse(cw.Claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copies := CopyDetector{MinOverlap: 10}.Detect(cw.Claims, base, base.SourceAccuracy)
+	if len(copies) != 0 {
+		t.Errorf("pairs below overlap floor must be skipped, got %d", len(copies))
+	}
+}

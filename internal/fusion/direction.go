@@ -1,0 +1,131 @@
+package fusion
+
+import (
+	"sort"
+
+	"repro/internal/data"
+)
+
+// Copy-direction inference: once a pair is believed dependent, decide
+// who copies whom. Following the VLDB'09 analysis, the robust
+// asymmetry is a *consistency* one: the original's accuracy is the same
+// on shared items and on items it alone covers, whereas the copier's
+// shared-item accuracy is inherited from the original and so diverges
+// from the accuracy of its own independent remainder. A secondary
+// signal applies when one side's claims are (nearly) a subset of the
+// other's — the lazy-copier case — where the original covers more.
+
+// DirectedCopy is an inferred copy edge with confidence.
+type DirectedCopy struct {
+	From string // the copier
+	To   string // the original
+	P    float64
+	// Evidence components, exposed for inspection.
+	CoverageSignal    float64 // positive when To covers more (subset copier)
+	DiscrepancySignal float64 // positive when From's shared/own accuracy diverges more
+}
+
+// InferDirections decides a direction for every source pair whose copy
+// posterior is at least minP. truth supplies the current fused
+// estimates (for accuracy signals); accuracy the per-source estimates.
+func InferDirections(cs *data.ClaimSet, copies map[SourcePair]float64,
+	truth *Result, accuracy map[string]float64, minP float64) []DirectedCopy {
+	if minP <= 0 {
+		minP = 0.5
+	}
+	claimOf := map[string]map[data.Item]string{}
+	for _, s := range cs.Sources() {
+		m := map[data.Item]string{}
+		for _, cl := range cs.SourceClaims(s) {
+			m[cl.Item] = cl.Value.Key()
+		}
+		claimOf[s] = m
+	}
+	correctRate := func(src string, only map[data.Item]bool) float64 {
+		hit, n := 0, 0
+		for it, v := range claimOf[src] {
+			if only != nil && !only[it] {
+				continue
+			}
+			tv, ok := truth.Values[it]
+			if !ok {
+				continue
+			}
+			n++
+			if tv.Key() == v {
+				hit++
+			}
+		}
+		if n == 0 {
+			return accOrDefault(accuracy, src)
+		}
+		return float64(hit) / float64(n)
+	}
+
+	var out []DirectedCopy
+	pairs := make([]SourcePair, 0, len(copies))
+	for p := range copies {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	for _, pair := range pairs {
+		p := copies[pair]
+		if p < minP {
+			continue
+		}
+		a, b := pair.A, pair.B
+		shared := map[data.Item]bool{}
+		onlyA := map[data.Item]bool{}
+		for it := range claimOf[a] {
+			if _, ok := claimOf[b][it]; ok {
+				shared[it] = true
+			} else {
+				onlyA[it] = true
+			}
+		}
+		onlyB := map[data.Item]bool{}
+		for it := range claimOf[b] {
+			if !shared[it] {
+				onlyB[it] = true
+			}
+		}
+		// Consistency discrepancy: |acc(shared) − acc(own)| per side.
+		// The side whose shared-item accuracy diverges from its own-item
+		// accuracy inherited those shared values — the copier.
+		dA := absF(correctRate(a, shared) - correctRate(a, onlyA))
+		dB := absF(correctRate(b, shared) - correctRate(b, onlyB))
+		discSignal := dA - dB // positive ⇒ a is the copier
+
+		// Subset-coverage signal, only meaningful when one side has
+		// (almost) no independent remainder.
+		covA, covB := float64(len(claimOf[a])), float64(len(claimOf[b]))
+		covSignal := 0.0
+		if covA+covB > 0 && (len(onlyA) == 0 || len(onlyB) == 0) {
+			covSignal = (covB - covA) / (covA + covB) // positive ⇒ b is the original
+		}
+
+		// Positive combined ⇒ a is the copier.
+		combined := discSignal + covSignal
+		from, to := a, b
+		if combined < 0 {
+			from, to = b, a
+		}
+		out = append(out, DirectedCopy{
+			From: from, To: to, P: p,
+			CoverageSignal: covSignal, DiscrepancySignal: discSignal,
+		})
+	}
+	return out
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,125 @@
+// Package fusion implements the data-fusion (truth-discovery) stage for
+// the Veracity dimension: majority and weighted voting, TruthFinder,
+// the Bayesian source-accuracy model ACCU and its POPACCU variant,
+// pairwise copy detection between sources, and the copy-aware ACCUCOPY
+// fuser — the method family of Dong, Berti-Équille & Srivastava that
+// the Big Data Integration tutorial surveys.
+package fusion
+
+import (
+	"sort"
+
+	"repro/internal/data"
+)
+
+// Result is the outcome of fusing a claim set.
+type Result struct {
+	// Values holds the fused (believed-true) value per item.
+	Values map[data.Item]data.Value
+	// Confidence holds the fuser's probability for the chosen value.
+	Confidence map[data.Item]float64
+	// SourceAccuracy holds estimated accuracies for fusers that model
+	// them (nil otherwise).
+	SourceAccuracy map[string]float64
+	// Iterations the fuser ran before convergence (1 for one-shot).
+	Iterations int
+}
+
+// Fuser decides the true value of every item in a claim set.
+type Fuser interface {
+	Fuse(cs *data.ClaimSet) (*Result, error)
+	Name() string
+}
+
+// voteCounts tallies, per item, the supporting sources of each distinct
+// value key. The canonical value for a key is the first one observed.
+type voteCounts struct {
+	values   map[string]data.Value
+	sources  map[string][]string
+	keyOrder []string
+}
+
+func tally(claims []data.Claim) *voteCounts {
+	vc := &voteCounts{values: map[string]data.Value{}, sources: map[string][]string{}}
+	for _, c := range claims {
+		k := c.Value.Key()
+		if _, seen := vc.values[k]; !seen {
+			vc.values[k] = c.Value
+			vc.keyOrder = append(vc.keyOrder, k)
+		}
+		vc.sources[k] = append(vc.sources[k], c.Source)
+	}
+	return vc
+}
+
+// MajorityVote picks the most-claimed value per item, breaking ties by
+// value key for determinism.
+type MajorityVote struct{}
+
+// Name implements Fuser.
+func (MajorityVote) Name() string { return "vote" }
+
+// Fuse implements Fuser.
+func (MajorityVote) Fuse(cs *data.ClaimSet) (*Result, error) {
+	return weightedVote(cs, func(string) float64 { return 1 })
+}
+
+// WeightedVote votes with per-source weights (e.g. externally known
+// trust levels). Unknown sources weigh DefaultWeight (1 when zero).
+type WeightedVote struct {
+	Weights       map[string]float64
+	DefaultWeight float64
+}
+
+// Name implements Fuser.
+func (WeightedVote) Name() string { return "weighted-vote" }
+
+// Fuse implements Fuser.
+func (wv WeightedVote) Fuse(cs *data.ClaimSet) (*Result, error) {
+	def := wv.DefaultWeight
+	if def == 0 {
+		def = 1
+	}
+	return weightedVote(cs, func(s string) float64 {
+		if w, ok := wv.Weights[s]; ok {
+			return w
+		}
+		return def
+	})
+}
+
+func weightedVote(cs *data.ClaimSet, weight func(string) float64) (*Result, error) {
+	res := &Result{
+		Values:     map[data.Item]data.Value{},
+		Confidence: map[data.Item]float64{},
+		Iterations: 1,
+	}
+	for _, it := range cs.Items() {
+		vc := tally(cs.ItemClaims(it))
+		var bestKey string
+		var bestW, totalW float64
+		keys := append([]string(nil), vc.keyOrder...)
+		sort.Strings(keys)
+		for _, k := range keys {
+			var w float64
+			for _, s := range vc.sources[k] {
+				w += weight(s)
+			}
+			totalW += w
+			if w > bestW {
+				bestW, bestKey = w, k
+			}
+		}
+		if bestKey == "" {
+			continue
+		}
+		res.Values[it] = vc.values[bestKey]
+		if totalW > 0 {
+			res.Confidence[it] = bestW / totalW
+		}
+	}
+	return res, nil
+}
+
+// TruthToResult is a helper for tests: extract only the fused values.
+func TruthToResult(r *Result) map[data.Item]data.Value { return r.Values }

@@ -1,0 +1,143 @@
+package fusion
+
+import (
+	"sort"
+
+	"repro/internal/data"
+)
+
+// NumericFusion resolves conflicting *numeric* claims, where majority
+// voting is the wrong model: independent measurements of a continuous
+// quantity rarely agree exactly, so the fused value should be a robust
+// location estimate rather than the most frequent exact number. Items
+// whose claims are not predominantly numeric fall back to the Fallback
+// fuser (majority vote when nil).
+type NumericFusion struct {
+	// Method selects the estimator: "median" (default, robust to
+	// outliers), "mean", or "weighted" (accuracy-weighted mean).
+	Method string
+	// Weights holds per-source weights for the "weighted" method
+	// (e.g. estimated accuracies); missing sources weigh 1.
+	Weights map[string]float64
+	// Fallback fuses non-numeric items. Default MajorityVote.
+	Fallback Fuser
+}
+
+// Name implements Fuser.
+func (nf NumericFusion) Name() string { return "numeric-" + nf.method() }
+
+func (nf NumericFusion) method() string {
+	switch nf.Method {
+	case "mean", "weighted":
+		return nf.Method
+	default:
+		return "median"
+	}
+}
+
+// Fuse implements Fuser.
+func (nf NumericFusion) Fuse(cs *data.ClaimSet) (*Result, error) {
+	fallback := nf.Fallback
+	if fallback == nil {
+		fallback = MajorityVote{}
+	}
+	res := &Result{
+		Values:     map[data.Item]data.Value{},
+		Confidence: map[data.Item]float64{},
+		Iterations: 1,
+	}
+	// Split items by kind; batch the non-numeric ones for the fallback.
+	nonNumeric := data.NewClaimSet()
+	for _, it := range cs.Items() {
+		claims := cs.ItemClaims(it)
+		numeric := 0
+		for _, c := range claims {
+			if c.Value.Kind == data.KindNumber {
+				numeric++
+			}
+		}
+		if numeric*2 <= len(claims) { // not predominantly numeric
+			for _, c := range claims {
+				nonNumeric.Add(c)
+			}
+			continue
+		}
+		v, conf := nf.fuseNumeric(claims)
+		res.Values[it] = v
+		res.Confidence[it] = conf
+	}
+	if nonNumeric.Len() > 0 {
+		fb, err := fallback.Fuse(nonNumeric)
+		if err != nil {
+			return nil, err
+		}
+		for it, v := range fb.Values {
+			res.Values[it] = v
+			res.Confidence[it] = fb.Confidence[it]
+		}
+	}
+	return res, nil
+}
+
+// fuseNumeric estimates the item's value from its numeric claims.
+// Confidence reflects concentration: 1 when all claims agree, decaying
+// with relative spread (median absolute deviation / |estimate|).
+func (nf NumericFusion) fuseNumeric(claims []data.Claim) (data.Value, float64) {
+	type wv struct {
+		v, w float64
+	}
+	var xs []wv
+	for _, c := range claims {
+		if c.Value.Kind != data.KindNumber {
+			continue
+		}
+		w := 1.0
+		if nf.method() == "weighted" {
+			if got, ok := nf.Weights[c.Source]; ok && got > 0 {
+				w = got
+			}
+		}
+		xs = append(xs, wv{v: c.Value.Num, w: w})
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i].v < xs[j].v })
+
+	var est float64
+	switch nf.method() {
+	case "mean", "weighted":
+		var sum, wsum float64
+		for _, x := range xs {
+			sum += x.v * x.w
+			wsum += x.w
+		}
+		est = sum / wsum
+	default: // median (weighted by claim multiplicity implicitly)
+		est = xs[len(xs)/2].v
+		if len(xs)%2 == 0 {
+			est = (xs[len(xs)/2-1].v + xs[len(xs)/2].v) / 2
+		}
+	}
+
+	// Spread-based confidence.
+	devs := make([]float64, len(xs))
+	for i, x := range xs {
+		d := x.v - est
+		if d < 0 {
+			d = -d
+		}
+		devs[i] = d
+	}
+	sort.Float64s(devs)
+	mad := devs[len(devs)/2]
+	scale := est
+	if scale < 0 {
+		scale = -scale
+	}
+	conf := 1.0
+	if scale > 0 {
+		rel := mad / scale
+		conf = 1 / (1 + 10*rel)
+	} else if mad > 0 {
+		conf = 0.5
+	}
+	return data.Number(est), conf
+}

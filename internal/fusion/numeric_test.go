@@ -1,0 +1,103 @@
+package fusion
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func numClaims(t *testing.T, vals map[string]float64) (*data.ClaimSet, data.Item) {
+	t.Helper()
+	cs := data.NewClaimSet()
+	it := data.Item{Entity: "e", Attr: "weight"}
+	for src, v := range vals {
+		cs.Add(data.Claim{Item: it, Source: src, Value: data.Number(v)})
+	}
+	return cs, it
+}
+
+func TestNumericMedianRobustToOutliers(t *testing.T) {
+	cs, it := numClaims(t, map[string]float64{
+		"s1": 100, "s2": 101, "s3": 99, "s4": 100.5, "s5": 9999, // outlier
+	})
+	res, err := NumericFusion{}.Fuse(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Values[it].Num
+	if got < 99 || got > 101 {
+		t.Errorf("median estimate = %f, outlier leaked", got)
+	}
+	// Mean is pulled by the outlier — that is the point of the contrast.
+	mean, err := NumericFusion{Method: "mean"}.Fuse(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean.Values[it].Num < 1000 {
+		t.Errorf("mean = %f, expected outlier pull", mean.Values[it].Num)
+	}
+}
+
+func TestNumericWeighted(t *testing.T) {
+	cs, it := numClaims(t, map[string]float64{"good": 100, "bad": 200})
+	res, err := NumericFusion{
+		Method:  "weighted",
+		Weights: map[string]float64{"good": 9, "bad": 1},
+	}.Fuse(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Values[it].Num; math.Abs(got-110) > 1e-9 {
+		t.Errorf("weighted mean = %f, want 110", got)
+	}
+}
+
+func TestNumericConfidenceReflectsSpread(t *testing.T) {
+	tight, it := numClaims(t, map[string]float64{"a": 100, "b": 100, "c": 100})
+	loose, _ := numClaims(t, map[string]float64{"a": 50, "b": 100, "c": 180})
+	rTight, _ := NumericFusion{}.Fuse(tight)
+	rLoose, _ := NumericFusion{}.Fuse(loose)
+	if rTight.Confidence[it] <= rLoose.Confidence[it] {
+		t.Errorf("tight claims confidence %f must exceed loose %f",
+			rTight.Confidence[it], rLoose.Confidence[it])
+	}
+	if rTight.Confidence[it] < 0.99 {
+		t.Errorf("unanimous claims confidence = %f", rTight.Confidence[it])
+	}
+}
+
+func TestNumericFallsBackForStrings(t *testing.T) {
+	cs := data.NewClaimSet()
+	it := data.Item{Entity: "e", Attr: "color"}
+	cs.Add(data.Claim{Item: it, Source: "s1", Value: data.String("red")})
+	cs.Add(data.Claim{Item: it, Source: "s2", Value: data.String("red")})
+	cs.Add(data.Claim{Item: it, Source: "s3", Value: data.String("blue")})
+	res, err := NumericFusion{}.Fuse(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Values[it].Equal(data.String("red")) {
+		t.Errorf("string item must fall back to vote, got %v", res.Values[it])
+	}
+}
+
+func TestNumericMixedItems(t *testing.T) {
+	cs := data.NewClaimSet()
+	num := data.Item{Entity: "e", Attr: "weight"}
+	str := data.Item{Entity: "e", Attr: "color"}
+	cs.Add(data.Claim{Item: num, Source: "s1", Value: data.Number(10)})
+	cs.Add(data.Claim{Item: num, Source: "s2", Value: data.Number(12)})
+	cs.Add(data.Claim{Item: str, Source: "s1", Value: data.String("red")})
+	cs.Add(data.Claim{Item: str, Source: "s2", Value: data.String("red")})
+	res, err := NumericFusion{}.Fuse(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values[num].Kind != data.KindNumber || res.Values[str].Kind != data.KindString {
+		t.Errorf("mixed items fused to %v / %v", res.Values[num], res.Values[str])
+	}
+	if res.Values[num].Num != 11 {
+		t.Errorf("even-count median = %f, want 11", res.Values[num].Num)
+	}
+}

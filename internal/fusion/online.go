@@ -1,0 +1,223 @@
+package fusion
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/data"
+)
+
+// Online implements online data fusion (Liu, Dong & Srivastava,
+// surveyed under the tutorial's Velocity/Veracity discussion): sources
+// are probed one at a time in decreasing estimated-accuracy order, and
+// a data item's answer is finalised early once the accumulated vote
+// lead of its current top value exceeds the maximum weight the
+// remaining sources could contribute — returning correct answers after
+// consulting only a fraction of the sources.
+type Online struct {
+	// Accuracy estimates per source (e.g. from a prior ACCU run).
+	// Sources absent from the map default to 0.7.
+	Accuracy map[string]float64
+	// N is the assumed number of false values (ACCU vote weighting).
+	// Default 10.
+	N float64
+}
+
+// OnlineResult extends Result with probing statistics.
+type OnlineResult struct {
+	Result
+	// Probes[item] = number of sources consulted before finalising.
+	Probes map[data.Item]int
+	// Order is the probe order used (descending estimated accuracy).
+	Order []string
+}
+
+// Name implements Fuser.
+func (Online) Name() string { return "online" }
+
+// Fuse implements Fuser (discarding probing statistics).
+func (o Online) Fuse(cs *data.ClaimSet) (*Result, error) {
+	or, err := o.FuseOnline(cs)
+	if err != nil {
+		return nil, err
+	}
+	return &or.Result, nil
+}
+
+// weightOf is the ACCU log-odds vote weight of a source.
+func (o Online) weightOf(src string) float64 {
+	n := o.N
+	if n <= 1 {
+		n = 10
+	}
+	a := 0.7
+	if v, ok := o.Accuracy[src]; ok {
+		a = v
+	}
+	a = clampF(a, 0.05, 0.95)
+	return math.Log(n * a / (1 - a))
+}
+
+// FuseOnline runs the full online protocol and reports probe counts.
+func (o Online) FuseOnline(cs *data.ClaimSet) (*OnlineResult, error) {
+	order := append([]string(nil), cs.Sources()...)
+	sort.Slice(order, func(i, j int) bool {
+		wi, wj := o.weightOf(order[i]), o.weightOf(order[j])
+		if wi != wj {
+			return wi > wj
+		}
+		return order[i] < order[j]
+	})
+
+	// Per-source claim lookup.
+	claimOf := map[string]map[data.Item]data.Value{}
+	for _, s := range order {
+		m := map[data.Item]data.Value{}
+		for _, c := range cs.SourceClaims(s) {
+			m[c.Item] = c.Value
+		}
+		claimOf[s] = m
+	}
+	// Remaining-weight suffix sums: remaining[i] = sum of weights of
+	// order[i:]. A not-yet-probed source can contribute at most its
+	// weight to any single value.
+	remaining := make([]float64, len(order)+1)
+	for i := len(order) - 1; i >= 0; i-- {
+		remaining[i] = remaining[i+1] + o.weightOf(order[i])
+	}
+
+	res := &OnlineResult{
+		Result: Result{
+			Values:         map[data.Item]data.Value{},
+			Confidence:     map[data.Item]float64{},
+			SourceAccuracy: map[string]float64{},
+		},
+		Probes: map[data.Item]int{},
+		Order:  order,
+	}
+	for _, s := range order {
+		res.SourceAccuracy[s] = clampF(accOrDefault(o.Accuracy, s), 0.05, 0.95)
+	}
+
+	for _, it := range cs.Items() {
+		scores := map[string]float64{}
+		values := map[string]data.Value{}
+		probes := 0
+		finalised := false
+		for i, s := range order {
+			v, ok := claimOf[s][it]
+			if ok {
+				probes = i + 1
+				k := v.Key()
+				scores[k] += o.weightOf(s)
+				values[k] = v
+			}
+			// Early termination: the leader cannot be overtaken even if
+			// every remaining source voted for the runner-up.
+			lead, second := topTwo(scores)
+			if lead != "" && scores[lead]-second > remaining[i+1] {
+				res.Values[it] = values[lead]
+				res.Probes[it] = probes
+				res.Confidence[it] = confidenceOf(scores, lead)
+				finalised = true
+				break
+			}
+		}
+		if !finalised {
+			lead, _ := topTwo(scores)
+			if lead != "" {
+				res.Values[it] = values[lead]
+				res.Probes[it] = probes
+				res.Confidence[it] = confidenceOf(scores, lead)
+			}
+		}
+	}
+	res.Iterations = 1
+	return res, nil
+}
+
+// FuseWithPrefix fuses consulting only the first k sources of the
+// accuracy order — the anytime curve's x-axis.
+func (o Online) FuseWithPrefix(cs *data.ClaimSet, k int) (*Result, error) {
+	order := append([]string(nil), cs.Sources()...)
+	sort.Slice(order, func(i, j int) bool {
+		wi, wj := o.weightOf(order[i]), o.weightOf(order[j])
+		if wi != wj {
+			return wi > wj
+		}
+		return order[i] < order[j]
+	})
+	if k > len(order) {
+		k = len(order)
+	}
+	allowed := map[string]bool{}
+	for _, s := range order[:k] {
+		allowed[s] = true
+	}
+	sub := data.NewClaimSet()
+	for _, c := range cs.All() {
+		if allowed[c.Source] {
+			sub.Add(c)
+		}
+	}
+	for _, it := range cs.Items() {
+		if v, ok := cs.Truth(it); ok {
+			sub.SetTruth(it, v)
+		}
+	}
+	return WeightedVote{Weights: weightsFor(o, order[:k])}.Fuse(sub)
+}
+
+func weightsFor(o Online, sources []string) map[string]float64 {
+	w := map[string]float64{}
+	for _, s := range sources {
+		w[s] = o.weightOf(s)
+	}
+	return w
+}
+
+func accOrDefault(m map[string]float64, s string) float64 {
+	if v, ok := m[s]; ok {
+		return v
+	}
+	return 0.7
+}
+
+// topTwo returns the leading value key and the runner-up's score.
+func topTwo(scores map[string]float64) (lead string, second float64) {
+	best := math.Inf(-1)
+	second = 0
+	keys := make([]string, 0, len(scores))
+	for k := range scores {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s := scores[k]
+		if s > best {
+			second = best
+			best, lead = s, k
+		} else if s > second {
+			second = s
+		}
+	}
+	if math.IsInf(second, -1) {
+		second = 0
+	}
+	return lead, second
+}
+
+func confidenceOf(scores map[string]float64, lead string) float64 {
+	var z, l float64
+	for k, s := range scores {
+		e := math.Exp(s)
+		z += e
+		if k == lead {
+			l = e
+		}
+	}
+	if z == 0 {
+		return 0
+	}
+	return l / z
+}

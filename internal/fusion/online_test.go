@@ -1,0 +1,173 @@
+package fusion
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/datagen"
+	"repro/internal/eval"
+)
+
+func onlineWorld(seed int64) *datagen.ClaimWorld {
+	return datagen.BuildClaims(datagen.ClaimConfig{
+		Seed: seed, NumItems: 200, NumValues: 5,
+		NumSources: 14, MinAccuracy: 0.4, MaxAccuracy: 0.95,
+	})
+}
+
+func TestOnlineMatchesOfflineAccuracy(t *testing.T) {
+	cw := onlineWorld(3)
+	on := Online{Accuracy: cw.TrueAccuracy}
+	or, err := on.FuseOnline(cw.Claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onAcc, _ := eval.FusionAccuracy(or.Values, cw.Claims)
+	// Offline reference: weighted vote with the same weights over all
+	// sources.
+	off, err := WeightedVote{Weights: weightsFor(on, cw.Claims.Sources())}.Fuse(cw.Claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offAcc, _ := eval.FusionAccuracy(off.Values, cw.Claims)
+	if onAcc < offAcc-0.02 {
+		t.Errorf("online accuracy %f must match offline %f", onAcc, offAcc)
+	}
+}
+
+func TestOnlineProbesFewerSources(t *testing.T) {
+	cw := onlineWorld(4)
+	on := Online{Accuracy: cw.TrueAccuracy}
+	or, err := on.FuseOnline(cw.Claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(cw.Claims.Sources())
+	var sum float64
+	n := 0
+	for _, probes := range or.Probes {
+		sum += float64(probes)
+		n++
+		if probes > total {
+			t.Fatalf("probes %d exceeds source count %d", probes, total)
+		}
+	}
+	if n == 0 {
+		t.Fatal("no items finalised")
+	}
+	mean := sum / float64(n)
+	if mean >= float64(total)*0.9 {
+		t.Errorf("mean probes %.2f of %d sources; early termination never fired", mean, total)
+	}
+}
+
+func TestOnlineAnytimeCurveImproves(t *testing.T) {
+	cw := onlineWorld(5)
+	on := Online{Accuracy: cw.TrueAccuracy}
+	accAt := func(k int) float64 {
+		res, err := on.FuseWithPrefix(cw.Claims, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc, _ := eval.FusionAccuracy(res.Values, cw.Claims)
+		return acc
+	}
+	a2, a6, aAll := accAt(2), accAt(6), accAt(14)
+	if a6 < a2-0.05 {
+		t.Errorf("anytime curve should improve: k=2 %f, k=6 %f", a2, a6)
+	}
+	if aAll < 0.85 {
+		t.Errorf("full-prefix accuracy = %f", aAll)
+	}
+}
+
+func TestOnlineEmptyAndName(t *testing.T) {
+	on := Online{}
+	res, err := on.Fuse(data.NewClaimSet())
+	if err != nil || len(res.Values) != 0 {
+		t.Errorf("empty claims: %v %v", res.Values, err)
+	}
+	if on.Name() != "online" {
+		t.Error("name")
+	}
+}
+
+func TestACCUSIMMergesNearNumericValues(t *testing.T) {
+	// 2 sources claim 100.0, 2 claim 100.5 (same underlying truth,
+	// jittered), 3 claim 250 (wrong). Plain vote/ACCU sees 2-2-3 and
+	// picks 250; AccuSim lets the two near values reinforce each other.
+	cs := data.NewClaimSet()
+	it := data.Item{Entity: "e", Attr: "weight"}
+	add := func(src string, v float64) {
+		cs.Add(data.Claim{Item: it, Source: src, Value: data.Number(v)})
+	}
+	add("s1", 100.0)
+	add("s2", 100.0)
+	add("s3", 100.5)
+	add("s4", 100.5)
+	add("s5", 250)
+	add("s6", 250)
+	add("s7", 250)
+	cs.SetTruth(it, data.Number(100.0))
+
+	plain, err := ACCU{}.Fuse(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Values[it].Num != 250 {
+		t.Fatalf("plain accu should be fooled by the 3-way block, got %v", plain.Values[it])
+	}
+
+	// Relative-tolerance similarity: values within 2% are near-certainly
+	// the same underlying quantity, so they lend (almost) full support.
+	relSim := func(a, b data.Value) float64 {
+		if a.Kind != data.KindNumber || b.Kind != data.KindNumber {
+			return 0
+		}
+		diff := a.Num - b.Num
+		if diff < 0 {
+			diff = -diff
+		}
+		denom := a.Num
+		if b.Num > denom {
+			denom = b.Num
+		}
+		if denom == 0 {
+			return 1
+		}
+		rel := diff / denom
+		if rel > 0.02 {
+			return 0
+		}
+		return 1 - rel/0.02
+	}
+	sim := ACCU{Similarity: relSim, SimInfluence: 1}
+	if sim.Name() != "accusim" {
+		t.Error("name")
+	}
+	res, err := sim.Fuse(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values[it].Num != 100.0 && res.Values[it].Num != 100.5 {
+		t.Errorf("accusim should pick the reinforced cluster, got %v", res.Values[it])
+	}
+}
+
+func TestACCUSIMNeutralWithoutSimilarPairs(t *testing.T) {
+	cw := onlineWorld(6)
+	plain, err := ACCU{}.Fuse(cw.Claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroSim := ACCU{Similarity: func(a, b data.Value) float64 { return 0 }}
+	res, err := zeroSim.Fuse(cw.Claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pAcc, _ := eval.FusionAccuracy(plain.Values, cw.Claims)
+	sAcc, _ := eval.FusionAccuracy(res.Values, cw.Claims)
+	if diff := pAcc - sAcc; diff > 0.01 || diff < -0.01 {
+		t.Errorf("zero similarity must reduce to plain accu: %f vs %f", pAcc, sAcc)
+	}
+}

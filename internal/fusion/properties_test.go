@@ -1,0 +1,136 @@
+package fusion
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/data"
+	"repro/internal/datagen"
+)
+
+// randomClaims builds a claim world from quick-generated knobs.
+func randomClaims(seed int64, items, sources uint8) *datagen.ClaimWorld {
+	return datagen.BuildClaims(datagen.ClaimConfig{
+		Seed:     seed,
+		NumItems: int(items%40) + 5, NumValues: 4,
+		NumSources: int(sources%8) + 2,
+	})
+}
+
+// TestFusersOnlyChooseClaimedValues: every fused value must have been
+// claimed by some source for that item, for every fuser.
+func TestFusersOnlyChooseClaimedValues(t *testing.T) {
+	fusers := []Fuser{MajorityVote{}, TruthFinder{}, ACCU{}, ACCU{Popularity: true}, ACCUCOPY{}}
+	f := func(seed int64, items, sources uint8) bool {
+		cw := randomClaims(seed, items, sources)
+		claimed := map[data.Item]map[string]bool{}
+		for _, c := range cw.Claims.All() {
+			if claimed[c.Item] == nil {
+				claimed[c.Item] = map[string]bool{}
+			}
+			claimed[c.Item][c.Value.Key()] = true
+		}
+		for _, fu := range fusers {
+			res, err := fu.Fuse(cw.Claims)
+			if err != nil {
+				return false
+			}
+			for it, v := range res.Values {
+				if !claimed[it][v.Key()] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFuserConfidencesInRange: confidences and accuracies live in [0,1].
+func TestFuserConfidencesInRange(t *testing.T) {
+	fusers := []Fuser{MajorityVote{}, TruthFinder{}, ACCU{}, ACCUCOPY{}}
+	f := func(seed int64) bool {
+		cw := randomClaims(seed, uint8(seed%37), uint8(seed%11))
+		for _, fu := range fusers {
+			res, err := fu.Fuse(cw.Claims)
+			if err != nil {
+				return false
+			}
+			for _, c := range res.Confidence {
+				if c < 0 || c > 1 {
+					return false
+				}
+			}
+			for _, a := range res.SourceAccuracy {
+				if a < 0 || a > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVoteClaimOrderInvariance: majority vote must not depend on claim
+// insertion order.
+func TestVoteClaimOrderInvariance(t *testing.T) {
+	cw := randomClaims(99, 20, 6)
+	base, err := MajorityVote{}.Fuse(cw.Claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	claims := cw.Claims.All()
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 5; trial++ {
+		rng.Shuffle(len(claims), func(i, j int) { claims[i], claims[j] = claims[j], claims[i] })
+		cs := data.NewClaimSet()
+		for _, c := range claims {
+			cs.Add(c)
+		}
+		res, err := MajorityVote{}.Fuse(cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for it, v := range base.Values {
+			if !res.Values[it].Equal(v) {
+				t.Fatalf("vote order-dependent at %v: %v vs %v", it, v, res.Values[it])
+			}
+		}
+	}
+}
+
+// TestOnlineAgreesWithWeightedVoteAtFullBudget: the online protocol's
+// answers must equal offline weighted voting with the same weights.
+func TestOnlineAgreesWithWeightedVoteAtFullBudget(t *testing.T) {
+	f := func(seed int64) bool {
+		cw := randomClaims(seed, 30, 7)
+		on := Online{Accuracy: cw.TrueAccuracy}
+		or, err := on.FuseOnline(cw.Claims)
+		if err != nil {
+			return false
+		}
+		off, err := WeightedVote{Weights: weightsFor(on, cw.Claims.Sources())}.Fuse(cw.Claims)
+		if err != nil {
+			return false
+		}
+		agree, total := 0, 0
+		for it, v := range off.Values {
+			total++
+			if or.Values[it].Equal(v) {
+				agree++
+			}
+		}
+		// Tie-breaks may differ (the online protocol finalises on
+		// arrival order); demand ≥95% agreement.
+		return total == 0 || float64(agree)/float64(total) >= 0.95
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}

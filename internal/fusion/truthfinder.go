@@ -1,0 +1,124 @@
+package fusion
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/data"
+)
+
+// TruthFinder implements Yin, Han & Yu's iterative trust model: a
+// source's trustworthiness is the average confidence of the values it
+// claims; a value's confidence aggregates the trust of its claimants
+// through a log-odds combination. Iterate until source trust
+// stabilises.
+type TruthFinder struct {
+	// Gamma dampens the confidence logistic. Default 0.3.
+	Gamma float64
+	// InitialTrust of every source. Default 0.8.
+	InitialTrust float64
+	// MaxIterations (default 20) and Epsilon (default 1e-4) bound the
+	// fixpoint loop.
+	MaxIterations int
+	Epsilon       float64
+}
+
+// Name implements Fuser.
+func (TruthFinder) Name() string { return "truthfinder" }
+
+// Fuse implements Fuser.
+func (tf TruthFinder) Fuse(cs *data.ClaimSet) (*Result, error) {
+	gamma := tf.Gamma
+	if gamma <= 0 {
+		gamma = 0.3
+	}
+	trust0 := tf.InitialTrust
+	if trust0 <= 0 || trust0 >= 1 {
+		trust0 = 0.8
+	}
+	maxIter := tf.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 20
+	}
+	eps := tf.Epsilon
+	if eps <= 0 {
+		eps = 1e-4
+	}
+
+	trust := map[string]float64{}
+	for _, s := range cs.Sources() {
+		trust[s] = trust0
+	}
+	items := cs.Items()
+	tallies := make([]*voteCounts, len(items))
+	for i, it := range items {
+		tallies[i] = tally(cs.ItemClaims(it))
+	}
+
+	const maxTrust = 0.999999
+	conf := map[data.Item]map[string]float64{} // item → value key → confidence
+	iters := 0
+	for iter := 0; iter < maxIter; iter++ {
+		iters = iter + 1
+		// Value confidences from source trust.
+		for i, it := range items {
+			vc := tallies[i]
+			m := map[string]float64{}
+			for _, k := range vc.keyOrder {
+				var sigma float64
+				for _, s := range vc.sources[k] {
+					t := trust[s]
+					if t > maxTrust {
+						t = maxTrust
+					}
+					sigma += -math.Log(1 - t) // tau(s)
+				}
+				m[k] = 1 / (1 + math.Exp(-gamma*sigma))
+			}
+			conf[it] = m
+		}
+		// Source trust from value confidences.
+		maxDelta := 0.0
+		for _, s := range cs.Sources() {
+			claims := cs.SourceClaims(s)
+			if len(claims) == 0 {
+				continue
+			}
+			var sum float64
+			for _, c := range claims {
+				sum += conf[c.Item][c.Value.Key()]
+			}
+			next := sum / float64(len(claims))
+			if d := math.Abs(next - trust[s]); d > maxDelta {
+				maxDelta = d
+			}
+			trust[s] = next
+		}
+		if maxDelta < eps {
+			break
+		}
+	}
+
+	res := &Result{
+		Values:         map[data.Item]data.Value{},
+		Confidence:     map[data.Item]float64{},
+		SourceAccuracy: trust,
+		Iterations:     iters,
+	}
+	for i, it := range items {
+		vc := tallies[i]
+		keys := append([]string(nil), vc.keyOrder...)
+		sort.Strings(keys)
+		bestKey, best := "", -1.0
+		for _, k := range keys {
+			if c := conf[it][k]; c > best {
+				best, bestKey = c, k
+			}
+		}
+		if bestKey != "" {
+			res.Values[it] = vc.values[bestKey]
+			res.Confidence[it] = best
+		}
+	}
+	return res, nil
+}

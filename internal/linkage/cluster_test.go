@@ -1,0 +1,164 @@
+package linkage
+
+import (
+	"testing"
+
+	"repro/internal/data"
+)
+
+func edge(a, b string, s float64) data.ScoredPair {
+	return data.ScoredPair{Pair: data.NewPair(a, b), Score: s}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	ids := []string{"a", "b", "c", "d", "e"}
+	edges := []data.ScoredPair{edge("a", "b", 0.9), edge("b", "c", 0.8)}
+	got := ConnectedComponents{}.Cluster(ids, edges)
+	want := data.Clustering{{"a", "b", "c"}, {"d"}, {"e"}}.Normalize()
+	assertClusteringEqual(t, got, want)
+}
+
+func TestCenterResistsChaining(t *testing.T) {
+	// Chain a-b-c-d with strong ends and a weak middle edge: connected
+	// components glues all four; center clustering keeps two clusters.
+	ids := []string{"a", "b", "c", "d"}
+	edges := []data.ScoredPair{
+		edge("a", "b", 0.95),
+		edge("c", "d", 0.9),
+		edge("b", "c", 0.55), // the spurious bridge
+	}
+	cc := ConnectedComponents{}.Cluster(ids, edges)
+	if len(cc) != 1 {
+		t.Fatalf("connected components = %v, want single cluster", cc)
+	}
+	ct := Center{}.Cluster(ids, edges)
+	if len(ct) != 2 {
+		t.Fatalf("center clustering = %v, want 2 clusters", ct)
+	}
+	assertSame(t, ct, "a", "b")
+	assertSame(t, ct, "c", "d")
+}
+
+func TestCenterSatelliteDoesNotRecruit(t *testing.T) {
+	// b joins center a; then edge (b,x) must NOT pull x into a's
+	// cluster; x waits and becomes available for a later edge/center.
+	ids := []string{"a", "b", "x"}
+	edges := []data.ScoredPair{
+		edge("a", "b", 0.9),
+		edge("b", "x", 0.8),
+	}
+	got := Center{}.Cluster(ids, edges)
+	assertSame(t, got, "a", "b")
+	if same(got, "a", "x") {
+		t.Errorf("satellite must not recruit: %v", got)
+	}
+}
+
+func TestMergeCenterMergesLinkedCenters(t *testing.T) {
+	// Two centers a and c, satellites b and d; a later direct edge
+	// between satellites' centers (a,c) merges the clusters.
+	ids := []string{"a", "b", "c", "d"}
+	edges := []data.ScoredPair{
+		edge("a", "b", 0.95),
+		edge("c", "d", 0.9),
+		edge("a", "c", 0.85),
+	}
+	center := Center{}.Cluster(ids, edges)
+	if len(center) != 2 {
+		t.Fatalf("center = %v, want 2 clusters", center)
+	}
+	merged := MergeCenter{}.Cluster(ids, edges)
+	if len(merged) != 1 {
+		t.Fatalf("merge-center = %v, want 1 cluster", merged)
+	}
+}
+
+func TestCorrelationClustering(t *testing.T) {
+	// Dense triangle plus weakly attached node: pivot clustering puts
+	// the triangle together; the weak node needs score >= MinScore.
+	ids := []string{"a", "b", "c", "z"}
+	edges := []data.ScoredPair{
+		edge("a", "b", 0.9), edge("b", "c", 0.9), edge("a", "c", 0.9),
+		edge("c", "z", 0.2),
+	}
+	got := CorrelationClustering{MinScore: 0.5}.Cluster(ids, edges)
+	assertSame(t, got, "a", "b")
+	assertSame(t, got, "b", "c")
+	if same(got, "c", "z") {
+		t.Errorf("weak edge must be filtered: %v", got)
+	}
+	loose := CorrelationClustering{MinScore: 0.1}.Cluster(ids, edges)
+	if !same(loose, "c", "z") {
+		t.Errorf("with low MinScore the weak edge may join: %v", loose)
+	}
+}
+
+func TestClusterersCoverAllIDs(t *testing.T) {
+	ids := []string{"a", "b", "c", "d", "lonely"}
+	edges := []data.ScoredPair{edge("a", "b", 0.9), edge("c", "d", 0.8)}
+	for name, c := range map[string]Clusterer{
+		"cc":     ConnectedComponents{},
+		"center": Center{},
+		"merge":  MergeCenter{},
+		"corr":   CorrelationClustering{},
+	} {
+		got := c.Cluster(ids, edges)
+		seen := map[string]bool{}
+		for _, cl := range got {
+			for _, id := range cl {
+				if seen[id] {
+					t.Errorf("%s: id %s in two clusters", name, id)
+				}
+				seen[id] = true
+			}
+		}
+		for _, id := range ids {
+			if !seen[id] {
+				t.Errorf("%s: id %s missing from clustering", name, id)
+			}
+		}
+	}
+}
+
+func TestClusterersEmptyInput(t *testing.T) {
+	for name, c := range map[string]Clusterer{
+		"cc": ConnectedComponents{}, "center": Center{},
+		"merge": MergeCenter{}, "corr": CorrelationClustering{},
+	} {
+		if got := c.Cluster(nil, nil); len(got) != 0 {
+			t.Errorf("%s: empty input gave %v", name, got)
+		}
+	}
+}
+
+func same(c data.Clustering, a, b string) bool {
+	asg := c.Assignment()
+	ia, oka := asg[a]
+	ib, okb := asg[b]
+	return oka && okb && ia == ib
+}
+
+func assertSame(t *testing.T, c data.Clustering, a, b string) {
+	t.Helper()
+	if !same(c, a, b) {
+		t.Errorf("%s and %s should share a cluster: %v", a, b, c)
+	}
+}
+
+func assertClusteringEqual(t *testing.T, got, want data.Clustering) {
+	t.Helper()
+	g, w := got.Normalize(), want.Normalize()
+	if len(g) != len(w) {
+		t.Fatalf("got %v, want %v", g, w)
+	}
+	for i := range g {
+		if len(g[i]) != len(w[i]) {
+			t.Fatalf("cluster %d: got %v, want %v", i, g[i], w[i])
+		}
+		for j := range g[i] {
+			if g[i][j] != w[i][j] {
+				t.Fatalf("cluster %d: got %v, want %v", i, g[i], w[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package linkage
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/similarity"
+)
+
+func incMatcher() Matcher {
+	return ThresholdMatcher{
+		Comparator: similarity.UniformComparator(similarity.Jaccard, "title"),
+		Threshold:  0.6,
+	}
+}
+
+func TestIncrementalLinksStreamingDuplicates(t *testing.T) {
+	inc := NewIncremental(TitleTokenKey, incMatcher())
+	src := &data.Source{ID: "s"}
+	r1 := data.NewRecord("r1", "s").Set("title", data.String("acme rocket skate"))
+	r2 := data.NewRecord("r2", "s").Set("title", data.String("zenix blender"))
+	r3 := data.NewRecord("r3", "s").Set("title", data.String("acme rocket skate pro"))
+
+	if m, err := inc.Insert(src, r1); err != nil || len(m) != 0 {
+		t.Fatalf("first insert: %v %v", m, err)
+	}
+	if m, err := inc.Insert(src, r2); err != nil || len(m) != 0 {
+		t.Fatalf("unrelated insert: %v %v", m, err)
+	}
+	m, err := inc.Insert(src, r3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 1 || m[0] != "r1" {
+		t.Fatalf("r3 should match r1, got %v", m)
+	}
+	clusters := inc.Clusters()
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %v", clusters)
+	}
+	if inc.Len() != 3 {
+		t.Errorf("Len = %d", inc.Len())
+	}
+	if inc.Comparisons() == 0 {
+		t.Error("comparisons must be counted")
+	}
+}
+
+func TestIncrementalRejectsDuplicateID(t *testing.T) {
+	inc := NewIncremental(TitleTokenKey, incMatcher())
+	src := &data.Source{ID: "s"}
+	r := data.NewRecord("r1", "s").Set("title", data.String("x y"))
+	if _, err := inc.Insert(src, r); err != nil {
+		t.Fatal(err)
+	}
+	r2 := data.NewRecord("r1", "s").Set("title", data.String("x z"))
+	if _, err := inc.Insert(src, r2); err == nil {
+		t.Error("duplicate record ID must error")
+	}
+}
+
+func TestIncrementalCostStaysSublinear(t *testing.T) {
+	// With distinct titles, per-insert comparisons must not grow with
+	// corpus size (each record's tokens are unique).
+	inc := NewIncremental(TitleTokenKey, incMatcher())
+	src := &data.Source{ID: "s"}
+	for i := 0; i < 300; i++ {
+		r := data.NewRecord(fmt.Sprintf("u%03d", i), "s").
+			Set("title", data.String(fmt.Sprintf("unique%dword alpha%d", i, i)))
+		if _, err := inc.Insert(src, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inc.Comparisons() != 0 {
+		t.Errorf("disjoint-token stream made %d comparisons, want 0", inc.Comparisons())
+	}
+}
+
+func TestIncrementalMaxBlockCapsStopwordKeys(t *testing.T) {
+	inc := NewIncremental(TitleTokenKey, incMatcher())
+	inc.MaxBlock = 10
+	src := &data.Source{ID: "s"}
+	// Every record shares the token "common": blocks explode unless
+	// capped.
+	for i := 0; i < 100; i++ {
+		r := data.NewRecord(fmt.Sprintf("c%03d", i), "s").
+			Set("title", data.String(fmt.Sprintf("common item%d", i)))
+		if _, err := inc.Insert(src, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Per insert at most MaxBlock comparisons per key × 2 keys.
+	if max := 100 * 2 * inc.MaxBlock; inc.Comparisons() > max {
+		t.Errorf("comparisons = %d, exceeds cap %d", inc.Comparisons(), max)
+	}
+}
+
+func TestIncrementalMatchesBatchOnCleanStream(t *testing.T) {
+	// Stream two copies of each of 30 entities; incremental clustering
+	// must equal the ground truth.
+	inc := NewIncremental(TitleTokenKey, incMatcher())
+	src := &data.Source{ID: "s"}
+	truth := data.Clustering{}
+	for i := 0; i < 30; i++ {
+		a := fmt.Sprintf("a%02d", i)
+		b := fmt.Sprintf("b%02d", i)
+		title := fmt.Sprintf("brand%02d product%02d series%02d", i, i, i)
+		ra := data.NewRecord(a, "s").Set("title", data.String(title))
+		rb := data.NewRecord(b, "s").Set("title", data.String(title+" extra"))
+		if _, err := inc.Insert(src, ra); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := inc.Insert(src, rb); err != nil {
+			t.Fatal(err)
+		}
+		truth = append(truth, data.Cluster{a, b})
+	}
+	got := inc.Clusters()
+	gotPairs := map[data.Pair]bool{}
+	for _, p := range got.Pairs() {
+		gotPairs[p] = true
+	}
+	for _, p := range truth.Pairs() {
+		if !gotPairs[p] {
+			t.Errorf("missing true pair %v", p)
+		}
+	}
+	if len(got.Pairs()) != len(truth.Pairs()) {
+		t.Errorf("extra pairs: got %d, want %d", len(got.Pairs()), len(truth.Pairs()))
+	}
+}

@@ -1,0 +1,90 @@
+package linkage
+
+import (
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/parallel"
+	"repro/internal/similarity"
+)
+
+// Matcher decides whether a candidate record pair refers to the same
+// entity, returning a score in [0,1] and the boolean decision.
+type Matcher interface {
+	Match(a, b *data.Record) (score float64, match bool)
+}
+
+// ThresholdMatcher wraps a RecordComparator with a decision threshold —
+// the simple rule-based matcher.
+type ThresholdMatcher struct {
+	Comparator *similarity.RecordComparator
+	Threshold  float64
+}
+
+// Match implements Matcher.
+func (m ThresholdMatcher) Match(a, b *data.Record) (float64, bool) {
+	s := m.Comparator.Compare(a, b)
+	return s, s >= m.Threshold
+}
+
+// RuleMatcher matches when a hard rule fires: any of the Exact
+// attributes agree exactly on non-null normalised values (identifier
+// equality), or the weighted comparator exceeds the threshold. It
+// mirrors the tutorial's product-domain observation that identifier
+// equality is the strongest linkage signal.
+type RuleMatcher struct {
+	Exact      []string // attributes whose exact equality implies a match
+	Comparator *similarity.RecordComparator
+	Threshold  float64
+}
+
+// Match implements Matcher.
+func (m RuleMatcher) Match(a, b *data.Record) (float64, bool) {
+	for _, attr := range m.Exact {
+		va, vb := a.Get(attr), b.Get(attr)
+		if !va.IsNull() && !vb.IsNull() && va.Key() == vb.Key() {
+			return 1, true
+		}
+	}
+	if m.Comparator == nil {
+		return 0, false
+	}
+	s := m.Comparator.Compare(a, b)
+	return s, s >= m.Threshold
+}
+
+// MatchPairs scores every candidate pair with the matcher, in parallel,
+// and returns the matching pairs with scores, sorted by descending
+// score then pair order (deterministic regardless of worker count).
+func MatchPairs(d *data.Dataset, candidates []data.Pair, m Matcher, workers int) []data.ScoredPair {
+	results := make([]data.ScoredPair, len(candidates))
+	ok := make([]bool, len(candidates))
+	parallel.ForEach(parallel.Config{Workers: workers}, len(candidates), func(i int) {
+		p := candidates[i]
+		a, b := d.Record(p.A), d.Record(p.B)
+		if a == nil || b == nil {
+			return
+		}
+		s, match := m.Match(a, b)
+		if match {
+			results[i] = data.ScoredPair{Pair: p, Score: s}
+			ok[i] = true
+		}
+	})
+	out := make([]data.ScoredPair, 0, len(candidates))
+	for i, keep := range ok {
+		if keep {
+			out = append(out, results[i])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}

@@ -1,0 +1,200 @@
+package linkage
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/datagen"
+	"repro/internal/similarity"
+)
+
+func linkageSample() *data.Dataset {
+	d := data.NewDataset()
+	_ = d.AddSource(&data.Source{ID: "s1"})
+	_ = d.AddSource(&data.Source{ID: "s2"})
+	recs := []*data.Record{
+		data.NewRecord("a", "s1").Set("title", data.String("acme rocket skate 300")).Set("pid", data.String("AR-300")),
+		data.NewRecord("b", "s2").Set("title", data.String("acme rocket skate 300 deluxe")).Set("pid", data.String("AR-300")),
+		data.NewRecord("c", "s1").Set("title", data.String("zenix photon blender")).Set("pid", data.String("ZP-9")),
+		data.NewRecord("d", "s2").Set("title", data.String("acme rocket skate 500")).Set("pid", data.String("AR-500")),
+	}
+	for _, r := range recs {
+		_ = d.AddRecord(r)
+	}
+	return d
+}
+
+func TestThresholdMatcher(t *testing.T) {
+	d := linkageSample()
+	m := ThresholdMatcher{
+		Comparator: similarity.UniformComparator(similarity.Jaccard, "title"),
+		Threshold:  0.6,
+	}
+	if _, ok := m.Match(d.Record("a"), d.Record("b")); !ok {
+		t.Error("near-duplicate titles must match at 0.6")
+	}
+	if _, ok := m.Match(d.Record("a"), d.Record("c")); ok {
+		t.Error("unrelated titles must not match")
+	}
+}
+
+func TestRuleMatcherIdentifierWins(t *testing.T) {
+	d := linkageSample()
+	m := RuleMatcher{Exact: []string{"pid"}}
+	if s, ok := m.Match(d.Record("a"), d.Record("b")); !ok || s != 1 {
+		t.Error("identifier equality must force a match with score 1")
+	}
+	if _, ok := m.Match(d.Record("a"), d.Record("d")); ok {
+		t.Error("different identifiers with no comparator must not match")
+	}
+	// Identifier equality is checked on normalised keys but distinct
+	// kinds never collide.
+	x := data.NewRecord("x", "s1").Set("pid", data.Number(12))
+	y := data.NewRecord("y", "s1").Set("pid", data.String("12"))
+	if _, ok := m.Match(x, y); ok {
+		t.Error("number 12 and string \"12\" must not be identifier-equal")
+	}
+}
+
+func TestRuleMatcherFallsBackToComparator(t *testing.T) {
+	d := linkageSample()
+	m := RuleMatcher{
+		Exact:      []string{"nonexistent"},
+		Comparator: similarity.UniformComparator(similarity.Jaccard, "title"),
+		Threshold:  0.6,
+	}
+	if _, ok := m.Match(d.Record("a"), d.Record("b")); !ok {
+		t.Error("comparator fallback must fire")
+	}
+}
+
+func TestMatchPairsDeterministicAcrossWorkers(t *testing.T) {
+	d := linkageSample()
+	cands := []data.Pair{
+		data.NewPair("a", "b"), data.NewPair("a", "c"),
+		data.NewPair("a", "d"), data.NewPair("b", "d"), data.NewPair("c", "d"),
+	}
+	m := ThresholdMatcher{
+		Comparator: similarity.UniformComparator(similarity.Jaccard, "title"),
+		Threshold:  0.3,
+	}
+	base := MatchPairs(d, cands, m, 1)
+	for _, w := range []int{2, 4, 8} {
+		got := MatchPairs(d, cands, m, w)
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: %d pairs vs %d", w, len(got), len(base))
+		}
+		for i := range got {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d: result %d differs", w, i)
+			}
+		}
+	}
+}
+
+func TestMatchPairsSkipsUnknownRecords(t *testing.T) {
+	d := linkageSample()
+	m := RuleMatcher{Exact: []string{"pid"}}
+	out := MatchPairs(d, []data.Pair{data.NewPair("a", "ghost")}, m, 2)
+	if len(out) != 0 {
+		t.Errorf("unknown record must be skipped, got %v", out)
+	}
+}
+
+// End-to-end sanity on generated data: identifier-based rule matching on
+// a clean web recovers the ground-truth clustering almost perfectly.
+func TestRuleMatcherOnGeneratedWeb(t *testing.T) {
+	w := datagen.NewWorld(datagen.WorldConfig{Seed: 21, NumEntities: 40})
+	web := datagen.BuildWeb(w, datagen.SourceConfig{
+		Seed: 22, NumSources: 10, DirtLevel: 1, IdentifierRate: 0.999,
+	})
+	d := web.Dataset
+	var ids []string
+	for _, r := range d.Records() {
+		ids = append(ids, r.ID)
+	}
+	// Candidates: all pairs sharing a pid (identifier blocking).
+	byPid := map[string][]string{}
+	for _, r := range d.Records() {
+		if v := r.Get("pid"); !v.IsNull() {
+			byPid[v.Str] = append(byPid[v.Str], r.ID)
+		}
+	}
+	var cands []data.Pair
+	for _, members := range byPid {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				cands = append(cands, data.NewPair(members[i], members[j]))
+			}
+		}
+	}
+	matched := MatchPairs(d, cands, RuleMatcher{Exact: []string{"pid"}}, 4)
+	clusters := ConnectedComponents{}.Cluster(ids, matched)
+	truth := d.GroundTruthClusters()
+	// Pairwise precision must be perfect (identifiers are unique);
+	// recall high (identifier coverage ~1).
+	pr := clusterPRF(clusters, truth)
+	if pr.p < 0.999 {
+		t.Errorf("identifier linkage precision = %f", pr.p)
+	}
+	if pr.r < 0.95 {
+		t.Errorf("identifier linkage recall = %f", pr.r)
+	}
+}
+
+type prf struct{ p, r float64 }
+
+func clusterPRF(pred, truth data.Clustering) prf {
+	ps := map[data.Pair]bool{}
+	for _, p := range pred.Pairs() {
+		ps[p] = true
+	}
+	ts := map[data.Pair]bool{}
+	for _, p := range truth.Pairs() {
+		ts[p] = true
+	}
+	tp := 0
+	for p := range ps {
+		if ts[p] {
+			tp++
+		}
+	}
+	out := prf{}
+	if len(ps) > 0 {
+		out.p = float64(tp) / float64(len(ps))
+	}
+	if len(ts) > 0 {
+		out.r = float64(tp) / float64(len(ts))
+	}
+	return out
+}
+
+func TestMatchPairsEmptyCandidates(t *testing.T) {
+	d := linkageSample()
+	if got := MatchPairs(d, nil, RuleMatcher{Exact: []string{"pid"}}, 3); len(got) != 0 {
+		t.Errorf("empty candidates = %v", got)
+	}
+}
+
+func BenchmarkMatchPairs(b *testing.B) {
+	w := datagen.NewWorld(datagen.WorldConfig{Seed: 1, NumEntities: 100})
+	web := datagen.BuildWeb(w, datagen.SourceConfig{Seed: 2, NumSources: 20, DirtLevel: 1})
+	d := web.Dataset
+	recs := d.Records()
+	var cands []data.Pair
+	for i := 0; i < len(recs) && i < 300; i++ {
+		for j := i + 1; j < len(recs) && j < i+10; j++ {
+			cands = append(cands, data.NewPair(recs[i].ID, recs[j].ID))
+		}
+	}
+	m := ThresholdMatcher{
+		Comparator: similarity.UniformComparator(similarity.Jaccard, "title"),
+		Threshold:  0.5,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatchPairs(d, cands, m, 4)
+	}
+	_ = fmt.Sprint(len(cands))
+}

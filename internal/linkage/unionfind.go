@@ -1,0 +1,85 @@
+// Package linkage implements the record-linkage stage of the pipeline:
+// pairwise matchers (rule-based, weighted-similarity and Fellegi–Sunter
+// probabilistic with EM training), clustering of the match graph
+// (connected components, center, merge-center, correlation clustering)
+// and incremental linkage for high-velocity streams.
+package linkage
+
+import "sort"
+
+// UnionFind is a disjoint-set forest over string IDs with path
+// compression and union by rank.
+type UnionFind struct {
+	parent map[string]string
+	rank   map[string]int
+}
+
+// NewUnionFind returns an empty forest.
+func NewUnionFind() *UnionFind {
+	return &UnionFind{parent: map[string]string{}, rank: map[string]int{}}
+}
+
+// Add ensures id exists as a singleton set.
+func (u *UnionFind) Add(id string) {
+	if _, ok := u.parent[id]; !ok {
+		u.parent[id] = id
+	}
+}
+
+// Find returns the representative of id's set, adding id if unseen.
+func (u *UnionFind) Find(id string) string {
+	u.Add(id)
+	root := id
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	for u.parent[id] != root { // path compression
+		u.parent[id], id = root, u.parent[id]
+	}
+	return root
+}
+
+// Union merges the sets of a and b.
+func (u *UnionFind) Union(a, b string) {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}
+
+// Same reports whether a and b are in the same set.
+func (u *UnionFind) Same(a, b string) bool { return u.Find(a) == u.Find(b) }
+
+// Sets returns the current partition with members and sets sorted.
+func (u *UnionFind) Sets() [][]string {
+	groups := map[string][]string{}
+	ids := make([]string, 0, len(u.parent))
+	for id := range u.parent {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		r := u.Find(id)
+		groups[r] = append(groups[r], id)
+	}
+	roots := make([]string, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Strings(roots)
+	out := make([][]string, 0, len(groups))
+	for _, r := range roots {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// Len returns the number of elements tracked.
+func (u *UnionFind) Len() int { return len(u.parent) }

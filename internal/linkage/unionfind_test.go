@@ -1,0 +1,91 @@
+package linkage
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnionFindBasics(t *testing.T) {
+	uf := NewUnionFind()
+	uf.Union("a", "b")
+	uf.Union("c", "d")
+	if !uf.Same("a", "b") || !uf.Same("c", "d") {
+		t.Fatal("direct unions lost")
+	}
+	if uf.Same("a", "c") {
+		t.Fatal("distinct sets merged")
+	}
+	uf.Union("b", "c")
+	if !uf.Same("a", "d") {
+		t.Fatal("transitive union lost")
+	}
+	if uf.Len() != 4 {
+		t.Errorf("Len = %d", uf.Len())
+	}
+}
+
+func TestUnionFindSets(t *testing.T) {
+	uf := NewUnionFind()
+	uf.Union("x", "y")
+	uf.Add("z")
+	sets := uf.Sets()
+	if len(sets) != 2 {
+		t.Fatalf("sets = %v", sets)
+	}
+	if len(sets[0]) != 2 || sets[0][0] != "x" || sets[0][1] != "y" {
+		t.Errorf("first set = %v", sets[0])
+	}
+	if len(sets[1]) != 1 || sets[1][0] != "z" {
+		t.Errorf("second set = %v", sets[1])
+	}
+}
+
+func TestUnionFindIdempotentUnion(t *testing.T) {
+	uf := NewUnionFind()
+	uf.Union("a", "b")
+	uf.Union("a", "b")
+	uf.Union("b", "a")
+	if got := len(uf.Sets()); got != 1 {
+		t.Errorf("sets = %d, want 1", got)
+	}
+}
+
+func TestUnionFindEquivalenceProperties(t *testing.T) {
+	// Property: after a random union sequence, Same is an equivalence
+	// relation consistent with Sets().
+	f := func(ops []uint16) bool {
+		uf := NewUnionFind()
+		n := 12
+		for _, op := range ops {
+			a := fmt.Sprintf("n%d", int(op)%n)
+			b := fmt.Sprintf("n%d", int(op>>4)%n)
+			uf.Union(a, b)
+		}
+		sets := uf.Sets()
+		// Every pair within a set must be Same; across sets must not.
+		for i, s1 := range sets {
+			for _, a := range s1 {
+				for _, b := range s1 {
+					if !uf.Same(a, b) {
+						return false
+					}
+				}
+				for j, s2 := range sets {
+					if i == j {
+						continue
+					}
+					for _, b := range s2 {
+						if uf.Same(a, b) {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

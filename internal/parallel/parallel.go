@@ -1,0 +1,192 @@
+// Package parallel is a small, deterministic map/shuffle/reduce
+// framework over goroutines — the stand-in for the MapReduce clusters
+// used by the scale experiments the Big Data Integration tutorial
+// surveys. It exercises the same logical structure (partitioning,
+// key-grouped shuffle, reduce skew) on shared memory.
+package parallel
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// KV is one key/value pair flowing between map and reduce.
+type KV struct {
+	Key   string
+	Value interface{}
+}
+
+// MapFunc consumes one input item and emits zero or more pairs.
+type MapFunc func(item interface{}, emit func(KV))
+
+// ReduceFunc consumes one key and all its values and emits zero or more
+// outputs.
+type ReduceFunc func(key string, values []interface{}, emit func(interface{}))
+
+// Config controls a job run.
+type Config struct {
+	Workers int // default runtime.NumCPU()
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// Run executes a full map→shuffle→reduce job over items and returns the
+// reducer outputs. Output order is deterministic: reduce keys are
+// processed in sorted order and outputs are concatenated in that order,
+// regardless of worker count.
+func Run(cfg Config, items []interface{}, m MapFunc, r ReduceFunc) []interface{} {
+	grouped := mapAndShuffle(cfg, items, m)
+
+	keys := make([]string, 0, len(grouped))
+	for k := range grouped {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	// Reduce in parallel, preserving key order in the output.
+	outs := make([][]interface{}, len(keys))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.workers())
+	for i, k := range keys {
+		wg.Add(1)
+		go func(i int, k string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r(k, grouped[k], func(v interface{}) { outs[i] = append(outs[i], v) })
+		}(i, k)
+	}
+	wg.Wait()
+
+	var flat []interface{}
+	for _, o := range outs {
+		flat = append(flat, o...)
+	}
+	return flat
+}
+
+// mapAndShuffle runs the map phase over items with the configured
+// worker count and groups emissions by key. Within a key, values appear
+// in input order (stable shuffle), so results do not depend on worker
+// scheduling.
+func mapAndShuffle(cfg Config, items []interface{}, m MapFunc) map[string][]interface{} {
+	type emission struct {
+		kv  KV
+		seq int // input index, for stable ordering within a key
+	}
+	w := cfg.workers()
+	emissionsPer := make([][]emission, len(items))
+
+	var wg sync.WaitGroup
+	chunk := (len(items) + w - 1) / w
+	if chunk == 0 {
+		chunk = 1
+	}
+	for start := 0; start < len(items); start += chunk {
+		end := start + chunk
+		if end > len(items) {
+			end = len(items)
+		}
+		wg.Add(1)
+		go func(start, end int) {
+			defer wg.Done()
+			for i := start; i < end; i++ {
+				idx := i
+				m(items[idx], func(kv KV) {
+					emissionsPer[idx] = append(emissionsPer[idx], emission{kv: kv, seq: idx})
+				})
+			}
+		}(start, end)
+	}
+	wg.Wait()
+
+	grouped := map[string][]interface{}{}
+	for _, ems := range emissionsPer {
+		for _, e := range ems {
+			grouped[e.kv.Key] = append(grouped[e.kv.Key], e.kv.Value)
+		}
+	}
+	return grouped
+}
+
+// Partition assigns a key to one of n buckets by FNV hash — the
+// hash-partitioner used when fanning records out to blocking workers.
+func Partition(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+// ForEach applies f to every index in [0,n) using the configured number
+// of workers, blocking until done. It is the plain data-parallel loop
+// used by pairwise matching.
+func ForEach(cfg Config, n int, f func(i int)) {
+	w := cfg.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	// Static contiguous ranges: negligible coordination overhead, good
+	// balance for the uniform per-item costs of pairwise matching, and
+	// no false sharing when workers write result slices by index.
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(start, end int) {
+			defer wg.Done()
+			for i := start; i < end; i++ {
+				f(i)
+			}
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// MapSlice applies f to every element of a string slice in parallel and
+// returns outputs in input order.
+func MapSlice[T any](cfg Config, in []string, f func(s string) T) []T {
+	out := make([]T, len(in))
+	ForEach(cfg, len(in), func(i int) { out[i] = f(in[i]) })
+	return out
+}
+
+// Errgroup runs fns concurrently and returns the first error.
+func Errgroup(fns ...func() error) error {
+	errs := make([]error, len(fns))
+	var wg sync.WaitGroup
+	for i, fn := range fns {
+		wg.Add(1)
+		go func(i int, fn func() error) {
+			defer wg.Done()
+			errs[i] = fn()
+		}(i, fn)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("parallel: task %d: %w", i, err)
+		}
+	}
+	return nil
+}

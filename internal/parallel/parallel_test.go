@@ -1,0 +1,145 @@
+package parallel
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func wordCount(docs []string, workers int) map[string]int {
+	items := make([]interface{}, len(docs))
+	for i, d := range docs {
+		items[i] = d
+	}
+	out := Run(Config{Workers: workers}, items,
+		func(item interface{}, emit func(KV)) {
+			for _, w := range strings.Fields(item.(string)) {
+				emit(KV{Key: w, Value: 1})
+			}
+		},
+		func(key string, values []interface{}, emit func(interface{})) {
+			emit(KV{Key: key, Value: len(values)})
+		})
+	counts := map[string]int{}
+	for _, o := range out {
+		kv := o.(KV)
+		counts[kv.Key] = kv.Value.(int)
+	}
+	return counts
+}
+
+func TestRunWordCount(t *testing.T) {
+	docs := []string{"a b a", "b c", "a"}
+	got := wordCount(docs, 4)
+	want := map[string]int{"a": 3, "b": 2, "c": 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	docs := []string{"x y z", "x x", "y", "z z z", "w x y z"}
+	base := wordCount(docs, 1)
+	for _, w := range []int{2, 3, 8} {
+		if got := wordCount(docs, w); !reflect.DeepEqual(got, base) {
+			t.Errorf("workers=%d got %v, want %v", w, got, base)
+		}
+	}
+}
+
+func TestRunOutputOrderSorted(t *testing.T) {
+	items := []interface{}{"b", "a", "c"}
+	out := Run(Config{Workers: 4}, items,
+		func(item interface{}, emit func(KV)) { emit(KV{Key: item.(string), Value: item}) },
+		func(key string, values []interface{}, emit func(interface{})) { emit(key) })
+	got := make([]string, len(out))
+	for i, o := range out {
+		got[i] = o.(string)
+	}
+	if !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("reduce output order = %v, want sorted keys", got)
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	out := Run(Config{}, nil,
+		func(item interface{}, emit func(KV)) { t.Fatal("map called on empty input") },
+		func(key string, values []interface{}, emit func(interface{})) { t.Fatal("reduce called") })
+	if len(out) != 0 {
+		t.Errorf("want empty output, got %v", out)
+	}
+}
+
+func TestPartitionStableAndBounded(t *testing.T) {
+	f := func(key string, n uint8) bool {
+		buckets := int(n%16) + 1
+		p := Partition(key, buckets)
+		return p >= 0 && p < buckets && p == Partition(key, buckets)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if Partition("anything", 1) != 0 || Partition("anything", 0) != 0 {
+		t.Error("degenerate bucket counts must map to 0")
+	}
+}
+
+func TestPartitionSpreads(t *testing.T) {
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		seen[Partition(strings.Repeat("k", i+1), 8)] = true
+	}
+	if len(seen) < 6 {
+		t.Errorf("partition used only %d of 8 buckets", len(seen))
+	}
+}
+
+func TestForEachCoversAll(t *testing.T) {
+	var n int64
+	hits := make([]int64, 1000)
+	ForEach(Config{Workers: 7}, 1000, func(i int) {
+		atomic.AddInt64(&hits[i], 1)
+		atomic.AddInt64(&n, 1)
+	})
+	if n != 1000 {
+		t.Fatalf("ran %d of 1000", n)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestForEachSingleWorker(t *testing.T) {
+	order := []int{}
+	ForEach(Config{Workers: 1}, 5, func(i int) { order = append(order, i) })
+	if !reflect.DeepEqual(order, []int{0, 1, 2, 3, 4}) {
+		t.Errorf("single worker must run in order, got %v", order)
+	}
+}
+
+func TestMapSlice(t *testing.T) {
+	in := []string{"a", "bb", "ccc"}
+	out := MapSlice(Config{Workers: 3}, in, func(s string) int { return len(s) })
+	if !reflect.DeepEqual(out, []int{1, 2, 3}) {
+		t.Errorf("MapSlice = %v", out)
+	}
+}
+
+func TestErrgroup(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := Errgroup(
+		func() error { return nil },
+		func() error { return sentinel },
+	)
+	if !errors.Is(err, sentinel) {
+		t.Errorf("want wrapped sentinel, got %v", err)
+	}
+	if err := Errgroup(func() error { return nil }); err != nil {
+		t.Errorf("all-nil must return nil, got %v", err)
+	}
+}

@@ -1,0 +1,189 @@
+package schema
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBuildEnsemble(t *testing.T) {
+	d, _ := alignedSample(t)
+	profiles := Profiler{}.Build(d)
+	ens, err := BuildEnsemble(profiles, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ens.Candidates) == 0 {
+		t.Fatal("no candidates")
+	}
+	var sum float64
+	for _, c := range ens.Candidates {
+		if c.P < 0 || c.P > 1 {
+			t.Errorf("candidate P = %f out of range", c.P)
+		}
+		sum += c.P
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %f", sum)
+	}
+	// Candidates are distinct schemas sorted by probability.
+	for i := 1; i < len(ens.Candidates); i++ {
+		if ens.Candidates[i].P > ens.Candidates[i-1].P {
+			t.Error("candidates must be sorted by P")
+		}
+	}
+	if ens.Top() == nil {
+		t.Error("Top must return the best candidate")
+	}
+}
+
+func TestEnsembleMapAttr(t *testing.T) {
+	d, _ := alignedSample(t)
+	profiles := Profiler{}.Build(d)
+	ens, err := BuildEnsemble(profiles, nil, []float64{0.3, 0.5, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers := ens.MapAttr(SourceAttr{"s2", "colour"})
+	if len(answers) == 0 {
+		t.Fatal("no mapping answers")
+	}
+	var sum float64
+	for _, a := range answers {
+		sum += a.P
+	}
+	if sum > 1+1e-9 {
+		t.Errorf("answer mass %f exceeds 1", sum)
+	}
+	// Unknown attribute maps nowhere.
+	if got := ens.MapAttr(SourceAttr{"s9", "ghost"}); len(got) != 0 {
+		t.Errorf("unknown attr mapped to %v", got)
+	}
+}
+
+func TestEnsembleCorrespondenceP(t *testing.T) {
+	d, _ := alignedSample(t)
+	profiles := Profiler{}.Build(d)
+	ens, err := BuildEnsemble(profiles, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := ens.CorrespondenceP(SourceAttr{"s1", "color"}, SourceAttr{"s2", "colour"})
+	diff := ens.CorrespondenceP(SourceAttr{"s1", "color"}, SourceAttr{"s2", "maker"})
+	if same <= diff {
+		t.Errorf("color~colour P=%f must exceed color~maker P=%f", same, diff)
+	}
+	if same <= 0.5 {
+		t.Errorf("true correspondence P = %f, want > 0.5", same)
+	}
+}
+
+func TestEnsembleEmptyErrors(t *testing.T) {
+	if _, err := BuildEnsemble(nil, nil, nil); err == nil {
+		t.Error("empty profiles must error")
+	}
+}
+
+func TestFeedbackImprovesAlignment(t *testing.T) {
+	d, _ := alignedSample(t)
+	profiles := Profiler{}.Build(d)
+
+	// Ground truth: attributes correspond iff they are the same concept.
+	concept := map[SourceAttr]string{
+		{"s1", "color"}: "color", {"s2", "colour"}: "color",
+		{"s1", "weight"}: "weight", {"s2", "item weight"}: "weight",
+		{"s1", "brand"}: "brand", {"s2", "maker"}: "brand",
+	}
+	oracle := func(a, b SourceAttr) bool { return concept[a] != "" && concept[a] == concept[b] }
+
+	baseline, err := (Aligner{Threshold: 0.5}).Align(profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := (Feedback{Threshold: 0.5, Budget: 10}).Run(profiles, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.Questions == 0 || fb.Questions > 10 {
+		t.Fatalf("questions = %d", fb.Questions)
+	}
+	if len(fb.Asked) != fb.Questions {
+		t.Error("question log inconsistent")
+	}
+	baseF1 := conceptF1(baseline, concept)
+	fbF1 := conceptF1(fb.Schema, concept)
+	if fbF1 < baseF1 {
+		t.Errorf("feedback F1 %f must be >= baseline %f", fbF1, baseF1)
+	}
+	// With 10 questions over 6 attributes, the unit-shifted weight pair
+	// (invisible to instance evidence) must be recovered.
+	wIdx, ok1 := fb.Schema.Of[SourceAttr{"s1", "weight"}]
+	iwIdx, ok2 := fb.Schema.Of[SourceAttr{"s2", "item weight"}]
+	if !ok1 || !ok2 || wIdx != iwIdx {
+		t.Errorf("feedback must pin weight~item-weight together:\n%s", fb.Schema)
+	}
+}
+
+func TestFeedbackValidation(t *testing.T) {
+	d, _ := alignedSample(t)
+	profiles := Profiler{}.Build(d)
+	if _, err := (Feedback{}).Run(profiles, nil); err == nil {
+		t.Error("nil oracle must error")
+	}
+	if _, err := (Feedback{}).Run(nil, func(a, b SourceAttr) bool { return false }); err == nil {
+		t.Error("empty profiles must error")
+	}
+}
+
+// conceptF1 scores a schema against a concept labelling over the
+// labelled attributes only.
+func conceptF1(ms *MediatedSchema, concept map[SourceAttr]string) float64 {
+	tp, fp, fn := 0, 0, 0
+	attrs := make([]SourceAttr, 0, len(concept))
+	for sa := range concept {
+		attrs = append(attrs, sa)
+	}
+	// Deterministic order (not strictly needed for counting).
+	for i := 0; i < len(attrs); i++ {
+		for j := i + 1; j < len(attrs); j++ {
+			a, b := attrs[i], attrs[j]
+			if a.Source == b.Source {
+				continue
+			}
+			truth := concept[a] == concept[b]
+			ia, oka := ms.Of[a]
+			ib, okb := ms.Of[b]
+			pred := oka && okb && ia == ib
+			switch {
+			case pred && truth:
+				tp++
+			case pred && !truth:
+				fp++
+			case !pred && truth:
+				fn++
+			}
+		}
+	}
+	if tp == 0 {
+		return 0
+	}
+	p := float64(tp) / float64(tp+fp)
+	r := float64(tp) / float64(tp+fn)
+	return 2 * p * r / (p + r)
+}
+
+func TestEnsembleRenderedSchemasDiffer(t *testing.T) {
+	d, _ := alignedSample(t)
+	profiles := Profiler{}.Build(d)
+	ens, err := BuildEnsemble(profiles, nil, []float64{0.2, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ens.Candidates) >= 2 {
+		a := ens.Candidates[0].Schema.String()
+		b := ens.Candidates[1].Schema.String()
+		if strings.TrimSpace(a) == strings.TrimSpace(b) {
+			t.Error("distinct candidates must render distinct schemas")
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package schema
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/similarity"
+)
+
+// MatchEvidence scores the correspondence between two source attributes
+// from one kind of evidence; scores live in [0,1].
+type MatchEvidence func(a, b *Profile) float64
+
+// NameSimilarity compares attribute names with token Jaccard softened
+// by Jaro-Winkler (handles "weight" vs "item weight" vs "wt").
+func NameSimilarity(a, b *Profile) float64 {
+	j := similarity.Jaccard(a.Attr, b.Attr)
+	jw := similarity.JaroWinkler(a.Attr, b.Attr)
+	// Monge-Elkan is directional ("weight" ⊂ "item weight" scores high
+	// one way only); symmetrise with max so evidence is order-free.
+	me := math.Max(
+		similarity.MongeElkan(a.Attr, b.Attr, nil),
+		similarity.MongeElkan(b.Attr, a.Attr, nil),
+	)
+	return math.Max(j, math.Max(0.8*jw, 0.9*me))
+}
+
+// ValueOverlap compares the observed value distributions: Jaccard over
+// distinct value keys for categorical attributes, distribution overlap
+// for numeric ones, kind mismatch scores 0.
+func ValueOverlap(a, b *Profile) float64 {
+	ka, kb := a.DominantKind(), b.DominantKind()
+	if ka != kb {
+		return 0
+	}
+	if ka == data.KindNumber {
+		return numericOverlap(a, b)
+	}
+	inter, union := 0, 0
+	for v := range a.Values {
+		if _, ok := b.Values[v]; ok {
+			inter++
+		}
+	}
+	union = len(a.Values) + len(b.Values) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// numericOverlap measures how much two numeric attributes' ranges
+// overlap, via a Gaussian approximation: 1 when means coincide relative
+// to pooled spread, decaying to 0.
+func numericOverlap(a, b *Profile) float64 {
+	if a.NumCount == 0 || b.NumCount == 0 {
+		return 0
+	}
+	sa, sb := a.NumStd(), b.NumStd()
+	spread := math.Max(sa+sb, 1e-9)
+	z := math.Abs(a.NumMean-b.NumMean) / spread
+	return math.Exp(-z * z / 2)
+}
+
+// TokenOverlap compares the token distributions of string values —
+// complementary to exact value overlap when formats differ slightly.
+func TokenOverlap(a, b *Profile) float64 {
+	if len(a.TokenFreq) == 0 || len(b.TokenFreq) == 0 {
+		return 0
+	}
+	inter := 0
+	for tok := range a.TokenFreq {
+		if _, ok := b.TokenFreq[tok]; ok {
+			inter++
+		}
+	}
+	union := len(a.TokenFreq) + len(b.TokenFreq) - inter
+	return float64(inter) / float64(union)
+}
+
+// Combined blends the evidence functions with fixed weights: names are
+// suggestive, instances decisive. Attributes from the same source never
+// match (within-source schemas are assumed consistent, as in the
+// tutorial's local-homogeneity observation).
+func Combined(a, b *Profile) float64 {
+	if a.Source == b.Source {
+		return 0
+	}
+	name := NameSimilarity(a, b)
+	val := ValueOverlap(a, b)
+	tok := TokenOverlap(a, b)
+	inst := math.Max(val, tok)
+	return 0.4*name + 0.6*inst
+}
+
+// LinkageEvidence builds an instance-level evidence function from a
+// record clustering: two attributes correspond when, on records linked
+// to the same entity, they frequently carry equal (or numerically
+// proportional — handled by transform discovery) values. This is the
+// "linkage before alignment" move the tutorial advocates for
+// identifier-rich domains.
+type LinkageEvidence struct {
+	// agree[pairKey] / total[pairKey] over co-linked record pairs.
+	agree map[[2]SourceAttr]float64
+	total map[[2]SourceAttr]float64
+	// stability[pairKey] ∈ [0,1]: for numeric attribute pairs, how
+	// consistent the value ratio is across co-linked records. A stable
+	// ratio far from 1 is a unit conversion — still a correspondence.
+	stability map[[2]SourceAttr]float64
+}
+
+// NewLinkageEvidence scans intra-cluster record pairs and accumulates
+// cross-source attribute agreement statistics.
+func NewLinkageEvidence(d *data.Dataset, clusters data.Clustering) *LinkageEvidence {
+	le := &LinkageEvidence{
+		agree:     map[[2]SourceAttr]float64{},
+		total:     map[[2]SourceAttr]float64{},
+		stability: map[[2]SourceAttr]float64{},
+	}
+	// One ratio sample per (attribute pair, entity cluster): multiple
+	// record pairs about the same entity share the same true ratio, so
+	// counting them separately would let a single popular entity fake
+	// cross-entity ratio stability between unrelated attributes.
+	ratios := map[[2]SourceAttr]map[int]float64{}
+	skip := map[string]bool{}
+	for _, a := range DefaultSkipAttrs {
+		skip[a] = true
+	}
+	for ci, cl := range clusters {
+		for i := 0; i < len(cl); i++ {
+			for j := i + 1; j < len(cl); j++ {
+				ra, rb := d.Record(cl[i]), d.Record(cl[j])
+				if ra == nil || rb == nil || ra.SourceID == rb.SourceID {
+					continue
+				}
+				for _, aa := range ra.Attrs() {
+					if skip[aa] {
+						continue
+					}
+					va := ra.Fields[aa]
+					for _, ab := range rb.Attrs() {
+						if skip[ab] {
+							continue
+						}
+						vb := rb.Fields[ab]
+						if va.Kind != vb.Kind {
+							continue
+						}
+						k := pairKey(
+							SourceAttr{ra.SourceID, aa},
+							SourceAttr{rb.SourceID, ab},
+						)
+						le.total[k]++
+						if valuesAgree(va, vb) {
+							le.agree[k]++
+						}
+						if va.Kind == data.KindNumber && va.Num != 0 && vb.Num != 0 {
+							r := vb.Num / va.Num
+							if k[0] != (SourceAttr{ra.SourceID, aa}) {
+								r = 1 / r // keep ratio oriented k[0]→k[1]
+							}
+							if ratios[k] == nil {
+								ratios[k] = map[int]float64{}
+							}
+							if _, seen := ratios[k][ci]; !seen && len(ratios[k]) < 64 {
+								ratios[k][ci] = r
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	for k, byCluster := range ratios {
+		if len(byCluster) < 3 {
+			continue
+		}
+		rs := make([]float64, 0, len(byCluster))
+		for _, r := range byCluster {
+			rs = append(rs, r)
+		}
+		sort.Float64s(rs)
+		med := rs[len(rs)/2]
+		if med <= 0 {
+			continue
+		}
+		devs := make([]float64, len(rs))
+		for i, r := range rs {
+			devs[i] = math.Abs(r-med) / med
+		}
+		sort.Float64s(devs)
+		mad := devs[len(devs)/2]
+		// Fully stable (mad 0) → 1; dissolving to 0 at 20% spread.
+		s := 1 - mad/0.2
+		if s < 0 {
+			s = 0
+		}
+		le.stability[k] = s
+	}
+	return le
+}
+
+// valuesAgree is a tolerant equality: exact for non-numbers, 2% relative
+// tolerance for numbers (absorbing jitter but not unit changes).
+func valuesAgree(a, b data.Value) bool {
+	if a.Kind == data.KindNumber && b.Kind == data.KindNumber {
+		denom := math.Max(math.Abs(a.Num), math.Abs(b.Num))
+		if denom == 0 {
+			return true
+		}
+		return math.Abs(a.Num-b.Num)/denom <= 0.02
+	}
+	if a.Kind == data.KindString && b.Kind == data.KindString {
+		return similarity.JaroWinkler(a.Str, b.Str) >= 0.93
+	}
+	return a.Equal(b)
+}
+
+func pairKey(a, b SourceAttr) [2]SourceAttr {
+	if b.Source < a.Source || (b.Source == a.Source && b.Attr < a.Attr) {
+		a, b = b, a
+	}
+	return [2]SourceAttr{a, b}
+}
+
+// Score implements MatchEvidence semantics over profiles: the observed
+// agreement rate on co-linked records, 0 when below the support floor.
+func (le *LinkageEvidence) Score(a, b *Profile) float64 {
+	k := pairKey(a.SourceAttr, b.SourceAttr)
+	tot := le.total[k]
+	if tot < 3 { // insufficient support
+		return 0
+	}
+	s := le.agree[k] / tot
+	// Ratio-stable numeric pairs correspond even when raw values never
+	// agree (unit conversions).
+	if st := le.stability[k]; st > s {
+		s = st
+	}
+	return s
+}
+
+// Blend combines linkage evidence with the name+instance Combined
+// evidence. The two are complementary rather than averaged: strong
+// linkage agreement (or ratio stability) lifts the score even when
+// names and distributions look unrelated (unit conversions, opaque
+// renames), while strong linkage *disagreement* on well-supported pairs
+// vetoes correspondences that names and distributions suggest
+// spuriously (distinct numeric attributes with similar ranges).
+func (le *LinkageEvidence) Blend(a, b *Profile) float64 {
+	if a.Source == b.Source {
+		return 0
+	}
+	c := Combined(a, b)
+	k := pairKey(a.SourceAttr, b.SourceAttr)
+	tot := le.total[k]
+	if tot < 5 {
+		return c // insufficient co-linked support: fall back
+	}
+	l := le.agree[k] / tot
+	if st := le.stability[k]; st > l {
+		l = st
+	}
+	return le.blendWith(l, c)
+}
+
+// BlendAgreementOnly is Blend without the ratio-stability channel —
+// the ablation arm of experiment E17.
+func (le *LinkageEvidence) BlendAgreementOnly(a, b *Profile) float64 {
+	if a.Source == b.Source {
+		return 0
+	}
+	c := Combined(a, b)
+	k := pairKey(a.SourceAttr, b.SourceAttr)
+	tot := le.total[k]
+	if tot < 5 {
+		return c
+	}
+	return le.blendWith(le.agree[k]/tot, c)
+}
+
+// blendWith applies the boost/veto policy to a linkage-evidence level l
+// and a Combined fallback c.
+func (le *LinkageEvidence) blendWith(l, c float64) float64 {
+	switch {
+	case l >= 0.4:
+		// Mid-accuracy sources agree on a true correspondence well
+		// below 100% of the time, so already 40% agreement on
+		// co-linked records is strong evidence (chance agreement
+		// between unrelated attributes is far lower).
+		boosted := 0.45 + 0.55*l
+		if boosted > c {
+			return boosted
+		}
+		return c
+	case l < 0.15:
+		if c > 0.3 {
+			return 0.3
+		}
+		return c
+	default:
+		return c
+	}
+}

@@ -1,0 +1,229 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MediatedAttr is one attribute of the mediated (global) schema: a
+// cluster of corresponding source attributes with a membership
+// probability per member — the probabilistic mediated schema of the
+// dataspace line of work the tutorial surveys.
+type MediatedAttr struct {
+	// Name is the cluster's display name: the most common member
+	// attribute name.
+	Name string
+	// Members maps source attributes to membership probability (0,1].
+	Members map[SourceAttr]float64
+}
+
+// MediatedSchema is the full set of mediated attributes plus the
+// mapping from every source attribute to its cluster.
+type MediatedSchema struct {
+	Attrs []*MediatedAttr
+	// Of maps each source attribute to the index in Attrs.
+	Of map[SourceAttr]int
+}
+
+// Mapping returns the probabilistic mapping for one source: local
+// attribute name → (mediated attribute name, probability).
+func (ms *MediatedSchema) Mapping(source string) map[string]AttrMapping {
+	out := map[string]AttrMapping{}
+	for sa, idx := range ms.Of {
+		if sa.Source != source {
+			continue
+		}
+		ma := ms.Attrs[idx]
+		out[sa.Attr] = AttrMapping{Mediated: ma.Name, P: ma.Members[sa]}
+	}
+	return out
+}
+
+// AttrMapping is one probabilistic source→mediated correspondence.
+type AttrMapping struct {
+	Mediated string
+	P        float64
+}
+
+// Aligner clusters source-attribute profiles into a mediated schema by
+// greedy agglomerative clustering under a match-evidence function.
+type Aligner struct {
+	// Evidence scores profile pairs; default Combined.
+	Evidence MatchEvidence
+	// Threshold: minimum evidence to merge two clusters (average
+	// linkage). Default 0.5.
+	Threshold float64
+}
+
+// Align builds the mediated schema from profiles.
+func (al Aligner) Align(profiles []*Profile) (*MediatedSchema, error) {
+	if err := validateProfiles(profiles); err != nil {
+		return nil, err
+	}
+	evidence := al.Evidence
+	if evidence == nil {
+		evidence = Combined
+	}
+	threshold := al.Threshold
+	if threshold <= 0 {
+		threshold = 0.5
+	}
+
+	n := len(profiles)
+	// Pairwise evidence matrix (symmetric).
+	sim := make([][]float64, n)
+	for i := range sim {
+		sim[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s := evidence(profiles[i], profiles[j])
+			sim[i][j], sim[j][i] = s, s
+		}
+	}
+
+	// Greedy average-linkage agglomeration.
+	clusters := make([][]int, n)
+	for i := range clusters {
+		clusters[i] = []int{i}
+	}
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	avgLink := func(a, b []int) float64 {
+		var sum float64
+		cnt := 0
+		for _, i := range a {
+			for _, j := range b {
+				// Attributes of the same source must not merge.
+				if profiles[i].Source == profiles[j].Source {
+					return -1
+				}
+				sum += sim[i][j]
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			return 0
+		}
+		return sum / float64(cnt)
+	}
+	for {
+		bestI, bestJ, bestS := -1, -1, threshold
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !active[j] {
+					continue
+				}
+				if s := avgLink(clusters[i], clusters[j]); s >= bestS {
+					bestI, bestJ, bestS = i, j, s
+				}
+			}
+		}
+		if bestI < 0 {
+			break
+		}
+		clusters[bestI] = append(clusters[bestI], clusters[bestJ]...)
+		active[bestJ] = false
+	}
+
+	ms := &MediatedSchema{Of: map[SourceAttr]int{}}
+	for ci := 0; ci < n; ci++ {
+		if !active[ci] {
+			continue
+		}
+		members := clusters[ci]
+		ma := &MediatedAttr{Members: map[SourceAttr]float64{}}
+		// Membership probability: each member's mean evidence toward the
+		// rest of the cluster (1 for singletons).
+		for _, i := range members {
+			p := 1.0
+			if len(members) > 1 {
+				var sum float64
+				for _, j := range members {
+					if i != j {
+						sum += sim[i][j]
+					}
+				}
+				p = sum / float64(len(members)-1)
+				if p > 1 {
+					p = 1
+				}
+				if p <= 0 {
+					p = 0.01
+				}
+			}
+			ma.Members[profiles[i].SourceAttr] = p
+		}
+		ma.Name = clusterName(profiles, members)
+		ms.Attrs = append(ms.Attrs, ma)
+	}
+	// Deterministic attr order: by name then first member.
+	sort.Slice(ms.Attrs, func(i, j int) bool {
+		if ms.Attrs[i].Name != ms.Attrs[j].Name {
+			return ms.Attrs[i].Name < ms.Attrs[j].Name
+		}
+		return firstMember(ms.Attrs[i]).String() < firstMember(ms.Attrs[j]).String()
+	})
+	for idx, ma := range ms.Attrs {
+		for sa := range ma.Members {
+			ms.Of[sa] = idx
+		}
+	}
+	return ms, nil
+}
+
+func firstMember(ma *MediatedAttr) SourceAttr {
+	var keys []string
+	back := map[string]SourceAttr{}
+	for sa := range ma.Members {
+		k := sa.String()
+		keys = append(keys, k)
+		back[k] = sa
+	}
+	sort.Strings(keys)
+	return back[keys[0]]
+}
+
+// clusterName picks the most frequent attribute name among members,
+// ties broken lexicographically.
+func clusterName(profiles []*Profile, members []int) string {
+	freq := map[string]int{}
+	for _, i := range members {
+		freq[profiles[i].Attr]++
+	}
+	names := make([]string, 0, len(freq))
+	for nm := range freq {
+		names = append(names, nm)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if freq[names[i]] != freq[names[j]] {
+			return freq[names[i]] > freq[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	return names[0]
+}
+
+// String renders the mediated schema for inspection.
+func (ms *MediatedSchema) String() string {
+	var b strings.Builder
+	for i, ma := range ms.Attrs {
+		fmt.Fprintf(&b, "[%d] %s:", i, ma.Name)
+		var keys []string
+		for sa := range ma.Members {
+			keys = append(keys, sa.String())
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s", k)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

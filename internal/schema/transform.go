@@ -1,0 +1,181 @@
+package schema
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/data"
+)
+
+// Transform is a discovered value transformation between two source
+// attributes: target ≈ Scale × source. Scale 1 means same units.
+type Transform struct {
+	From, To SourceAttr
+	Scale    float64
+	Support  int // co-linked record pairs the estimate is based on
+}
+
+// DiscoverTransforms inspects co-linked record pairs and, for every
+// cross-source numeric attribute pair within the same mediated
+// attribute, estimates the multiplicative unit conversion as the median
+// value ratio. Pairs with a stable ratio far from 1 are unit
+// conversions; ratio ≈ 1 confirms same units. minSupport defaults to 3.
+func DiscoverTransforms(d *data.Dataset, clusters data.Clustering, ms *MediatedSchema, minSupport int) []Transform {
+	if minSupport <= 0 {
+		minSupport = 3
+	}
+	// One ratio per (pair, entity cluster): see NewLinkageEvidence for
+	// why per-record-pair samples would overweight popular entities.
+	ratios := map[[2]SourceAttr]map[int]float64{}
+	for ci, cl := range clusters {
+		for i := 0; i < len(cl); i++ {
+			for j := 0; j < len(cl); j++ {
+				if i == j {
+					continue
+				}
+				ra, rb := d.Record(cl[i]), d.Record(cl[j])
+				if ra == nil || rb == nil || ra.SourceID == rb.SourceID {
+					continue
+				}
+				for _, aa := range ra.Attrs() {
+					va := ra.Fields[aa]
+					if va.Kind != data.KindNumber || va.Num == 0 {
+						continue
+					}
+					saA := SourceAttr{ra.SourceID, aa}
+					idxA, okA := ms.Of[saA]
+					if !okA {
+						continue
+					}
+					for _, ab := range rb.Attrs() {
+						vb := rb.Fields[ab]
+						if vb.Kind != data.KindNumber || vb.Num == 0 {
+							continue
+						}
+						saB := SourceAttr{rb.SourceID, ab}
+						if idxB, okB := ms.Of[saB]; !okB || idxB != idxA {
+							continue
+						}
+						k := [2]SourceAttr{saA, saB}
+						if ratios[k] == nil {
+							ratios[k] = map[int]float64{}
+						}
+						if _, seen := ratios[k][ci]; !seen {
+							ratios[k][ci] = vb.Num / va.Num
+						}
+					}
+				}
+			}
+		}
+	}
+	var out []Transform
+	for k, byCluster := range ratios {
+		if len(byCluster) < minSupport {
+			continue
+		}
+		rs := make([]float64, 0, len(byCluster))
+		for _, r := range byCluster {
+			rs = append(rs, r)
+		}
+		sort.Float64s(rs)
+		med := rs[len(rs)/2]
+		// Require ratio stability: median absolute deviation small
+		// relative to the median.
+		mad := medianAbsDev(rs, med)
+		if med <= 0 || mad/math.Abs(med) > 0.1 {
+			continue
+		}
+		out = append(out, Transform{From: k[0], To: k[1], Scale: med, Support: len(rs)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From.String() < out[j].From.String()
+		}
+		return out[i].To.String() < out[j].To.String()
+	})
+	return out
+}
+
+func medianAbsDev(rs []float64, med float64) float64 {
+	devs := make([]float64, len(rs))
+	for i, r := range rs {
+		devs[i] = math.Abs(r - med)
+	}
+	sort.Float64s(devs)
+	return devs[len(devs)/2]
+}
+
+// Normalizer rewrites records into the mediated schema: local attribute
+// names become mediated names, and numeric values are rescaled into the
+// cluster's canonical units (the units of the cluster's reference
+// attribute — the member with the largest support).
+type Normalizer struct {
+	ms    *MediatedSchema
+	scale map[SourceAttr]float64 // multiplicative factor into canonical units
+}
+
+// NewNormalizer picks, per mediated attribute, the reference member (the
+// one with the most co-linked ratio support toward others, falling back
+// to the lexicographically first member) and inverts the discovered
+// transforms to rescale every member into the reference's units.
+func NewNormalizer(ms *MediatedSchema, transforms []Transform) *Normalizer {
+	n := &Normalizer{ms: ms, scale: map[SourceAttr]float64{}}
+	// Reference member per cluster: lexicographically first (stable and
+	// simple; transforms make the choice immaterial).
+	refs := make([]SourceAttr, len(ms.Attrs))
+	for i, ma := range ms.Attrs {
+		refs[i] = firstMember(ma)
+	}
+	// scale[sa] converts sa's units into its cluster reference's units.
+	for _, t := range transforms {
+		idx, ok := ms.Of[t.From]
+		if !ok {
+			continue
+		}
+		// t: To ≈ Scale × From  ⇒  From-units → To-units factor = Scale.
+		if refs[idx] == t.To {
+			n.scale[t.From] = t.Scale
+		}
+	}
+	return n
+}
+
+// Apply rewrites one record into the mediated schema. Unmapped
+// attributes (including skip attributes like title/pid) pass through
+// unchanged.
+func (n *Normalizer) Apply(r *data.Record) *data.Record {
+	out := data.NewRecord(r.ID, r.SourceID)
+	out.EntityID = r.EntityID
+	for _, a := range r.Attrs() {
+		v := r.Fields[a]
+		sa := SourceAttr{r.SourceID, a}
+		idx, ok := n.ms.Of[sa]
+		if !ok {
+			out.Set(a, v)
+			continue
+		}
+		if v.Kind == data.KindNumber {
+			if s, ok := n.scale[sa]; ok && s != 0 {
+				v = data.Number(v.Num * s)
+			}
+		}
+		out.Set(n.ms.Attrs[idx].Name, v)
+	}
+	return out
+}
+
+// ApplyAll rewrites a whole dataset, preserving sources.
+func (n *Normalizer) ApplyAll(d *data.Dataset) *data.Dataset {
+	out := data.NewDataset()
+	for _, s := range d.Sources() {
+		_ = out.AddSource(s)
+	}
+	for _, r := range d.Records() {
+		if err := out.AddRecord(n.Apply(r)); err != nil {
+			// IDs are preserved from a valid dataset, so this cannot
+			// happen; guard loudly in case of misuse.
+			panic(err)
+		}
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package similarity
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"same", "same", 0},
+		{"café", "cafe", 1}, // rune-aware
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	symmetric := func(a, b string) bool { return Levenshtein(a, b) == Levenshtein(b, a) }
+	identity := func(a string) bool { return Levenshtein(a, a) == 0 }
+	triangle := func(a, b, c string) bool {
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	for name, f := range map[string]interface{}{
+		"symmetric": symmetric, "identity": identity, "triangle": triangle,
+	} {
+		if err := quick.Check(f, cfg); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestDamerauTransposition(t *testing.T) {
+	if got := DamerauLevenshtein("ab", "ba"); got != 1 {
+		t.Errorf("transposition cost = %d, want 1", got)
+	}
+	if got := Levenshtein("ab", "ba"); got != 2 {
+		t.Errorf("plain Levenshtein transposition = %d, want 2", got)
+	}
+	if got := DamerauLevenshtein("ca", "abc"); got != 3 {
+		t.Errorf("OSA(ca,abc) = %d, want 3", got)
+	}
+}
+
+func TestJaroKnownValues(t *testing.T) {
+	approx := func(got, want float64) bool { d := got - want; return d < 1e-3 && d > -1e-3 }
+	if got := Jaro("martha", "marhta"); !approx(got, 0.9444) {
+		t.Errorf("Jaro(martha,marhta) = %f", got)
+	}
+	if got := Jaro("dixon", "dicksonx"); !approx(got, 0.7667) {
+		t.Errorf("Jaro(dixon,dicksonx) = %f", got)
+	}
+	if Jaro("", "") != 1 {
+		t.Error("empty-empty must be 1")
+	}
+	if Jaro("a", "") != 0 {
+		t.Error("one empty must be 0")
+	}
+	if Jaro("abc", "xyz") != 0 {
+		t.Error("disjoint must be 0")
+	}
+}
+
+func TestJaroWinklerBoostsPrefix(t *testing.T) {
+	if JaroWinkler("martha", "marhta") <= Jaro("martha", "marhta") {
+		t.Error("JW must boost shared-prefix pairs")
+	}
+	if JaroWinkler("abcdef", "abcdef") != 1 {
+		t.Error("identical strings must score 1")
+	}
+}
+
+func TestSimilarityRange(t *testing.T) {
+	metrics := map[string]Metric{
+		"levenshtein": LevenshteinSim, "jaro": Jaro, "jarowinkler": JaroWinkler,
+		"jaccard": Jaccard, "dice": Dice, "overlap": Overlap, "cosine": CosineSet,
+	}
+	for name, m := range metrics {
+		m := m
+		f := func(a, b string) bool {
+			s := m(a, b)
+			return s >= 0 && s <= 1 && m(a, a) >= 0.999
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("%s out of range or not reflexive: %v", name, err)
+		}
+	}
+}
+
+func TestSimilaritySymmetry(t *testing.T) {
+	metrics := []Metric{LevenshteinSim, Jaro, Jaccard, Dice, Overlap, CosineSet}
+	f := func(a, b string) bool {
+		for _, m := range metrics {
+			sa, sb := m(a, b), m(b, a)
+			if d := sa - sb; d > 1e-9 || d < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNamedMetricLookup(t *testing.T) {
+	for _, n := range []string{"levenshtein", "jaro", "jarowinkler", "jaccard", "dice", "overlap", "cosine", "qgram3"} {
+		if Named(n) == nil {
+			t.Errorf("Named(%q) = nil", n)
+		}
+	}
+	if Named("bogus") != nil {
+		t.Error("unknown name must return nil")
+	}
+}

@@ -1,0 +1,146 @@
+package similarity
+
+import (
+	"strings"
+
+	"repro/internal/tokenize"
+)
+
+// Phonetic encodings — classic blocking-key transforms for
+// person/product names: records whose names sound alike land in the
+// same block even when spelled differently.
+
+// Soundex returns the classic 4-character Soundex code of the first
+// word of s ("" for inputs without letters). Digits and non-ASCII
+// letters are skipped.
+func Soundex(s string) string {
+	words := tokenize.Words(s)
+	if len(words) == 0 {
+		return ""
+	}
+	w := words[0]
+	var first byte
+	var rest []byte
+	var prev byte
+	for i := 0; i < len(w); i++ {
+		c := w[i]
+		if c < 'a' || c > 'z' {
+			continue
+		}
+		code := soundexCode(c)
+		if first == 0 {
+			first = c - 'a' + 'A'
+			prev = code
+			continue
+		}
+		if code == 0 {
+			// Vowels and h/w/y reset adjacency differently: vowels
+			// break runs, h/w do not (simplified: both reset here).
+			prev = 0
+			continue
+		}
+		if code != prev {
+			rest = append(rest, '0'+code)
+			prev = code
+		}
+	}
+	if first == 0 {
+		return ""
+	}
+	out := string(first) + string(rest)
+	for len(out) < 4 {
+		out += "0"
+	}
+	return out[:4]
+}
+
+func soundexCode(c byte) byte {
+	switch c {
+	case 'b', 'f', 'p', 'v':
+		return 1
+	case 'c', 'g', 'j', 'k', 'q', 's', 'x', 'z':
+		return 2
+	case 'd', 't':
+		return 3
+	case 'l':
+		return 4
+	case 'm', 'n':
+		return 5
+	case 'r':
+		return 6
+	}
+	return 0
+}
+
+// NYSIIS computes a simplified NYSIIS phonetic code of the first word
+// of s — longer and more discriminative than Soundex, the usual choice
+// for sorted-neighbourhood sorting keys.
+func NYSIIS(s string) string {
+	words := tokenize.Words(s)
+	if len(words) == 0 {
+		return ""
+	}
+	w := []byte(words[0])
+	letters := w[:0]
+	for _, c := range w {
+		if c >= 'a' && c <= 'z' {
+			letters = append(letters, c)
+		}
+	}
+	if len(letters) == 0 {
+		return ""
+	}
+	name := string(letters)
+
+	// Leading transformations.
+	for _, t := range [][2]string{
+		{"mac", "mcc"}, {"kn", "nn"}, {"k", "c"}, {"ph", "ff"}, {"pf", "ff"}, {"sch", "sss"},
+	} {
+		if strings.HasPrefix(name, t[0]) {
+			name = t[1] + name[len(t[0]):]
+			break
+		}
+	}
+	// Trailing transformations.
+	for _, t := range [][2]string{
+		{"ee", "y"}, {"ie", "y"}, {"dt", "d"}, {"rt", "d"}, {"rd", "d"}, {"nt", "d"}, {"nd", "d"},
+	} {
+		if strings.HasSuffix(name, t[0]) {
+			name = name[:len(name)-len(t[0])] + t[1]
+			break
+		}
+	}
+
+	out := []byte{name[0]}
+	body := name[1:]
+	// Body substitutions (simplified NYSIIS rules).
+	body = strings.ReplaceAll(body, "ev", "af")
+	for _, v := range []string{"a", "e", "i", "o", "u"} {
+		body = strings.ReplaceAll(body, v, "a")
+	}
+	body = strings.ReplaceAll(body, "q", "g")
+	body = strings.ReplaceAll(body, "z", "s")
+	body = strings.ReplaceAll(body, "m", "n")
+	body = strings.ReplaceAll(body, "kn", "n")
+	body = strings.ReplaceAll(body, "k", "c")
+	body = strings.ReplaceAll(body, "sch", "sss")
+	body = strings.ReplaceAll(body, "ph", "ff")
+
+	// Append, collapsing repeats.
+	for i := 0; i < len(body); i++ {
+		if out[len(out)-1] != body[i] {
+			out = append(out, body[i])
+		}
+	}
+	// Strip trailing s / a; terminal "ay" → "y".
+	res := string(out)
+	res = strings.TrimRight(res, "s")
+	if strings.HasSuffix(res, "ay") {
+		res = res[:len(res)-2] + "y"
+	}
+	res = strings.TrimRight(res, "a")
+	if res == "" {
+		res = string(name[0])
+	}
+	return res
+}

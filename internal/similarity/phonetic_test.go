@@ -1,0 +1,89 @@
+package similarity
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSoundexKnownCodes(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Robert", "R163"},
+		{"Rupert", "R163"},
+		{"Ashcraft", "A226"}, // simplified variant (h breaks runs)
+		{"Tymczak", "T522"},
+		{"Pfister", "P236"}, // simplified variant (no special pf rule)
+		{"Jackson", "J250"},
+		{"", ""},
+		{"12345", ""},
+	}
+	for _, c := range cases {
+		if got := Soundex(c.in); got != c.want {
+			t.Errorf("Soundex(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSoundexGroupsSoundalikes(t *testing.T) {
+	groups := [][2]string{
+		{"smith", "smyth"},
+		{"robert", "rupert"},
+		{"jonson", "johnson"},
+	}
+	for _, g := range groups {
+		if Soundex(g[0]) != Soundex(g[1]) {
+			t.Errorf("%q and %q should share a soundex code (%q vs %q)",
+				g[0], g[1], Soundex(g[0]), Soundex(g[1]))
+		}
+	}
+	if Soundex("smith") == Soundex("johnson") {
+		t.Error("unrelated names must not share a code")
+	}
+}
+
+func TestSoundexShape(t *testing.T) {
+	f := func(s string) bool {
+		code := Soundex(s)
+		if code == "" {
+			return true
+		}
+		if len(code) != 4 {
+			return false
+		}
+		if code[0] < 'A' || code[0] > 'Z' {
+			return false
+		}
+		for i := 1; i < 4; i++ {
+			if code[i] < '0' || code[i] > '6' {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNYSIIS(t *testing.T) {
+	if NYSIIS("") != "" || NYSIIS("99") != "" {
+		t.Error("letterless inputs must code to empty")
+	}
+	// Sound-alike surnames share codes.
+	pairs := [][2]string{
+		{"knight", "night"},
+		{"philip", "filip"},
+	}
+	for _, p := range pairs {
+		a, b := NYSIIS(p[0]), NYSIIS(p[1])
+		if a == "" || a != b {
+			t.Errorf("NYSIIS(%q)=%q vs NYSIIS(%q)=%q, want equal", p[0], a, p[1], b)
+		}
+	}
+	if NYSIIS("smith") == NYSIIS("jones") {
+		t.Error("unrelated names must not collide")
+	}
+	// Deterministic and non-empty on letters.
+	if NYSIIS("macdonald") != NYSIIS("macdonald") {
+		t.Error("must be deterministic")
+	}
+}

@@ -1,0 +1,166 @@
+package similarity
+
+import (
+	"math"
+
+	"repro/internal/tokenize"
+)
+
+// setOverlap counts the intersection size of two string sets.
+func setOverlap(a, b map[string]bool) int {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	n := 0
+	for x := range a {
+		if b[x] {
+			n++
+		}
+	}
+	return n
+}
+
+// Jaccard returns |A∩B| / |A∪B| over the word sets of a and b.
+// Two empty strings are perfectly similar.
+func Jaccard(a, b string) float64 {
+	return jaccardSets(tokenize.WordSet(a), tokenize.WordSet(b))
+}
+
+// QGramJaccard returns the Jaccard similarity over padded q-gram sets.
+func QGramJaccard(a, b string, q int) float64 {
+	return jaccardSets(tokenize.QGramSet(a, q), tokenize.QGramSet(b, q))
+}
+
+func jaccardSets(sa, sb map[string]bool) float64 {
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	inter := setOverlap(sa, sb)
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Dice returns 2|A∩B| / (|A|+|B|) over word sets.
+func Dice(a, b string) float64 {
+	sa, sb := tokenize.WordSet(a), tokenize.WordSet(b)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	return 2 * float64(setOverlap(sa, sb)) / float64(len(sa)+len(sb))
+}
+
+// Overlap returns |A∩B| / min(|A|,|B|) over word sets — the overlap
+// coefficient, robust to one string being a sub-description of the other.
+func Overlap(a, b string) float64 {
+	sa, sb := tokenize.WordSet(a), tokenize.WordSet(b)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	m := len(sa)
+	if len(sb) < m {
+		m = len(sb)
+	}
+	return float64(setOverlap(sa, sb)) / float64(m)
+}
+
+// CosineSet returns the set-cosine similarity |A∩B| / sqrt(|A||B|)
+// over word sets.
+func CosineSet(a, b string) float64 {
+	sa, sb := tokenize.WordSet(a), tokenize.WordSet(b)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	return float64(setOverlap(sa, sb)) / math.Sqrt(float64(len(sa))*float64(len(sb)))
+}
+
+// TFIDFCosine computes corpus-weighted cosine similarity between a and b
+// using TF-IDF vectors from the supplied corpus.
+func TFIDFCosine(c *tokenize.Corpus, a, b string) float64 {
+	va, vb := c.Vector(a), c.Vector(b)
+	if va == nil && vb == nil {
+		return 1
+	}
+	return clamp01(tokenize.Dot(va, vb))
+}
+
+// MongeElkan computes the asymmetric Monge-Elkan similarity: for each
+// token of a, the best inner similarity against tokens of b, averaged.
+// The inner metric defaults to JaroWinkler when nil.
+func MongeElkan(a, b string, inner func(x, y string) float64) float64 {
+	if inner == nil {
+		inner = JaroWinkler
+	}
+	ta, tb := tokenize.Words(a), tokenize.Words(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range ta {
+		best := 0.0
+		for _, y := range tb {
+			if s := inner(x, y); s > best {
+				best = s
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(ta))
+}
+
+// SoftTFIDF combines TF-IDF weighting with a fuzzy inner metric: tokens
+// of a and b count as matching when inner similarity ≥ theta, weighted
+// by their TF-IDF weights (Cohen et al.). The inner metric defaults to
+// JaroWinkler; theta defaults to 0.9 when <= 0.
+func SoftTFIDF(c *tokenize.Corpus, a, b string, inner func(x, y string) float64, theta float64) float64 {
+	if inner == nil {
+		inner = JaroWinkler
+	}
+	if theta <= 0 {
+		theta = 0.9
+	}
+	va, vb := c.Vector(a), c.Vector(b)
+	if len(va) == 0 && len(vb) == 0 {
+		return 1
+	}
+	if len(va) == 0 || len(vb) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, wa := range va {
+		best, bestSim := -1, 0.0
+		for j, wb := range vb {
+			if s := inner(wa.Term, wb.Term); s >= theta && s > bestSim {
+				best, bestSim = j, s
+			}
+		}
+		if best >= 0 {
+			sum += wa.W * vb[best].W * bestSim
+		}
+	}
+	return clamp01(sum)
+}
+
+func clamp01(x float64) float64 {
+	switch {
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,100 @@
+package similarity
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tokenize"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestJaccardKnownValues(t *testing.T) {
+	if got := Jaccard("red shoe", "red boot"); !almostEq(got, 1.0/3) {
+		t.Errorf("Jaccard = %f, want 1/3", got)
+	}
+	if Jaccard("", "") != 1 {
+		t.Error("empty-empty must be 1")
+	}
+	if Jaccard("a", "") != 0 {
+		t.Error("one empty must be 0")
+	}
+	if Jaccard("A b C", "c B a") != 1 {
+		t.Error("case/order-insensitive equality must score 1")
+	}
+}
+
+func TestDiceAndOverlap(t *testing.T) {
+	if got := Dice("red shoe", "red boot"); !almostEq(got, 0.5) {
+		t.Errorf("Dice = %f, want 0.5", got)
+	}
+	// "red" ⊂ "red shoe": overlap coefficient sees containment as 1.
+	if got := Overlap("red", "red shoe"); got != 1 {
+		t.Errorf("Overlap(subset) = %f, want 1", got)
+	}
+	if got := CosineSet("red shoe", "red boot"); !almostEq(got, 0.5) {
+		t.Errorf("CosineSet = %f, want 0.5", got)
+	}
+}
+
+func TestQGramJaccard(t *testing.T) {
+	if QGramJaccard("night", "night", 3) != 1 {
+		t.Error("identical strings must score 1")
+	}
+	s := QGramJaccard("night", "nacht", 3)
+	if s <= 0 || s >= 1 {
+		t.Errorf("night/nacht trigram similarity = %f, want strictly between 0 and 1", s)
+	}
+}
+
+func TestTFIDFCosineDownweightsCommonTerms(t *testing.T) {
+	c := tokenize.NewCorpus()
+	// "the" appears everywhere; brand terms are rare.
+	docs := []string{
+		"the canon camera", "the nikon camera", "the sony tv",
+		"the lg tv", "the apple phone",
+	}
+	for _, d := range docs {
+		c.Add(d)
+	}
+	shareRare := TFIDFCosine(c, "canon camera", "canon slr")
+	shareCommon := TFIDFCosine(c, "the canon", "the nikon")
+	if shareRare <= shareCommon {
+		t.Errorf("sharing rare term (%.3f) must beat sharing common term (%.3f)", shareRare, shareCommon)
+	}
+	if got := TFIDFCosine(c, "canon camera", "canon camera"); got < 0.999 {
+		t.Errorf("self similarity = %f", got)
+	}
+}
+
+func TestMongeElkan(t *testing.T) {
+	if got := MongeElkan("peter christen", "christen peter", nil); got < 0.99 {
+		t.Errorf("token-swapped names should score ~1, got %f", got)
+	}
+	if MongeElkan("", "", nil) != 1 {
+		t.Error("empty-empty must be 1")
+	}
+	if MongeElkan("abc", "", nil) != 0 {
+		t.Error("one empty must be 0")
+	}
+	// Asymmetric by construction: sub-description scores high one way.
+	ab := MongeElkan("canon", "canon eos 5d", nil)
+	if ab < 0.99 {
+		t.Errorf("subset direction = %f, want ~1", ab)
+	}
+}
+
+func TestSoftTFIDFToleratesTypos(t *testing.T) {
+	c := tokenize.NewCorpus()
+	for _, d := range []string{"canon powershot", "nikon coolpix", "sony cybershot", "fuji finepix"} {
+		c.Add(d)
+	}
+	exact := TFIDFCosine(c, "canon powershot", "cannon powershot")
+	soft := SoftTFIDF(c, "canon powershot", "cannon powershot", nil, 0.85)
+	if soft <= exact {
+		t.Errorf("soft (%f) must beat exact (%f) on typo'd token", soft, exact)
+	}
+	if got := SoftTFIDF(c, "canon powershot", "canon powershot", nil, 0); got < 0.99 {
+		t.Errorf("identical strings = %f, want ~1", got)
+	}
+}

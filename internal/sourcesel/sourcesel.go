@@ -1,0 +1,198 @@
+// Package sourcesel implements "less is more" source selection (Dong,
+// Saha & Srivastava, VLDB'13, surveyed by the Big Data Integration
+// tutorial): integrating more sources has diminishing — and eventually
+// negative — returns once low-quality tail sources start outvoting good
+// ones, so sources should be selected by marginal gain of fusion
+// quality against integration cost.
+package sourcesel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/eval"
+	"repro/internal/fusion"
+)
+
+// Quality measures the fusion quality of a claim subset; higher is
+// better. The standard instance is truth-sample accuracy (the paper
+// assumes a labelled sample for gain estimation).
+type Quality func(cs *data.ClaimSet) (float64, error)
+
+// FusionAccuracyQuality evaluates a fuser's accuracy against the claim
+// set's embedded truth sample.
+func FusionAccuracyQuality(f fusion.Fuser) Quality {
+	return func(cs *data.ClaimSet) (float64, error) {
+		if cs.Len() == 0 {
+			return 0, nil
+		}
+		res, err := f.Fuse(cs)
+		if err != nil {
+			return 0, fmt.Errorf("sourcesel: quality fusion: %w", err)
+		}
+		acc, n := eval.FusionAccuracy(res.Values, cs)
+		if n == 0 {
+			return 0, fmt.Errorf("sourcesel: claim set has no truth sample")
+		}
+		return acc, nil
+	}
+}
+
+// Restrict returns a claim set containing only claims from the allowed
+// sources (truth is preserved for all items).
+func Restrict(cs *data.ClaimSet, allowed map[string]bool) *data.ClaimSet {
+	out := data.NewClaimSet()
+	for _, c := range cs.All() {
+		if allowed[c.Source] {
+			out.Add(c)
+		}
+	}
+	for _, it := range cs.Items() {
+		if v, ok := cs.Truth(it); ok {
+			out.SetTruth(it, v)
+		}
+	}
+	return out
+}
+
+// GainPoint is one step on the marginal-gain curve.
+type GainPoint struct {
+	Source  string  // source integrated at this step
+	K       int     // number of sources integrated so far
+	Quality float64 // fusion quality after integrating K sources
+	Gain    float64 // marginal gain vs previous step
+	Cost    float64 // cumulative cost
+}
+
+// CostFunc prices integrating one source. Uniform(1) when nil.
+type CostFunc func(source string) float64
+
+// GainCurve integrates sources in the given order and reports quality
+// after each step — the raw material of the paper's Figure-1-style
+// diminishing-returns plot.
+func GainCurve(cs *data.ClaimSet, order []string, q Quality, cost CostFunc) ([]GainPoint, error) {
+	if cost == nil {
+		cost = func(string) float64 { return 1 }
+	}
+	allowed := map[string]bool{}
+	var curve []GainPoint
+	prev := 0.0
+	cum := 0.0
+	for k, s := range order {
+		allowed[s] = true
+		cum += cost(s)
+		qual, err := q(Restrict(cs, allowed))
+		if err != nil {
+			return nil, err
+		}
+		curve = append(curve, GainPoint{
+			Source: s, K: k + 1, Quality: qual, Gain: qual - prev, Cost: cum,
+		})
+		prev = qual
+	}
+	return curve, nil
+}
+
+// Selection is the result of greedy source selection.
+type Selection struct {
+	Sources []string    // selected sources in selection order
+	Curve   []GainPoint // quality trajectory of the greedy path
+	Quality float64     // final quality
+	Cost    float64     // final cumulative cost
+}
+
+// Greedy selects sources one at a time, each step adding the source
+// with the highest marginal quality gain, stopping when the best gain
+// drops below MinGain or the budget would be exceeded.
+type Greedy struct {
+	Quality Quality
+	Cost    CostFunc
+	// MinGain: stop when the best marginal gain is below this (may be
+	// negative to allow plateau walking). Default 0.001.
+	MinGain float64
+	// Budget caps cumulative cost; 0 means unlimited.
+	Budget float64
+	// PerCost selects sources by marginal gain *per unit cost* instead
+	// of raw gain — the right criterion when sources price differently
+	// (the paper's cost-aware variant).
+	PerCost bool
+}
+
+// Select runs the greedy algorithm over the claim set's sources.
+func (g Greedy) Select(cs *data.ClaimSet) (*Selection, error) {
+	if g.Quality == nil {
+		return nil, fmt.Errorf("sourcesel: Greedy requires a Quality function")
+	}
+	cost := g.Cost
+	if cost == nil {
+		cost = func(string) float64 { return 1 }
+	}
+	minGain := g.MinGain
+	if minGain == 0 {
+		minGain = 0.001
+	}
+
+	remaining := cs.Sources()
+	allowed := map[string]bool{}
+	sel := &Selection{}
+	current := 0.0
+	for len(remaining) > 0 {
+		bestIdx, bestQ := -1, 0.0
+		bestCriterion := 0.0
+		for i, s := range remaining {
+			c := cost(s)
+			if g.Budget > 0 && sel.Cost+c > g.Budget {
+				continue
+			}
+			allowed[s] = true
+			q, err := g.Quality(Restrict(cs, allowed))
+			delete(allowed, s)
+			if err != nil {
+				return nil, err
+			}
+			gain := q - current
+			if gain < minGain {
+				continue
+			}
+			criterion := gain
+			if g.PerCost && c > 0 {
+				criterion = gain / c
+			}
+			if bestIdx < 0 || criterion > bestCriterion {
+				bestIdx, bestQ, bestCriterion = i, q, criterion
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		s := remaining[bestIdx]
+		allowed[s] = true
+		sel.Cost += cost(s)
+		sel.Sources = append(sel.Sources, s)
+		sel.Curve = append(sel.Curve, GainPoint{
+			Source: s, K: len(sel.Sources), Quality: bestQ,
+			Gain: bestQ - current, Cost: sel.Cost,
+		})
+		current = bestQ
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	sel.Quality = current
+	return sel, nil
+}
+
+// ByEstimatedAccuracy orders sources by descending estimated accuracy —
+// the paper's natural integration order for the gain curve.
+func ByEstimatedAccuracy(accuracy map[string]float64) []string {
+	out := make([]string, 0, len(accuracy))
+	for s := range accuracy {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if accuracy[out[i]] != accuracy[out[j]] {
+			return accuracy[out[i]] > accuracy[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

@@ -1,0 +1,187 @@
+package sourcesel
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/datagen"
+	"repro/internal/fusion"
+)
+
+// gainWorld: a few excellent sources and a long tail of bad ones, so
+// the gain curve rises then falls — the paper's headline shape.
+func gainWorld(seed int64) *datagen.ClaimWorld {
+	return datagen.BuildClaims(datagen.ClaimConfig{
+		Seed: seed, NumItems: 200, NumValues: 3,
+		NumSources: 14, MinAccuracy: 0.25, MaxAccuracy: 0.95,
+	})
+}
+
+func TestRestrict(t *testing.T) {
+	cw := gainWorld(1)
+	one := cw.Claims.Sources()[0]
+	sub := Restrict(cw.Claims, map[string]bool{one: true})
+	if len(sub.Sources()) != 1 || sub.Sources()[0] != one {
+		t.Fatalf("restricted sources = %v", sub.Sources())
+	}
+	if sub.Len() == 0 || sub.Len() >= cw.Claims.Len() {
+		t.Errorf("restricted claims = %d of %d", sub.Len(), cw.Claims.Len())
+	}
+	// Truth preserved.
+	it := cw.Items[0]
+	if _, ok := sub.Truth(it); !ok {
+		t.Error("truth must survive restriction")
+	}
+}
+
+func TestGainCurveShape(t *testing.T) {
+	cw := gainWorld(2)
+	q := FusionAccuracyQuality(fusion.MajorityVote{})
+	order := ByEstimatedAccuracy(cw.TrueAccuracy) // best-first
+	curve, err := GainCurve(cw.Claims, order, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 14 {
+		t.Fatalf("curve length = %d", len(curve))
+	}
+	// Quality early in the curve (top-5 sources) must beat quality with
+	// everything integrated: less is more.
+	bestEarly := 0.0
+	for _, p := range curve[:5] {
+		if p.Quality > bestEarly {
+			bestEarly = p.Quality
+		}
+	}
+	final := curve[len(curve)-1].Quality
+	if bestEarly <= final {
+		t.Errorf("best early quality %f must exceed all-sources quality %f", bestEarly, final)
+	}
+	// Cumulative cost is monotone.
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Cost <= curve[i-1].Cost {
+			t.Fatal("cost must increase")
+		}
+		if curve[i].K != i+1 {
+			t.Fatal("K must count up")
+		}
+	}
+}
+
+func TestGreedySelectsFewGoodSources(t *testing.T) {
+	cw := gainWorld(3)
+	g := Greedy{Quality: FusionAccuracyQuality(fusion.MajorityVote{})}
+	sel, err := g.Select(cw.Claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Sources) == 0 {
+		t.Fatal("nothing selected")
+	}
+	if len(sel.Sources) >= 14 {
+		t.Errorf("greedy selected all %d sources; diminishing returns should stop it", len(sel.Sources))
+	}
+	// Greedy quality must beat integrating everything.
+	all := map[string]bool{}
+	for _, s := range cw.Claims.Sources() {
+		all[s] = true
+	}
+	q := FusionAccuracyQuality(fusion.MajorityVote{})
+	allQ, err := q(Restrict(cw.Claims, all))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Quality < allQ {
+		t.Errorf("greedy quality %f must be >= all-sources quality %f", sel.Quality, allQ)
+	}
+	// Curve gains must match quality deltas.
+	prev := 0.0
+	for _, p := range sel.Curve {
+		if diff := p.Quality - prev - p.Gain; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("gain bookkeeping broken at K=%d", p.K)
+		}
+		prev = p.Quality
+	}
+}
+
+func TestGreedyBudget(t *testing.T) {
+	cw := gainWorld(4)
+	g := Greedy{
+		Quality: FusionAccuracyQuality(fusion.MajorityVote{}),
+		Budget:  3, // at cost 1 each: at most 3 sources
+	}
+	sel, err := g.Select(cw.Claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Sources) > 3 {
+		t.Errorf("budget violated: %d sources", len(sel.Sources))
+	}
+	if sel.Cost > 3 {
+		t.Errorf("cost %f over budget", sel.Cost)
+	}
+}
+
+func TestGreedyRequiresQuality(t *testing.T) {
+	if _, err := (Greedy{}).Select(data.NewClaimSet()); err == nil {
+		t.Error("missing quality function must error")
+	}
+}
+
+func TestByEstimatedAccuracyOrder(t *testing.T) {
+	acc := map[string]float64{"a": 0.5, "b": 0.9, "c": 0.7}
+	got := ByEstimatedAccuracy(acc)
+	if got[0] != "b" || got[1] != "c" || got[2] != "a" {
+		t.Errorf("order = %v", got)
+	}
+}
+
+func TestFusionAccuracyQualityErrors(t *testing.T) {
+	q := FusionAccuracyQuality(fusion.MajorityVote{})
+	// No truth: error.
+	cs := data.NewClaimSet()
+	cs.Add(data.Claim{Item: data.Item{Entity: "e", Attr: "v"}, Source: "s", Value: data.String("x")})
+	if _, err := q(cs); err == nil {
+		t.Error("claim set without truth must error")
+	}
+	// Empty: quality 0, no error.
+	if got, err := q(data.NewClaimSet()); err != nil || got != 0 {
+		t.Errorf("empty claim set: %f, %v", got, err)
+	}
+}
+
+func TestGreedyPerCostPrefersCheapGains(t *testing.T) {
+	cw := gainWorld(6)
+	// Price one top source absurdly; per-cost selection should prefer
+	// cheap sources of similar quality first.
+	order := ByEstimatedAccuracy(cw.TrueAccuracy)
+	expensive := order[0]
+	cost := func(s string) float64 {
+		if s == expensive {
+			return 50
+		}
+		return 1
+	}
+	q := FusionAccuracyQuality(fusion.MajorityVote{})
+	plain, err := Greedy{Quality: q, Cost: cost}.Select(cw.Claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCost, err := Greedy{Quality: q, Cost: cost, PerCost: true}.Select(cw.Claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The per-cost run must achieve its quality at no more cost than the
+	// raw-gain run when both reach comparable quality.
+	if perCost.Quality >= plain.Quality-0.02 && perCost.Cost > plain.Cost {
+		t.Errorf("per-cost selection spent %f for %f; plain spent %f for %f",
+			perCost.Cost, perCost.Quality, plain.Cost, plain.Quality)
+	}
+	// If the expensive source was picked first by plain greedy, per-cost
+	// must defer or skip it.
+	if len(plain.Sources) > 0 && plain.Sources[0] == expensive {
+		if len(perCost.Sources) > 0 && perCost.Sources[0] == expensive {
+			t.Error("per-cost selection must not lead with the overpriced source")
+		}
+	}
+}

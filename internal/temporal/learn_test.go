@@ -1,0 +1,94 @@
+package temporal
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/eval"
+)
+
+// learnCorpus builds a labelled multi-epoch dataset where "affiliation"
+// drifts and "name" never does.
+func learnCorpus() (*data.Dataset, data.Clustering) {
+	d := data.NewDataset()
+	_ = d.AddSource(&data.Source{ID: "s"})
+	var clusters data.Clustering
+	names := []string{"alice johnson", "bob miller", "carol zhang", "dave brown"}
+	for e, name := range names {
+		var cl data.Cluster
+		for epoch := 0; epoch < 6; epoch++ {
+			affil := "first employer"
+			if epoch >= 2 {
+				affil = "second employer"
+			}
+			if epoch >= 4 {
+				affil = "third employer"
+			}
+			id := fmt.Sprintf("l%d-t%d", e, epoch)
+			r := data.NewRecord(id, "s").
+				Set("name", data.String(name)).
+				Set("affiliation", data.String(affil)).
+				Set(EpochAttr, data.Number(float64(epoch)))
+			_ = d.AddRecord(r)
+			cl = append(cl, id)
+		}
+		clusters = append(clusters, cl)
+	}
+	return d, clusters.Normalize()
+}
+
+func TestLearnDecayShape(t *testing.T) {
+	d, clusters := learnCorpus()
+	decay := LearnDecay(d, clusters, 5)
+	nameDecay, okName := decay["name"]
+	affilDecay, okAffil := decay["affiliation"]
+	if !okName || !okAffil {
+		t.Fatalf("missing learned decays: %v", decay)
+	}
+	if nameDecay != 0 {
+		t.Errorf("name decay = %f, want 0 (never drifts)", nameDecay)
+	}
+	if affilDecay <= 0.05 {
+		t.Errorf("affiliation decay = %f, want clearly positive", affilDecay)
+	}
+	for a, v := range decay {
+		if v < 0 || v > 0.95 {
+			t.Errorf("decay[%s] = %f out of range", a, v)
+		}
+	}
+}
+
+func TestLearnDecayMinSupport(t *testing.T) {
+	d, clusters := learnCorpus()
+	decay := LearnDecay(d, clusters, 10000)
+	if len(decay) != 0 {
+		t.Errorf("absurd support floor must learn nothing, got %v", decay)
+	}
+}
+
+func TestFitMatcherBeatsStaticOnDriftingData(t *testing.T) {
+	d, clusters := learnCorpus()
+	cmp := cmp() // name + affiliation comparator from temporal_test
+	fitted := FitMatcher(d, clusters, cmp, 0.1)
+	fitted.Threshold = 0.8
+	fittedF1 := eval.Clusters(fitted.Cluster(d.Records()), clusters).F1
+	static := NewMatcher(cmp)
+	static.Decay = 0
+	static.Threshold = 0.8
+	staticF1 := eval.Clusters(static.Cluster(d.Records()), clusters).F1
+	if fittedF1 <= staticF1 {
+		t.Errorf("fitted matcher %f must beat static %f on its own drift regime", fittedF1, staticF1)
+	}
+	if fittedF1 < 0.9 {
+		t.Errorf("fitted F1 = %f", fittedF1)
+	}
+	// Learned name decay pins identity: different people stay apart.
+	other := data.NewRecord("x", "s").Set("name", data.String("totally different person")).
+		Set("affiliation", data.String("first employer")).
+		Set(EpochAttr, data.Number(9))
+	first := d.Records()[0]
+	if _, ok := fitted.Match(first, other); ok {
+		t.Error("fitted matcher must not merge different names across epochs")
+	}
+}

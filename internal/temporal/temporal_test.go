@@ -1,0 +1,162 @@
+package temporal
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/eval"
+	"repro/internal/similarity"
+)
+
+func cmp() *similarity.RecordComparator {
+	return similarity.NewRecordComparator(
+		similarity.FieldWeight{Attr: "name", Weight: 2, Metric: similarity.Jaccard},
+		similarity.FieldWeight{Attr: "affiliation", Weight: 1, Metric: similarity.Jaccard},
+	)
+}
+
+func recAt(id string, epoch int, name, affil string) *data.Record {
+	r := data.NewRecord(id, "s").
+		Set("name", data.String(name)).
+		Set("affiliation", data.String(affil)).
+		Set(EpochAttr, data.Number(float64(epoch)))
+	return r
+}
+
+func TestEpochOf(t *testing.T) {
+	if EpochOf(recAt("x", 3, "a", "b")) != 3 {
+		t.Error("epoch lookup failed")
+	}
+	if EpochOf(data.NewRecord("y", "s")) != 0 {
+		t.Error("missing epoch must be 0")
+	}
+}
+
+func TestScoreDecayForgivesOldConflicts(t *testing.T) {
+	m := NewMatcher(cmp())
+	// Same person, affiliation changed.
+	a := recAt("a", 0, "xin luna dong", "university of washington")
+	bNear := recAt("b", 1, "xin luna dong", "google research lab")
+	bFar := recAt("c", 6, "xin luna dong", "google research lab")
+	near := m.Score(a, bNear)
+	far := m.Score(a, bFar)
+	if far <= near {
+		t.Errorf("far-apart conflict must be forgiven more: near=%f far=%f", near, far)
+	}
+	// Agreement is not inflated for identical records at distance 0.
+	same := m.Score(a, a)
+	if same < 0.999 {
+		t.Errorf("self score = %f", same)
+	}
+}
+
+func TestZeroDecayIsStatic(t *testing.T) {
+	m := NewMatcher(cmp())
+	m.Decay = 0
+	a := recAt("a", 0, "john smith", "acme corp")
+	b := recAt("b", 9, "john smith", "different inc")
+	c := recAt("c", 0, "john smith", "different inc")
+	if m.Score(a, b) != m.Score(a, c) {
+		t.Error("zero decay must ignore epochs")
+	}
+}
+
+// evolvingCorpus: entities whose affiliation changes once mid-stream,
+// two records per epoch over 6 epochs.
+func evolvingCorpus() ([]*data.Record, data.Clustering) {
+	var recs []*data.Record
+	var truth data.Clustering
+	names := []string{"alice johnson", "bob miller", "carol zhang"}
+	for e, name := range names {
+		var cluster data.Cluster
+		for epoch := 0; epoch < 6; epoch++ {
+			affil := "initial institute " + name
+			if epoch >= 3 {
+				affil = "moved laboratory " + name
+			}
+			id := fmt.Sprintf("p%d-t%d", e, epoch)
+			recs = append(recs, recAt(id, epoch, name, affil))
+			cluster = append(cluster, id)
+		}
+		truth = append(truth, cluster)
+	}
+	return recs, truth.Normalize()
+}
+
+func TestTemporalBeatsStaticOnEvolvingEntities(t *testing.T) {
+	recs, truth := evolvingCorpus()
+	m := NewMatcher(cmp())
+	m.Threshold = 0.8
+	m.Decay = 0.4
+	m.AttrDecay = map[string]float64{"name": 0} // names never evolve
+	temporalF1 := eval.Clusters(m.Cluster(recs), truth).F1
+	staticF1 := eval.Clusters(m.StaticCluster(recs), truth).F1
+	if temporalF1 <= staticF1 {
+		t.Errorf("temporal F1 %f must beat static F1 %f", temporalF1, staticF1)
+	}
+	if temporalF1 < 0.95 {
+		t.Errorf("temporal F1 = %f, want ~1", temporalF1)
+	}
+}
+
+func TestTemporalEqualsStaticOnStableEntities(t *testing.T) {
+	var recs []*data.Record
+	var truth data.Clustering
+	for e := 0; e < 3; e++ {
+		var cluster data.Cluster
+		for epoch := 0; epoch < 4; epoch++ {
+			id := fmt.Sprintf("s%d-t%d", e, epoch)
+			recs = append(recs, recAt(id, epoch,
+				fmt.Sprintf("stable person %d", e),
+				fmt.Sprintf("stable employer %d", e)))
+			cluster = append(cluster, id)
+		}
+		truth = append(truth, cluster)
+	}
+	m := NewMatcher(cmp())
+	m.Threshold = 0.8
+	tF1 := eval.Clusters(m.Cluster(recs), truth.Normalize()).F1
+	sF1 := eval.Clusters(m.StaticCluster(recs), truth.Normalize()).F1
+	if tF1 != 1 || sF1 != 1 {
+		t.Errorf("stable entities: temporal=%f static=%f, want both 1", tF1, sF1)
+	}
+}
+
+func TestTemporalDoesNotOvermergeDistinctEntities(t *testing.T) {
+	// Two different people far apart in time: forgiveness must not link
+	// records whose *names* disagree (agreement evidence stays primary).
+	m := NewMatcher(cmp())
+	m.Threshold = 0.8
+	m.Decay = 0.3
+	m.AttrDecay = map[string]float64{"name": 0}
+	a := recAt("a", 0, "alice johnson", "acme")
+	b := recAt("b", 8, "pete brown", "acme")
+	if _, ok := m.Match(a, b); ok {
+		t.Error("different names must not match even across long gaps")
+	}
+	clusters := m.Cluster([]*data.Record{a, b})
+	if len(clusters) != 2 {
+		t.Errorf("clusters = %v", clusters)
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	recs, _ := evolvingCorpus()
+	m := NewMatcher(cmp())
+	a := m.Cluster(recs)
+	b := m.Cluster(recs)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic cluster count")
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatal("nondeterministic clusters")
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("nondeterministic membership")
+			}
+		}
+	}
+}

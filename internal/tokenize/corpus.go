@@ -1,0 +1,93 @@
+package tokenize
+
+import (
+	"math"
+	"sort"
+)
+
+// Corpus accumulates document-frequency statistics over a collection of
+// texts and computes TF-IDF weight vectors. It backs cosine-TF-IDF and
+// soft-TF-IDF similarity as well as IDF-weighted meta-blocking.
+type Corpus struct {
+	docFreq map[string]int
+	numDocs int
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{docFreq: map[string]int{}}
+}
+
+// Add registers one document's text. Each distinct word counts once
+// toward document frequency.
+func (c *Corpus) Add(text string) {
+	c.numDocs++
+	for w := range WordSet(text) {
+		c.docFreq[w]++
+	}
+}
+
+// NumDocs returns the number of documents added.
+func (c *Corpus) NumDocs() int { return c.numDocs }
+
+// DocFreq returns the document frequency of a (normalised) word.
+func (c *Corpus) DocFreq(word string) int { return c.docFreq[word] }
+
+// IDF returns the smoothed inverse document frequency
+// log(1 + N/(1+df)). Unseen words get the maximum IDF.
+func (c *Corpus) IDF(word string) float64 {
+	return math.Log(1 + float64(c.numDocs)/float64(1+c.docFreq[word]))
+}
+
+// Weight is one component of a TF-IDF vector.
+type Weight struct {
+	Term string
+	W    float64
+}
+
+// Vector computes the L2-normalised TF-IDF vector of text against the
+// corpus, sorted by term for deterministic iteration. Empty text yields
+// a nil vector.
+func (c *Corpus) Vector(text string) []Weight {
+	tf := map[string]int{}
+	for _, w := range Words(text) {
+		tf[w]++
+	}
+	if len(tf) == 0 {
+		return nil
+	}
+	vec := make([]Weight, 0, len(tf))
+	var norm float64
+	for term, n := range tf {
+		w := (1 + math.Log(float64(n))) * c.IDF(term)
+		vec = append(vec, Weight{Term: term, W: w})
+		norm += w * w
+	}
+	norm = math.Sqrt(norm)
+	if norm > 0 {
+		for i := range vec {
+			vec[i].W /= norm
+		}
+	}
+	sort.Slice(vec, func(i, j int) bool { return vec[i].Term < vec[j].Term })
+	return vec
+}
+
+// Dot computes the inner product of two term-sorted weight vectors.
+func Dot(a, b []Weight) float64 {
+	var dot float64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Term < b[j].Term:
+			i++
+		case a[i].Term > b[j].Term:
+			j++
+		default:
+			dot += a[i].W * b[j].W
+			i++
+			j++
+		}
+	}
+	return dot
+}
