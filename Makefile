@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build vet test race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The cached-vs-uncached matching benchmarks (PR 1 acceptance numbers).
+bench:
+	$(GO) test -run xxx -bench 'MatchPairs(Cached|Uncached)$$' -benchmem .
+
+# Everything the CI gate runs.
+check: build vet race

@@ -11,6 +11,7 @@ import (
 	"repro/internal/similarity"
 	"repro/internal/sourcesel"
 	"repro/internal/temporal"
+	"repro/internal/tokenize"
 )
 
 // Stage-level public API: the individual pipeline components for users
@@ -25,6 +26,11 @@ type (
 	FieldWeight = similarity.FieldWeight
 	// RecordComparator scores record pairs by weighted field similarity.
 	RecordComparator = similarity.RecordComparator
+	// FeatureIndex caches per-record tokenisation and TF-IDF vectors so
+	// batch matching tokenises each record once, not once per pair.
+	FeatureIndex = similarity.FeatureIndex
+	// Corpus holds document frequencies for TF-IDF weighting.
+	Corpus = tokenize.Corpus
 )
 
 var (
@@ -41,6 +47,15 @@ var (
 	JaroWinkler = similarity.JaroWinkler
 	// Levenshtein is the unit-cost edit distance.
 	Levenshtein = similarity.Levenshtein
+	// TFIDF is corpus-weighted cosine similarity as a Metric.
+	TFIDF = similarity.TFIDF
+	// BuildFeatureIndex precomputes comparison features for a record set.
+	BuildFeatureIndex = similarity.BuildFeatureIndex
+	// BuildFeatureIndexCorpus is BuildFeatureIndex with an explicit
+	// TF-IDF corpus.
+	BuildFeatureIndexCorpus = similarity.BuildFeatureIndexCorpus
+	// NewCorpus returns an empty TF-IDF corpus.
+	NewCorpus = tokenize.NewCorpus
 )
 
 // Blocking.
@@ -98,8 +113,12 @@ type (
 var (
 	// NewFellegiSunter returns an untrained probabilistic matcher.
 	NewFellegiSunter = linkage.NewFellegiSunter
-	// MatchPairs scores candidate pairs in parallel.
+	// MatchPairs scores candidate pairs in parallel, preparing the
+	// matcher's feature index once per batch.
 	MatchPairs = linkage.MatchPairs
+	// NoIndexMatcher wraps a matcher so MatchPairs skips the feature
+	// cache — the uncached baseline for benchmarks and ablations.
+	NoIndexMatcher = linkage.NoIndex
 	// NewIncrementalLinker returns an empty online linker.
 	NewIncrementalLinker = linkage.NewIncremental
 	// TitleTokenKey is the default online blocking key (title tokens).

@@ -112,6 +112,7 @@ func BenchmarkE9ScaleOut(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		b.ReportMetric(res.Speedup[len(res.Speedup)-1], "cache-speedup")
 		return "pairs/sec@max-workers", res.Throughput[len(res.Throughput)-1]
 	})
 }
@@ -152,6 +153,7 @@ func BenchmarkE13EndToEnd(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		b.ReportMetric(res.MatchSpeedup, "match-cache-speedup")
 		return "linkage-F1", res.LinkageF1
 	})
 }
@@ -247,6 +249,55 @@ func BenchmarkE22WrapperInduction(b *testing.B) {
 }
 
 // Micro-benchmarks for the primitives the pipeline spends its time in.
+
+// matchBenchWorkload is the E5-style dirty-duplicate workload used by
+// the cached/uncached matching benchmarks.
+func matchBenchWorkload() (d *Dataset, cands []Pair) {
+	world := NewWorld(WorldConfig{Seed: 9, NumEntities: 60, Categories: []string{"camera"}})
+	web := BuildWeb(world, SourceConfig{
+		Seed: 10, NumSources: 10, DirtLevel: 2,
+		IdentifierRate: 0.9, Heterogeneity: 0.3,
+		HeadFraction: 0.4, TailCoverage: 0.3,
+	})
+	d = web.Dataset
+	cands = StandardBlocking{Key: TokenBlockingKey("title"), MaxBlock: 200}.Candidates(d.Records())
+	return d, cands
+}
+
+func matchBenchComparator() *RecordComparator {
+	return NewRecordComparator(
+		FieldWeight{Attr: "title", Weight: 2, Metric: Jaccard},
+		FieldWeight{Attr: "camera_brand", Weight: 1, Metric: NamedMetric("dice")},
+		FieldWeight{Attr: "camera_color", Weight: 1},
+		FieldWeight{Attr: "camera_price_usd", Weight: 1},
+	)
+}
+
+// BenchmarkMatchPairsCached scores candidate pairs with the per-record
+// feature cache (the MatchPairs default).
+func BenchmarkMatchPairsCached(b *testing.B) {
+	d, cands := matchBenchWorkload()
+	m := ThresholdMatcher{Comparator: matchBenchComparator(), Threshold: 0.6}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatchPairs(d, cands, m, 1)
+	}
+	b.ReportMetric(float64(len(cands)), "pairs/batch")
+}
+
+// BenchmarkMatchPairsUncached is the same workload with the cache
+// disabled: every pair re-tokenises both records.
+func BenchmarkMatchPairsUncached(b *testing.B) {
+	d, cands := matchBenchWorkload()
+	m := NoIndexMatcher(ThresholdMatcher{Comparator: matchBenchComparator(), Threshold: 0.6})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatchPairs(d, cands, m, 1)
+	}
+	b.ReportMetric(float64(len(cands)), "pairs/batch")
+}
 
 func BenchmarkPipelineEndToEnd(b *testing.B) {
 	world := NewWorld(WorldConfig{Seed: 1, NumEntities: 60})

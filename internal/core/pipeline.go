@@ -68,6 +68,11 @@ type Config struct {
 
 	// Workers for parallel matching; default NumCPU via parallel pkg.
 	Workers int
+
+	// NoFeatureIndex disables the per-record feature cache in matching
+	// (each pair re-tokenises its records). Matching output is identical
+	// either way; the knob exists for ablations and benchmark baselines.
+	NoFeatureIndex bool
 }
 
 func (c *Config) defaults() {
@@ -223,7 +228,11 @@ func (p *Pipeline) linkStage(d *data.Dataset, rep *Report) error {
 	if err != nil {
 		return err
 	}
-	rep.Matched = linkage.MatchPairs(d, candidates, matcher, p.cfg.Workers)
+	scorer := matcher
+	if p.cfg.NoFeatureIndex {
+		scorer = linkage.NoIndex(matcher)
+	}
+	rep.Matched = linkage.MatchPairs(d, candidates, scorer, p.cfg.Workers)
 	rep.StageTime["matching"] += time.Since(start)
 
 	start = time.Now()
@@ -311,6 +320,11 @@ func (p *Pipeline) buildMatcher(d *data.Dataset, candidates []data.Pair) (linkag
 		if err := fs.Train(d, candidates, 15); err != nil {
 			return nil, fmt.Errorf("core: training matcher: %w", err)
 		}
+		if p.cfg.NoFeatureIndex {
+			// Train attaches a feature index for its own EM passes; drop
+			// it so scoring goes through the uncached path.
+			cmp.AttachIndex(nil)
+		}
 		return &fsWithIdentifier{fs: fs, exact: p.cfg.IdentifierAttrs}, nil
 	}
 	return linkage.RuleMatcher{
@@ -325,6 +339,11 @@ func (p *Pipeline) buildMatcher(d *data.Dataset, candidates []data.Pair) (linkag
 type fsWithIdentifier struct {
 	fs    *linkage.FellegiSunter
 	exact []string
+}
+
+// PrepareIndex implements linkage.IndexPreparer.
+func (m *fsWithIdentifier) PrepareIndex(d *data.Dataset, candidates []data.Pair) {
+	m.fs.PrepareIndex(d, candidates)
 }
 
 // Match implements linkage.Matcher.

@@ -1,0 +1,139 @@
+package linkage
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/blocking"
+	"repro/internal/data"
+	"repro/internal/datagen"
+	"repro/internal/similarity"
+)
+
+// matchWorkload builds the seeded dirty-duplicate corpus used by the
+// determinism and cache-equivalence regressions.
+func matchWorkload(t testing.TB) (*data.Dataset, []data.Pair) {
+	t.Helper()
+	w := datagen.NewWorld(datagen.WorldConfig{
+		Seed: 42, NumEntities: 60, Categories: []string{"camera"},
+	})
+	web := datagen.BuildWeb(w, datagen.SourceConfig{
+		Seed: 43, NumSources: 10, DirtLevel: 2,
+		IdentifierRate: 0.9, Heterogeneity: 0.3,
+		HeadFraction: 0.4, TailCoverage: 0.3,
+	})
+	records := web.Dataset.Records()
+	cands := blocking.Standard{Key: blocking.TokenKey("title"), MaxBlock: 200}.Candidates(records)
+	if len(cands) == 0 {
+		t.Fatal("workload produced no candidate pairs")
+	}
+	return web.Dataset, cands
+}
+
+func workloadComparator() *similarity.RecordComparator {
+	return similarity.NewRecordComparator(
+		similarity.FieldWeight{Attr: "title", Weight: 2, Metric: similarity.Jaccard},
+		similarity.FieldWeight{Attr: "camera_brand", Weight: 1, Metric: similarity.Dice},
+		similarity.FieldWeight{Attr: "camera_color", Weight: 1},
+		similarity.FieldWeight{Attr: "camera_price_usd", Weight: 1},
+	)
+}
+
+func renderPairs(ps []data.ScoredPair) string {
+	s := ""
+	for _, p := range ps {
+		s += fmt.Sprintf("%s|%s|%.17g\n", p.A, p.B, p.Score)
+	}
+	return s
+}
+
+// TestMatchPairsDeterministicOnSeededWeb is the determinism
+// regression: byte-identical results for workers ∈ {1, 4, NumCPU} on a
+// seeded corpus, with and without the feature cache.
+func TestMatchPairsDeterministicOnSeededWeb(t *testing.T) {
+	d, cands := matchWorkload(t)
+	for _, variant := range []struct {
+		name string
+		mk   func() Matcher
+	}{
+		{"cached", func() Matcher {
+			return ThresholdMatcher{Comparator: workloadComparator(), Threshold: 0.6}
+		}},
+		{"uncached", func() Matcher {
+			return NoIndex(ThresholdMatcher{Comparator: workloadComparator(), Threshold: 0.6})
+		}},
+	} {
+		base := renderPairs(MatchPairs(d, cands, variant.mk(), 1))
+		if base == "" {
+			t.Fatalf("%s: no matches on the seeded corpus", variant.name)
+		}
+		for _, w := range []int{4, runtime.NumCPU()} {
+			if got := renderPairs(MatchPairs(d, cands, variant.mk(), w)); got != base {
+				t.Errorf("%s: workers=%d output differs from workers=1", variant.name, w)
+			}
+		}
+	}
+}
+
+// TestMatchPairsCachedEqualsUncached: the feature cache is a pure
+// optimisation — identical scores and decisions pair for pair.
+func TestMatchPairsCachedEqualsUncached(t *testing.T) {
+	d, cands := matchWorkload(t)
+	cached := MatchPairs(d, cands, ThresholdMatcher{Comparator: workloadComparator(), Threshold: 0.6}, 4)
+	uncached := MatchPairs(d, cands, NoIndex(ThresholdMatcher{Comparator: workloadComparator(), Threshold: 0.6}), 4)
+	if !reflect.DeepEqual(cached, uncached) {
+		t.Errorf("cached (%d pairs) and uncached (%d pairs) results differ", len(cached), len(uncached))
+	}
+}
+
+// TestMatchPairsAttachesIndex: MatchPairs must prepare the comparator
+// index for IndexPreparer matchers and reuse a covering index.
+func TestMatchPairsAttachesIndex(t *testing.T) {
+	d, cands := matchWorkload(t)
+	cmp := workloadComparator()
+	MatchPairs(d, cands, ThresholdMatcher{Comparator: cmp, Threshold: 0.6}, 2)
+	idx := cmp.Index()
+	if idx == nil {
+		t.Fatal("MatchPairs did not attach a feature index")
+	}
+	for _, p := range cands[:10] {
+		if !idx.Has(p.A) || !idx.Has(p.B) {
+			t.Fatalf("index does not cover candidate pair %v", p)
+		}
+	}
+	// A second batch over the same candidates must reuse the index.
+	MatchPairs(d, cands, ThresholdMatcher{Comparator: cmp, Threshold: 0.6}, 2)
+	if cmp.Index() != idx {
+		t.Error("covering index was rebuilt instead of reused")
+	}
+}
+
+// TestFellegiSunterCachedEqualsUncached covers the comparison-vector
+// path: EM training and posterior scoring give identical results with
+// and without the cache.
+func TestFellegiSunterCachedEqualsUncached(t *testing.T) {
+	d, cands := matchWorkload(t)
+	run := func(cache bool) []data.ScoredPair {
+		fs := NewFellegiSunter(workloadComparator())
+		fs.AgreeAt = 0.7
+		fs.Threshold = 0.8
+		if !cache {
+			// Train attaches the index internally; detach to force the
+			// direct path throughout.
+			if err := fs.Train(d, cands, 10); err != nil {
+				t.Fatal(err)
+			}
+			fs.Comparator.AttachIndex(nil)
+			return MatchPairs(d, cands, NoIndex(fs), 4)
+		}
+		if err := fs.Train(d, cands, 10); err != nil {
+			t.Fatal(err)
+		}
+		return MatchPairs(d, cands, fs, 4)
+	}
+	if got, want := run(true), run(false); !reflect.DeepEqual(got, want) {
+		t.Errorf("FS cached (%d pairs) differs from uncached (%d pairs)", len(got), len(want))
+	}
+}

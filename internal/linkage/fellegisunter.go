@@ -32,12 +32,24 @@ func NewFellegiSunter(c *similarity.RecordComparator) *FellegiSunter {
 	return &FellegiSunter{Comparator: c, AgreeAt: 0.8, Threshold: 0.9}
 }
 
+// PrepareIndex implements IndexPreparer: the comparison-vector path
+// (agreement vectors during EM training and posterior scoring) reads
+// the comparator's cached per-record features.
+func (fs *FellegiSunter) PrepareIndex(d *data.Dataset, candidates []data.Pair) {
+	PrepareComparatorIndex(fs.Comparator, d, candidates)
+}
+
 // agreementVector binarises the comparator's field scores: 1 = agree,
-// 0 = disagree, -1 = not comparable (missing from both).
-func (fs *FellegiSunter) agreementVector(a, b *data.Record) []int {
-	scores := fs.Comparator.FieldScores(a, b)
-	out := make([]int, len(scores))
-	for i, s := range scores {
+// 0 = disagree, -1 = not comparable (missing from both). scratch, when
+// non-nil, must have length len(Fields()) and is reused for the raw
+// scores.
+func (fs *FellegiSunter) agreementVector(a, b *data.Record, scratch []float64) []int {
+	if scratch == nil {
+		scratch = make([]float64, len(fs.Comparator.Fields()))
+	}
+	fs.Comparator.FieldScoresInto(scratch, a, b)
+	out := make([]int, len(scratch))
+	for i, s := range scratch {
 		switch {
 		case s < 0:
 			out[i] = -1
@@ -63,14 +75,16 @@ func (fs *FellegiSunter) Train(d *data.Dataset, candidates []data.Pair, iteratio
 	if iterations <= 0 {
 		iterations = 20
 	}
+	fs.PrepareIndex(d, candidates)
 
+	scratch := make([]float64, k)
 	vectors := make([][]int, 0, len(candidates))
 	for _, p := range candidates {
 		a, b := d.Record(p.A), d.Record(p.B)
 		if a == nil || b == nil {
 			continue
 		}
-		vectors = append(vectors, fs.agreementVector(a, b))
+		vectors = append(vectors, fs.agreementVector(a, b, scratch))
 	}
 	if len(vectors) == 0 {
 		return fmt.Errorf("linkage: candidates reference no known records")
@@ -175,7 +189,7 @@ func (fs *FellegiSunter) Posterior(a, b *data.Record) float64 {
 		return 0
 	}
 	pm, pu := fs.prior, 1-fs.prior
-	for i, ag := range fs.agreementVector(a, b) {
+	for i, ag := range fs.agreementVector(a, b, nil) {
 		switch ag {
 		case 1:
 			pm *= fs.m[i]
@@ -199,7 +213,7 @@ func (fs *FellegiSunter) LogLikelihoodRatio(a, b *data.Record) float64 {
 		return math.Inf(-1)
 	}
 	var w float64
-	for i, ag := range fs.agreementVector(a, b) {
+	for i, ag := range fs.agreementVector(a, b, nil) {
 		switch ag {
 		case 1:
 			w += math.Log2(fs.m[i] / fs.u[i])

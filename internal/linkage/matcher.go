@@ -14,6 +14,63 @@ type Matcher interface {
 	Match(a, b *data.Record) (score float64, match bool)
 }
 
+// IndexPreparer is implemented by matchers that can precompute
+// per-record comparison features (a similarity.FeatureIndex) before a
+// batch of pair evaluations. MatchPairs calls it once per batch so
+// every record is tokenized exactly once instead of once per candidate
+// pair.
+type IndexPreparer interface {
+	PrepareIndex(d *data.Dataset, candidates []data.Pair)
+}
+
+// PrepareComparatorIndex builds a feature index over the records
+// referenced by candidates and attaches it to the comparator. It is a
+// no-op when the comparator is nil or its attached index already covers
+// every candidate record (so repeated batches over a stable corpus
+// reuse the cache). Not safe to call concurrently with matching.
+func PrepareComparatorIndex(c *similarity.RecordComparator, d *data.Dataset, candidates []data.Pair) {
+	if c == nil || len(c.Fields()) == 0 || len(candidates) == 0 {
+		return
+	}
+	if idx := c.Index(); idx != nil {
+		covered := true
+		for _, p := range candidates {
+			if !idx.Has(p.A) || !idx.Has(p.B) {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			return
+		}
+	}
+	seen := make(map[string]bool, 2*len(candidates))
+	recs := make([]*data.Record, 0, 2*len(candidates))
+	add := func(id string) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		if r := d.Record(id); r != nil {
+			recs = append(recs, r)
+		}
+	}
+	for _, p := range candidates {
+		add(p.A)
+		add(p.B)
+	}
+	c.AttachIndex(similarity.BuildFeatureIndex(recs, c))
+}
+
+// NoIndex hides a matcher's IndexPreparer implementation so MatchPairs
+// evaluates it without building the per-record feature cache — the
+// uncached baseline for benchmarks and ablations.
+func NoIndex(m Matcher) Matcher { return noIndexMatcher{m: m} }
+
+type noIndexMatcher struct{ m Matcher }
+
+func (n noIndexMatcher) Match(a, b *data.Record) (float64, bool) { return n.m.Match(a, b) }
+
 // ThresholdMatcher wraps a RecordComparator with a decision threshold —
 // the simple rule-based matcher.
 type ThresholdMatcher struct {
@@ -25,6 +82,11 @@ type ThresholdMatcher struct {
 func (m ThresholdMatcher) Match(a, b *data.Record) (float64, bool) {
 	s := m.Comparator.Compare(a, b)
 	return s, s >= m.Threshold
+}
+
+// PrepareIndex implements IndexPreparer.
+func (m ThresholdMatcher) PrepareIndex(d *data.Dataset, candidates []data.Pair) {
+	PrepareComparatorIndex(m.Comparator, d, candidates)
 }
 
 // RuleMatcher matches when a hard rule fires: any of the Exact
@@ -53,10 +115,22 @@ func (m RuleMatcher) Match(a, b *data.Record) (float64, bool) {
 	return s, s >= m.Threshold
 }
 
+// PrepareIndex implements IndexPreparer.
+func (m RuleMatcher) PrepareIndex(d *data.Dataset, candidates []data.Pair) {
+	PrepareComparatorIndex(m.Comparator, d, candidates)
+}
+
 // MatchPairs scores every candidate pair with the matcher, in parallel,
 // and returns the matching pairs with scores, sorted by descending
 // score then pair order (deterministic regardless of worker count).
+// Matchers implementing IndexPreparer get one PrepareIndex call before
+// the parallel phase, so per-record features are computed once per
+// batch instead of once per pair; wrap the matcher in NoIndex to opt
+// out.
 func MatchPairs(d *data.Dataset, candidates []data.Pair, m Matcher, workers int) []data.ScoredPair {
+	if ip, ok := m.(IndexPreparer); ok {
+		ip.PrepareIndex(d, candidates)
+	}
 	results := make([]data.ScoredPair, len(candidates))
 	ok := make([]bool, len(candidates))
 	parallel.ForEach(parallel.Config{Workers: workers}, len(candidates), func(i int) {

@@ -3,28 +3,23 @@
 // used by the scale experiments the Big Data Integration tutorial
 // surveys. It exercises the same logical structure (partitioning,
 // key-grouped shuffle, reduce skew) on shared memory.
+//
+// Every entry point is generic and allocation-conscious: no values are
+// boxed through interface{}, work is handed out in dynamic chunks so
+// skewed item costs cannot strand a worker, and the reduce phase runs
+// on a bounded pool (never one goroutine per key). All results are
+// deterministic: identical output for any worker count.
 package parallel
 
 import (
+	"cmp"
 	"fmt"
 	"hash/fnv"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
+	"sync/atomic"
 )
-
-// KV is one key/value pair flowing between map and reduce.
-type KV struct {
-	Key   string
-	Value interface{}
-}
-
-// MapFunc consumes one input item and emits zero or more pairs.
-type MapFunc func(item interface{}, emit func(KV))
-
-// ReduceFunc consumes one key and all its values and emits zero or more
-// outputs.
-type ReduceFunc func(key string, values []interface{}, emit func(interface{}))
 
 // Config controls a job run.
 type Config struct {
@@ -39,34 +34,35 @@ func (c Config) workers() int {
 }
 
 // Run executes a full map→shuffle→reduce job over items and returns the
-// reducer outputs. Output order is deterministic: reduce keys are
-// processed in sorted order and outputs are concatenated in that order,
-// regardless of worker count.
-func Run(cfg Config, items []interface{}, m MapFunc, r ReduceFunc) []interface{} {
+// reducer outputs. The map function emits (key, value) pairs; the
+// reduce function sees one key with all its values. Output order is
+// deterministic regardless of worker count: reduce keys are processed
+// in sorted order, outputs are concatenated in that order, and within a
+// key, values appear in input order (stable shuffle). The reduce phase
+// runs on the same bounded worker pool as the map phase — key
+// cardinality never translates into goroutine count.
+func Run[I any, K cmp.Ordered, V, O any](cfg Config, items []I, m func(item I, emit func(K, V)), r func(key K, values []V, emit func(O))) []O {
 	grouped := mapAndShuffle(cfg, items, m)
 
-	keys := make([]string, 0, len(grouped))
+	keys := make([]K, 0, len(grouped))
 	for k := range grouped {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	slices.Sort(keys)
 
-	// Reduce in parallel, preserving key order in the output.
-	outs := make([][]interface{}, len(keys))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.workers())
-	for i, k := range keys {
-		wg.Add(1)
-		go func(i int, k string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			r(k, grouped[k], func(v interface{}) { outs[i] = append(outs[i], v) })
-		}(i, k)
+	// Reduce on the bounded pool, preserving key order in the output.
+	// Dynamic chunking absorbs reduce skew (hot keys with many values).
+	outs := make([][]O, len(keys))
+	ForEach(cfg, len(keys), func(i int) {
+		k := keys[i]
+		r(k, grouped[k], func(o O) { outs[i] = append(outs[i], o) })
+	})
+
+	total := 0
+	for _, o := range outs {
+		total += len(o)
 	}
-	wg.Wait()
-
-	var flat []interface{}
+	flat := make([]O, 0, total)
 	for _, o := range outs {
 		flat = append(flat, o...)
 	}
@@ -74,44 +70,25 @@ func Run(cfg Config, items []interface{}, m MapFunc, r ReduceFunc) []interface{}
 }
 
 // mapAndShuffle runs the map phase over items with the configured
-// worker count and groups emissions by key. Within a key, values appear
-// in input order (stable shuffle), so results do not depend on worker
-// scheduling.
-func mapAndShuffle(cfg Config, items []interface{}, m MapFunc) map[string][]interface{} {
+// worker count and groups emissions by key. Emissions are buffered per
+// input index, so grouping order depends only on input order, never on
+// worker scheduling.
+func mapAndShuffle[I any, K cmp.Ordered, V any](cfg Config, items []I, m func(item I, emit func(K, V))) map[K][]V {
 	type emission struct {
-		kv  KV
-		seq int // input index, for stable ordering within a key
+		k K
+		v V
 	}
-	w := cfg.workers()
 	emissionsPer := make([][]emission, len(items))
+	ForEach(cfg, len(items), func(i int) {
+		m(items[i], func(k K, v V) {
+			emissionsPer[i] = append(emissionsPer[i], emission{k: k, v: v})
+		})
+	})
 
-	var wg sync.WaitGroup
-	chunk := (len(items) + w - 1) / w
-	if chunk == 0 {
-		chunk = 1
-	}
-	for start := 0; start < len(items); start += chunk {
-		end := start + chunk
-		if end > len(items) {
-			end = len(items)
-		}
-		wg.Add(1)
-		go func(start, end int) {
-			defer wg.Done()
-			for i := start; i < end; i++ {
-				idx := i
-				m(items[idx], func(kv KV) {
-					emissionsPer[idx] = append(emissionsPer[idx], emission{kv: kv, seq: idx})
-				})
-			}
-		}(start, end)
-	}
-	wg.Wait()
-
-	grouped := map[string][]interface{}{}
+	grouped := map[K][]V{}
 	for _, ems := range emissionsPer {
 		for _, e := range ems {
-			grouped[e.kv.Key] = append(grouped[e.kv.Key], e.kv.Value)
+			grouped[e.k] = append(grouped[e.k], e.v)
 		}
 	}
 	return grouped
@@ -129,9 +106,16 @@ func Partition(key string, n int) int {
 }
 
 // ForEach applies f to every index in [0,n) using the configured number
-// of workers, blocking until done. It is the plain data-parallel loop
-// used by pairwise matching.
+// of workers, blocking until done. Work is handed out in dynamically
+// sized chunks from a shared counter, so skewed per-index costs (large
+// blocks, hot reduce keys) rebalance across workers instead of
+// stranding one on a static range. Each index is visited exactly once;
+// callers writing results by index get deterministic output for any
+// worker count.
 func ForEach(cfg Config, n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
 	w := cfg.workers()
 	if w > n {
 		w = n
@@ -142,31 +126,40 @@ func ForEach(cfg Config, n int, f func(i int)) {
 		}
 		return
 	}
-	// Static contiguous ranges: negligible coordination overhead, good
-	// balance for the uniform per-item costs of pairwise matching, and
-	// no false sharing when workers write result slices by index.
+	// ~8 hand-outs per worker: tail imbalance bounded by ~1/(8w) of the
+	// work while keeping shared-counter traffic negligible.
+	chunk := n / (8 * w)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	chunk := (n + w - 1) / w
-	for start := 0; start < n; start += chunk {
-		end := start + chunk
-		if end > n {
-			end = n
-		}
+	for p := 0; p < w; p++ {
 		wg.Add(1)
-		go func(start, end int) {
+		go func() {
 			defer wg.Done()
-			for i := start; i < end; i++ {
-				f(i)
+			for {
+				end := int(next.Add(int64(chunk)))
+				start := end - chunk
+				if start >= n {
+					return
+				}
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					f(i)
+				}
 			}
-		}(start, end)
+		}()
 	}
 	wg.Wait()
 }
 
-// MapSlice applies f to every element of a string slice in parallel and
+// MapSlice applies f to every element of a slice in parallel and
 // returns outputs in input order.
-func MapSlice[T any](cfg Config, in []string, f func(s string) T) []T {
-	out := make([]T, len(in))
+func MapSlice[I, O any](cfg Config, in []I, f func(item I) O) []O {
+	out := make([]O, len(in))
 	ForEach(cfg, len(in), func(i int) { out[i] = f(in[i]) })
 	return out
 }

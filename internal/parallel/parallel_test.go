@@ -2,7 +2,10 @@ package parallel
 
 import (
 	"errors"
+	"fmt"
+	"math/rand"
 	"reflect"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -10,23 +13,18 @@ import (
 )
 
 func wordCount(docs []string, workers int) map[string]int {
-	items := make([]interface{}, len(docs))
-	for i, d := range docs {
-		items[i] = d
-	}
-	out := Run(Config{Workers: workers}, items,
-		func(item interface{}, emit func(KV)) {
-			for _, w := range strings.Fields(item.(string)) {
-				emit(KV{Key: w, Value: 1})
+	out := Run(Config{Workers: workers}, docs,
+		func(doc string, emit func(string, int)) {
+			for _, w := range strings.Fields(doc) {
+				emit(w, 1)
 			}
 		},
-		func(key string, values []interface{}, emit func(interface{})) {
-			emit(KV{Key: key, Value: len(values)})
+		func(key string, values []int, emit func([2]any)) {
+			emit([2]any{key, len(values)})
 		})
 	counts := map[string]int{}
 	for _, o := range out {
-		kv := o.(KV)
-		counts[kv.Key] = kv.Value.(int)
+		counts[o[0].(string)] = o[1].(int)
 	}
 	return counts
 }
@@ -50,26 +48,108 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
-func TestRunOutputOrderSorted(t *testing.T) {
-	items := []interface{}{"b", "a", "c"}
-	out := Run(Config{Workers: 4}, items,
-		func(item interface{}, emit func(KV)) { emit(KV{Key: item.(string), Value: item}) },
-		func(key string, values []interface{}, emit func(interface{})) { emit(key) })
-	got := make([]string, len(out))
-	for i, o := range out {
-		got[i] = o.(string)
+// TestRunByteIdenticalOnSeededCorpus is the determinism regression
+// test: a seeded high-cardinality workload must render byte-identically
+// for workers ∈ {1, 4, NumCPU} — output order included, not just
+// grouped content.
+func TestRunByteIdenticalOnSeededCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	docs := make([]string, 500)
+	for i := range docs {
+		var b strings.Builder
+		for j := 0; j < 1+rng.Intn(8); j++ {
+			fmt.Fprintf(&b, "tok%03d ", rng.Intn(400))
+		}
+		docs[i] = b.String()
 	}
-	if !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
-		t.Errorf("reduce output order = %v, want sorted keys", got)
+	render := func(workers int) string {
+		out := Run(Config{Workers: workers}, docs,
+			func(doc string, emit func(string, int)) {
+				for _, w := range strings.Fields(doc) {
+					emit(w, len(w))
+				}
+			},
+			func(key string, values []int, emit func(string)) {
+				sum := 0
+				for _, v := range values {
+					sum += v
+				}
+				emit(fmt.Sprintf("%s=%d/%d", key, len(values), sum))
+			})
+		return strings.Join(out, ";")
+	}
+	base := render(1)
+	for _, w := range []int{4, runtime.NumCPU()} {
+		if got := render(w); got != base {
+			t.Errorf("workers=%d output differs from single-worker run", w)
+		}
+	}
+}
+
+// TestRunValuesInInputOrder pins the stable-shuffle guarantee: within a
+// key, values arrive at the reducer in input order.
+func TestRunValuesInInputOrder(t *testing.T) {
+	items := make([]int, 64)
+	for i := range items {
+		items[i] = i
+	}
+	out := Run(Config{Workers: 8}, items,
+		func(i int, emit func(string, int)) { emit("k", i) },
+		func(key string, values []int, emit func([]int)) { emit(values) })
+	if len(out) != 1 {
+		t.Fatalf("want 1 output, got %d", len(out))
+	}
+	if !reflect.DeepEqual(out[0], items) {
+		t.Errorf("values not in input order: %v", out[0])
+	}
+}
+
+func TestRunOutputOrderSorted(t *testing.T) {
+	out := Run(Config{Workers: 4}, []string{"b", "a", "c"},
+		func(item string, emit func(string, string)) { emit(item, item) },
+		func(key string, values []string, emit func(string)) { emit(key) })
+	if !reflect.DeepEqual(out, []string{"a", "b", "c"}) {
+		t.Errorf("reduce output order = %v, want sorted keys", out)
+	}
+}
+
+func TestRunIntKeys(t *testing.T) {
+	out := Run(Config{Workers: 4}, []int{5, 3, 5, 1},
+		func(item int, emit func(int, int)) { emit(item, 1) },
+		func(key int, values []int, emit func(int)) { emit(key * len(values)) })
+	if !reflect.DeepEqual(out, []int{1, 3, 10}) {
+		t.Errorf("int-keyed run = %v, want [1 3 10]", out)
 	}
 }
 
 func TestRunEmptyInput(t *testing.T) {
 	out := Run(Config{}, nil,
-		func(item interface{}, emit func(KV)) { t.Fatal("map called on empty input") },
-		func(key string, values []interface{}, emit func(interface{})) { t.Fatal("reduce called") })
+		func(item string, emit func(string, int)) { t.Fatal("map called on empty input") },
+		func(key string, values []int, emit func(int)) { t.Fatal("reduce called") })
 	if len(out) != 0 {
 		t.Errorf("want empty output, got %v", out)
+	}
+}
+
+// TestRunBoundedReduceGoroutines pins the satellite fix: reducing many
+// keys must not spawn a goroutine per key.
+func TestRunBoundedReduceGoroutines(t *testing.T) {
+	items := make([]int, 20000)
+	for i := range items {
+		items[i] = i
+	}
+	before := runtime.NumGoroutine()
+	var peak atomic.Int64
+	Run(Config{Workers: 4}, items,
+		func(i int, emit func(int, int)) { emit(i, i) }, // 20k distinct keys
+		func(key int, values []int, emit func(int)) {
+			if g := int64(runtime.NumGoroutine()); g > peak.Load() {
+				peak.Store(g)
+			}
+			emit(key)
+		})
+	if p := peak.Load(); p > int64(before+16) {
+		t.Errorf("reduce phase reached %d goroutines (started at %d); want a bounded pool", p, before)
 	}
 }
 
@@ -114,6 +194,39 @@ func TestForEachCoversAll(t *testing.T) {
 	}
 }
 
+// TestForEachDeterministicByIndex pins ForEach's contract for the
+// matching stage: results written by index are identical for any
+// worker count, even under heavily skewed per-item costs.
+func TestForEachDeterministicByIndex(t *testing.T) {
+	const n = 2000
+	rng := rand.New(rand.NewSource(7))
+	cost := make([]int, n)
+	for i := range cost {
+		if rng.Intn(20) == 0 {
+			cost[i] = 2000 // rare hot items: skew the chunks
+		} else {
+			cost[i] = 10
+		}
+	}
+	run := func(workers int) []int {
+		out := make([]int, n)
+		ForEach(Config{Workers: workers}, n, func(i int) {
+			acc := i
+			for j := 0; j < cost[i]; j++ {
+				acc = acc*31 + j
+			}
+			out[i] = acc
+		})
+		return out
+	}
+	base := run(1)
+	for _, w := range []int{4, runtime.NumCPU()} {
+		if got := run(w); !reflect.DeepEqual(got, base) {
+			t.Errorf("workers=%d: per-index results differ from sequential run", w)
+		}
+	}
+}
+
 func TestForEachSingleWorker(t *testing.T) {
 	order := []int{}
 	ForEach(Config{Workers: 1}, 5, func(i int) { order = append(order, i) })
@@ -127,6 +240,10 @@ func TestMapSlice(t *testing.T) {
 	out := MapSlice(Config{Workers: 3}, in, func(s string) int { return len(s) })
 	if !reflect.DeepEqual(out, []int{1, 2, 3}) {
 		t.Errorf("MapSlice = %v", out)
+	}
+	doubled := MapSlice(Config{Workers: 2}, []int{1, 2, 3}, func(i int) int { return 2 * i })
+	if !reflect.DeepEqual(doubled, []int{2, 4, 6}) {
+		t.Errorf("MapSlice over ints = %v", doubled)
 	}
 }
 

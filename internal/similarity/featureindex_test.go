@@ -1,0 +1,211 @@
+package similarity
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/tokenize"
+)
+
+// indexWorkload builds a small dirty corpus covering every value kind
+// and tokenisation edge case the cached path must reproduce.
+func indexWorkload() []*data.Record {
+	titles := []string{
+		"Nova Camera Pro 300 Deluxe", "nova camera pro 300", "NOVA-CAMERA pro-300",
+		"Orbit Lens Kit 50mm", "orbit lens 50mm kit", "!!!", "单反 相机 Pro",
+		"the a an of camera", "camera", "Nova Nova Nova camera",
+	}
+	recs := make([]*data.Record, 0, len(titles)+2)
+	for i, t := range titles {
+		r := data.NewRecord(fmt.Sprintf("r%02d", i), "s1")
+		r.Set("title", data.String(t))
+		if i%2 == 0 {
+			r.Set("brand", data.String([]string{"Nova", "Orbit", "nova"}[i%3]))
+		}
+		if i%3 != 0 {
+			r.Set("price", data.Number(float64(100+i*7)))
+		}
+		if i%4 == 0 {
+			r.Set("instock", data.Bool(i%8 == 0))
+		}
+		if i%5 == 0 {
+			r.Set("seen", data.Time(time.Date(2020+i, 1, 1, 0, 0, 0, 0, time.UTC)))
+		}
+		if i == 3 {
+			r.Set("price", data.String("149 usd")) // kind mismatch vs numbers
+		}
+		recs = append(recs, r)
+	}
+	// A record with no compared fields at all.
+	empty := data.NewRecord("r98", "s1")
+	empty.Set("unrelated", data.String("x"))
+	recs = append(recs, empty)
+	return recs
+}
+
+func indexComparator() *RecordComparator {
+	return NewRecordComparator(
+		FieldWeight{Attr: "title", Weight: 2, Metric: Jaccard},
+		FieldWeight{Attr: "brand", Weight: 1, Metric: Dice},
+		FieldWeight{Attr: "price", Weight: 1}, // numbers + JaroWinkler fallback
+		FieldWeight{Attr: "instock", Weight: 0.5, Metric: Overlap},
+		FieldWeight{Attr: "seen", Weight: 0.5, Metric: CosineSet},
+	)
+}
+
+// TestCachedCompareMatchesUncached is the core correctness contract:
+// attaching a feature index must not change any score, for any metric
+// kind, on any pair.
+func TestCachedCompareMatchesUncached(t *testing.T) {
+	recs := indexWorkload()
+	cached := indexComparator()
+	uncached := indexComparator()
+	cached.AttachIndex(BuildFeatureIndex(recs, cached))
+	for i := 0; i < len(recs); i++ {
+		for j := i; j < len(recs); j++ {
+			a, b := recs[i], recs[j]
+			if got, want := cached.Compare(a, b), uncached.Compare(a, b); got != want {
+				t.Errorf("Compare(%s,%s): cached %v != uncached %v", a.ID, b.ID, got, want)
+			}
+			gs, ws := cached.FieldScores(a, b), uncached.FieldScores(a, b)
+			for k := range gs {
+				if gs[k] != ws[k] {
+					t.Errorf("FieldScores(%s,%s)[%d]: cached %v != uncached %v", a.ID, b.ID, k, gs[k], ws[k])
+				}
+			}
+		}
+	}
+}
+
+// TestCachedSetKernels pins each set kernel against its map-based
+// metric directly on the raw strings.
+func TestCachedSetKernels(t *testing.T) {
+	pairs := [][2]string{
+		{"nova camera pro 300", "nova camera pro 300 deluxe"},
+		{"a b c", "d e f"},
+		{"", ""},
+		{"!!!", "???"},
+		{"x", "x"},
+		{"one two two three", "two three four"},
+	}
+	metrics := []struct {
+		name string
+		m    Metric
+	}{
+		{"jaccard", Jaccard}, {"dice", Dice}, {"overlap", Overlap}, {"cosine", CosineSet},
+	}
+	for _, mt := range metrics {
+		rc := NewRecordComparator(FieldWeight{Attr: "v", Weight: 1, Metric: mt.m})
+		for pi, p := range pairs {
+			a := data.NewRecord("a", "s").Set("v", data.String(p[0]))
+			b := data.NewRecord("b", "s").Set("v", data.String(p[1]))
+			rc.AttachIndex(BuildFeatureIndex([]*data.Record{a, b}, rc))
+			got := rc.Compare(a, b)
+			want := mt.m(p[0], p[1])
+			if p[0] == "" && p[1] == "" {
+				want = 0 // both null: no comparable fields
+			}
+			if got != want {
+				t.Errorf("%s pair %d: cached %v, direct %v", mt.name, pi, got, want)
+			}
+		}
+	}
+}
+
+// TestCachedTFIDF verifies the precomputed-vector path against the
+// direct TFIDFCosine computation over the same corpus.
+func TestCachedTFIDF(t *testing.T) {
+	recs := indexWorkload()
+	corpus := tokenize.NewCorpus()
+	for _, r := range recs {
+		if v := r.Get("title"); v.Kind == data.KindString {
+			corpus.Add(v.Str)
+		}
+	}
+	rc := NewRecordComparator(FieldWeight{Attr: "title", Weight: 1, Metric: TFIDF(corpus)})
+	rc.AttachIndex(BuildFeatureIndexCorpus(recs, rc, corpus))
+	if !corpus.Frozen() {
+		t.Fatal("index build must freeze the corpus")
+	}
+	for i := 0; i < len(recs); i++ {
+		for j := i; j < len(recs); j++ {
+			a, b := recs[i], recs[j]
+			va, vb := a.Get("title"), b.Get("title")
+			if va.IsNull() || vb.IsNull() {
+				continue
+			}
+			got := rc.Compare(a, b)
+			want := TFIDFCosine(corpus, va.Str, vb.Str)
+			if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+				t.Errorf("tfidf(%s,%s): cached %v, direct %v", a.ID, b.ID, got, want)
+			}
+		}
+	}
+}
+
+// TestCachedCompareZeroAllocs is the allocation assertion: with an
+// index attached, scoring a pair on token metrics does zero heap
+// allocations.
+func TestCachedCompareZeroAllocs(t *testing.T) {
+	a := data.NewRecord("a", "s").
+		Set("title", data.String("nova camera pro 300 deluxe edition")).
+		Set("brand", data.String("nova imaging")).
+		Set("price", data.Number(299))
+	b := data.NewRecord("b", "s").
+		Set("title", data.String("nova camera pro 300")).
+		Set("brand", data.String("nova")).
+		Set("price", data.Number(305))
+	rc := NewRecordComparator(
+		FieldWeight{Attr: "title", Weight: 2, Metric: Jaccard},
+		FieldWeight{Attr: "brand", Weight: 1, Metric: Dice},
+		FieldWeight{Attr: "price", Weight: 1},
+	)
+	rc.AttachIndex(BuildFeatureIndex([]*data.Record{a, b}, rc))
+	if allocs := testing.AllocsPerRun(200, func() { rc.Compare(a, b) }); allocs != 0 {
+		t.Errorf("cached Compare allocates %v per pair, want 0", allocs)
+	}
+	scores := make([]float64, len(rc.Fields()))
+	if allocs := testing.AllocsPerRun(200, func() { rc.FieldScoresInto(scores, a, b) }); allocs != 0 {
+		t.Errorf("cached FieldScoresInto allocates %v per pair, want 0", allocs)
+	}
+}
+
+// TestUnindexedRecordsFallBack: records outside the index must still
+// score correctly through the direct path.
+func TestUnindexedRecordsFallBack(t *testing.T) {
+	recs := indexWorkload()
+	rc := indexComparator()
+	rc.AttachIndex(BuildFeatureIndex(recs[:3], rc))
+	fresh := data.NewRecord("fresh", "s2").Set("title", data.String("nova camera pro 300"))
+	want := indexComparator().Compare(recs[0], fresh)
+	if got := rc.Compare(recs[0], fresh); got != want {
+		t.Errorf("fallback Compare = %v, want %v", got, want)
+	}
+	if !rc.Index().Has(recs[0].ID) || rc.Index().Has("fresh") {
+		t.Error("index coverage misreported by Has")
+	}
+}
+
+// TestIndexTokensAccessor sanity-checks the exposed token sets.
+func TestIndexTokensAccessor(t *testing.T) {
+	a := data.NewRecord("a", "s").Set("title", data.String("beta alpha beta"))
+	rc := NewRecordComparator(FieldWeight{Attr: "title", Weight: 1, Metric: Jaccard})
+	idx := BuildFeatureIndex([]*data.Record{a}, rc)
+	toks := idx.Tokens("a", "title")
+	if len(toks) != 2 {
+		t.Fatalf("want 2 distinct tokens, got %v", toks)
+	}
+	for i := 1; i < len(toks); i++ {
+		if toks[i-1] >= toks[i] {
+			t.Errorf("token IDs not strictly sorted: %v", toks)
+		}
+	}
+	if idx.Tokens("a", "missing") != nil || idx.Tokens("zzz", "title") != nil {
+		t.Error("Tokens must return nil for unknown attr/record")
+	}
+	if idx.Len() != 1 {
+		t.Errorf("Len = %d", idx.Len())
+	}
+}

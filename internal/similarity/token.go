@@ -95,6 +95,16 @@ func TFIDFCosine(c *tokenize.Corpus, a, b string) float64 {
 	return clamp01(tokenize.Dot(va, vb))
 }
 
+// TFIDF wraps TFIDFCosine as a field Metric over the supplied corpus.
+// When the comparator has a FeatureIndex attached, fields using this
+// metric are scored from the index's precomputed interned vectors —
+// weighted by the corpus the index was built with (see
+// BuildFeatureIndexCorpus to control it) — instead of re-vectorising
+// both strings per pair.
+func TFIDF(c *tokenize.Corpus) Metric {
+	return func(a, b string) float64 { return TFIDFCosine(c, a, b) }
+}
+
 // MongeElkan computes the asymmetric Monge-Elkan similarity: for each
 // token of a, the best inner similarity against tokens of b, averaged.
 // The inner metric defaults to JaroWinkler when nil.

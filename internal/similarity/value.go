@@ -109,8 +109,14 @@ type FieldWeight struct {
 // RecordComparator scores record pairs as a weighted average of
 // per-field value similarities. Fields missing from both records are
 // skipped; fields missing from one contribute the neutral 0.5.
+//
+// Attaching a FeatureIndex (AttachIndex) switches Compare and
+// FieldScores to allocation-free cached kernels for every indexed
+// record pair; unindexed records fall back to the direct path, so a
+// stale or partial index degrades performance, never correctness.
 type RecordComparator struct {
 	fields []FieldWeight
+	idx    *FeatureIndex
 }
 
 // NewRecordComparator builds a comparator over the given weighted
@@ -139,9 +145,65 @@ func UniformComparator(m Metric, attrs ...string) *RecordComparator {
 // Fields returns the comparator's weighted fields.
 func (rc *RecordComparator) Fields() []FieldWeight { return rc.fields }
 
+// AttachIndex attaches a feature index built from this comparator (see
+// BuildFeatureIndex); nil detaches. Attach before sharing the
+// comparator across matching workers — the workers only read it.
+func (rc *RecordComparator) AttachIndex(idx *FeatureIndex) { rc.idx = idx }
+
+// Index returns the attached feature index, or nil.
+func (rc *RecordComparator) Index() *FeatureIndex { return rc.idx }
+
+// cachedFeatures returns both records' cached field features when the
+// attached index covers them.
+func (rc *RecordComparator) cachedFeatures(a, b *data.Record) (fa, fb []fieldFeature, ok bool) {
+	idx := rc.idx
+	if idx == nil || len(idx.fields) != len(rc.fields) {
+		return nil, nil, false
+	}
+	if fa, ok = idx.feats[a.ID]; !ok {
+		return nil, nil, false
+	}
+	if fb, ok = idx.feats[b.ID]; !ok {
+		return nil, nil, false
+	}
+	return fa, fb, true
+}
+
+// fieldSim scores one field from cached features, dispatching to the
+// allocation-free kernel when one applies and falling back to Values
+// (on the cached value copies) otherwise.
+func (rc *RecordComparator) fieldSim(i int, fa, fb []fieldFeature) float64 {
+	va, vb := fa[i].val, fb[i].val
+	if k := rc.idx.kernels[i]; k != kernelNone &&
+		va.Kind == data.KindString && vb.Kind == data.KindString {
+		if k == kernelTFIDF {
+			if rc.idx.corpus != nil {
+				return dotKernel(fa[i].tfidf, fb[i].tfidf)
+			}
+		} else {
+			return setKernel(k, fa[i].tokens, fb[i].tokens)
+		}
+	}
+	return Values(va, vb, rc.fields[i].Metric)
+}
+
 // Compare returns the weighted-average similarity of two records in
 // [0,1]. With no comparable fields it returns 0.
 func (rc *RecordComparator) Compare(a, b *data.Record) float64 {
+	if fa, fb, ok := rc.cachedFeatures(a, b); ok {
+		var sum, wsum float64
+		for i, f := range rc.fields {
+			if fa[i].val.IsNull() && fb[i].val.IsNull() {
+				continue
+			}
+			sum += f.Weight * rc.fieldSim(i, fa, fb)
+			wsum += f.Weight
+		}
+		if wsum == 0 {
+			return 0
+		}
+		return sum / wsum
+	}
 	var sum, wsum float64
 	for _, f := range rc.fields {
 		va, vb := a.Get(f.Attr), b.Get(f.Attr)
@@ -162,6 +224,23 @@ func (rc *RecordComparator) Compare(a, b *data.Record) float64 {
 // -1 marking fields absent from both records.
 func (rc *RecordComparator) FieldScores(a, b *data.Record) []float64 {
 	out := make([]float64, len(rc.fields))
+	rc.FieldScoresInto(out, a, b)
+	return out
+}
+
+// FieldScoresInto is FieldScores writing into a caller-supplied slice
+// of length len(Fields()), letting hot loops reuse one buffer.
+func (rc *RecordComparator) FieldScoresInto(out []float64, a, b *data.Record) {
+	if fa, fb, ok := rc.cachedFeatures(a, b); ok {
+		for i := range rc.fields {
+			if fa[i].val.IsNull() && fb[i].val.IsNull() {
+				out[i] = -1
+				continue
+			}
+			out[i] = rc.fieldSim(i, fa, fb)
+		}
+		return
+	}
 	for i, f := range rc.fields {
 		va, vb := a.Get(f.Attr), b.Get(f.Attr)
 		if va.IsNull() && vb.IsNull() {
@@ -170,5 +249,4 @@ func (rc *RecordComparator) FieldScores(a, b *data.Record) []float64 {
 		}
 		out[i] = Values(va, vb, f.Metric)
 	}
-	return out
 }

@@ -8,9 +8,17 @@ import (
 // Corpus accumulates document-frequency statistics over a collection of
 // texts and computes TF-IDF weight vectors. It backs cosine-TF-IDF and
 // soft-TF-IDF similarity as well as IDF-weighted meta-blocking.
+//
+// A Corpus has a build-then-read life-cycle: Add documents from one
+// goroutine, call Freeze, then share it freely — every read method
+// (NumDocs, DocFreq, IDF, Vector) is safe for concurrent use once the
+// corpus is frozen, because nothing mutates after the freeze point.
+// Add panics after Freeze so an accidental late write fails loudly
+// instead of racing readers.
 type Corpus struct {
 	docFreq map[string]int
 	numDocs int
+	frozen  bool
 }
 
 // NewCorpus returns an empty corpus.
@@ -19,13 +27,24 @@ func NewCorpus() *Corpus {
 }
 
 // Add registers one document's text. Each distinct word counts once
-// toward document frequency.
+// toward document frequency. Add panics on a frozen corpus.
 func (c *Corpus) Add(text string) {
+	if c.frozen {
+		panic("tokenize: Corpus.Add after Freeze")
+	}
 	c.numDocs++
 	for w := range WordSet(text) {
 		c.docFreq[w]++
 	}
 }
+
+// Freeze marks the corpus complete. After Freeze, Add panics and all
+// read methods are safe for concurrent use from any number of
+// goroutines. Freezing an already-frozen corpus is a no-op.
+func (c *Corpus) Freeze() { c.frozen = true }
+
+// Frozen reports whether the corpus has been frozen.
+func (c *Corpus) Frozen() bool { return c.frozen }
 
 // NumDocs returns the number of documents added.
 func (c *Corpus) NumDocs() int { return c.numDocs }

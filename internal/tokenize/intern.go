@@ -1,0 +1,50 @@
+package tokenize
+
+// Interner maps token strings to dense uint32 IDs so set-similarity
+// kernels can compare integer slices instead of hashing strings. IDs
+// are assigned in first-Intern order, which makes an index built by a
+// single goroutine fully deterministic.
+//
+// An Interner is not safe for concurrent mutation. The intended
+// life-cycle is build-then-read: intern every token while constructing
+// a feature index, then share the interner freely across goroutines —
+// all read methods (ID, Token, Len) are safe once no more Intern calls
+// are made.
+type Interner struct {
+	ids  map[string]uint32
+	toks []string
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: map[string]uint32{}}
+}
+
+// Intern returns the ID of tok, assigning the next free ID on first
+// sight.
+func (in *Interner) Intern(tok string) uint32 {
+	if id, ok := in.ids[tok]; ok {
+		return id
+	}
+	id := uint32(len(in.toks))
+	in.ids[tok] = id
+	in.toks = append(in.toks, tok)
+	return id
+}
+
+// ID returns the ID of tok and whether it has been interned.
+func (in *Interner) ID(tok string) (uint32, bool) {
+	id, ok := in.ids[tok]
+	return id, ok
+}
+
+// Token returns the token with the given ID ("" if out of range).
+func (in *Interner) Token(id uint32) string {
+	if int(id) >= len(in.toks) {
+		return ""
+	}
+	return in.toks[id]
+}
+
+// Len returns the number of distinct tokens interned.
+func (in *Interner) Len() int { return len(in.toks) }
