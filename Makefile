@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check
+.PHONY: all build vet test race race-blocking bench bench-blocking check
 
 all: check
 
@@ -16,9 +16,17 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Race-checks the parallel blocking engine and its substrate (PR 2 gate).
+race-blocking:
+	$(GO) test -race ./internal/blocking/... ./internal/parallel/...
+
 # The cached-vs-uncached matching benchmarks (PR 1 acceptance numbers).
 bench:
 	$(GO) test -run xxx -bench 'MatchPairs(Cached|Uncached)$$' -benchmem .
+
+# The blocking-engine benchmarks (PR 2 acceptance numbers).
+bench-blocking:
+	$(GO) test -run xxx -bench 'BuildBlocks|BlocksPairs|MetaBlocking' -benchmem .
 
 # Everything the CI gate runs.
 check: build vet race

@@ -70,6 +70,28 @@ type (
 	SortedNeighborhood = blocking.SortedNeighborhood
 	// MetaBlocker prunes a redundancy-positive block collection.
 	MetaBlocker = blocking.MetaBlocker
+	// Blocks is the map form of a block collection.
+	Blocks = blocking.Blocks
+	// BlockingEngine interns record IDs once for several blocking
+	// passes over the same records.
+	BlockingEngine = blocking.Engine
+	// IndexedBlocks is the interned, rank-based block collection the
+	// parallel engine produces.
+	IndexedBlocks = blocking.Indexed
+	// CandidateSet is a deduplicated candidate collection packed as
+	// uint64 rank codes; it streams into MatchPairsFrom without a pair
+	// slice ever existing.
+	CandidateSet = blocking.CandidateSet
+)
+
+// Edge-weighting and pruning schemes for MetaBlocker.
+const (
+	CBSWeight  = blocking.CBS
+	ECBSWeight = blocking.ECBS
+	JSWeight   = blocking.JS
+	WEPPrune   = blocking.WEP
+	CEPPrune   = blocking.CEP
+	WNPPrune   = blocking.WNP
 )
 
 var (
@@ -83,7 +105,18 @@ var (
 	QGramBlockingKey = blocking.QGramKey
 	// BuildBlocks groups records by blocking key.
 	BuildBlocks = blocking.BuildBlocks
+	// NewBlockingEngine interns record IDs for sharded block building.
+	NewBlockingEngine = blocking.NewEngine
+	// UnionCandidateSets unions packed candidate sets, deduplicating
+	// while preserving first-seen order.
+	UnionCandidateSets = blocking.UnionCandidates
 )
+
+// BuildIndexedBlocks builds an interned block collection across the
+// given number of workers (0 = NumCPU) — the one-shot engine form.
+func BuildIndexedBlocks(records []*Record, key KeyFunc, workers int) *IndexedBlocks {
+	return blocking.NewEngine(records, workers).Blocks(key)
+}
 
 // Matching and clustering.
 type (
@@ -116,6 +149,10 @@ var (
 	// MatchPairs scores candidate pairs in parallel, preparing the
 	// matcher's feature index once per batch.
 	MatchPairs = linkage.MatchPairs
+	// MatchPairsFrom is MatchPairs over a packed candidate source
+	// (e.g. a CandidateSet): pairs decode on the fly inside the
+	// workers.
+	MatchPairsFrom = linkage.MatchPairsFrom
 	// NoIndexMatcher wraps a matcher so MatchPairs skips the feature
 	// cache — the uncached baseline for benchmarks and ablations.
 	NoIndexMatcher = linkage.NoIndex

@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"repro/internal/data"
+	"repro/internal/parallel"
 	"repro/internal/tokenize"
 )
 
@@ -28,40 +29,79 @@ type Blocks map[string][]string
 
 // BuildBlocks applies key to every record and groups IDs by key. Within
 // a block, IDs appear in input order. Records yielding no keys are
-// unblocked (they generate no candidates).
+// unblocked (they generate no candidates). This is the sequential
+// path; Engine.Blocks / BuildIndexed shard the key extraction across
+// workers with byte-identical output.
 func BuildBlocks(records []*data.Record, key KeyFunc) Blocks {
 	b := Blocks{}
+	var ks keySet
 	for _, r := range records {
-		seen := map[string]bool{}
+		ks.reset()
 		for _, k := range key(r) {
-			if k == "" || seen[k] {
+			if k == "" || !ks.add(k) {
 				continue
 			}
-			seen[k] = true
 			b[k] = append(b[k], r.ID)
 		}
 	}
 	return b
 }
 
-// Pairs expands blocks into deduplicated candidate pairs.
-func (b Blocks) Pairs() []data.Pair {
-	seen := map[data.Pair]bool{}
-	keys := b.sortedKeys()
-	var out []data.Pair
-	for _, k := range keys {
-		ids := b[k]
-		for i := 0; i < len(ids); i++ {
-			for j := i + 1; j < len(ids); j++ {
-				p := data.NewPair(ids[i], ids[j])
-				if !seen[p] {
-					seen[p] = true
-					out = append(out, p)
-				}
-			}
+// smallKeys is the per-record key count up to which keySet dedupes by
+// scanning a reused slice instead of allocating a map.
+const smallKeys = 8
+
+// keySet deduplicates one record's blocking keys. Most key functions
+// emit a handful of keys, so the common case is a linear scan of a
+// small reused slice; prolific functions (q-grams, suffixes) spill to
+// a map that is cleared, not reallocated, between records.
+type keySet struct {
+	small []string
+	big   map[string]bool
+}
+
+func (s *keySet) reset() {
+	s.small = s.small[:0]
+	if s.big != nil {
+		clear(s.big)
+	}
+}
+
+// add reports whether k is new, recording it either way.
+func (s *keySet) add(k string) bool {
+	for _, have := range s.small {
+		if have == k {
+			return false
 		}
 	}
-	return out
+	if len(s.small) < smallKeys {
+		s.small = append(s.small, k)
+		return true
+	}
+	if s.big == nil {
+		s.big = map[string]bool{}
+	}
+	if s.big[k] {
+		return false
+	}
+	s.big[k] = true
+	return true
+}
+
+// Pairs expands blocks into deduplicated candidate pairs. Dedup runs
+// on packed uint64 pair codes (sorted + compacted, no per-pair heap
+// allocation); the output order — first occurrence over sorted keys,
+// in-block input order — is byte-identical to the historical
+// map[data.Pair]bool implementation.
+func (b Blocks) Pairs() []data.Pair {
+	return b.Index().Pairs()
+}
+
+// EmitPairs streams the deduplicated candidate pairs to emit in Pairs
+// order without materialising the pair slice, stopping early when emit
+// returns false.
+func (b Blocks) EmitPairs(emit func(data.Pair) bool) {
+	b.Index().EmitPairs(emit)
 }
 
 // Comparisons counts the total pairwise comparisons implied by the
@@ -91,6 +131,10 @@ func (b Blocks) Purge(maxSize int) Blocks {
 	return out
 }
 
+// SortedKeys returns the block keys in ascending order — the canonical
+// block enumeration order every pair-emission path uses.
+func (b Blocks) SortedKeys() []string { return b.sortedKeys() }
+
 func (b Blocks) sortedKeys() []string {
 	keys := make([]string, 0, len(b))
 	for k := range b {
@@ -106,11 +150,17 @@ type Standard struct {
 	Key KeyFunc
 	// MaxBlock purges blocks above this size when > 0.
 	MaxBlock int
+	// Workers bounds the block-building and pair-expansion workers
+	// (0 = NumCPU). Output is identical for any value.
+	Workers int
 }
 
-// Candidates implements Blocker.
+// Candidates implements Blocker through the interned parallel engine;
+// the candidate list is byte-identical to the sequential
+// BuildBlocks/Purge/Pairs path at any worker count.
 func (s Standard) Candidates(records []*data.Record) []data.Pair {
-	return BuildBlocks(records, s.Key).Purge(s.MaxBlock).Pairs()
+	cfg := parallel.Config{Workers: s.Workers}
+	return BuildIndexed(cfg, records, s.Key).Purge(s.MaxBlock).Pairs()
 }
 
 // AttrPrefixKey blocks on the first n runes of the normalised attribute

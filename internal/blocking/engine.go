@@ -1,0 +1,417 @@
+package blocking
+
+// The interned, parallel blocking engine. Record IDs are interned to
+// dense uint32 ranks assigned in lexicographic order, blocks become
+// []uint32 rows, and candidate pairs travel as packed uint64 codes
+// (the smaller rank in the high word, so code order is pair order and
+// code equality is pair equality). Deduplication sorts and compacts
+// the code slice instead of probing a map[data.Pair]bool — no per-pair
+// heap allocations — while a position tag preserves the sequential
+// implementation's first-seen emission order, keeping every candidate
+// list byte-identical to the seed path at any worker count.
+
+import (
+	"runtime"
+	"slices"
+
+	"repro/internal/data"
+	"repro/internal/parallel"
+)
+
+// ranker maps record IDs to dense uint32 ranks in lexicographic order,
+// so rank comparisons agree with data.Pair's canonical ID ordering.
+type ranker struct {
+	ids []string // rank → ID, sorted ascending, distinct
+}
+
+func newRanker(ids []string) *ranker {
+	sorted := slices.Clone(ids)
+	slices.Sort(sorted)
+	return &ranker{ids: slices.Compact(sorted)}
+}
+
+// rank returns the dense rank of id (which must be present).
+func (rk *ranker) rank(id string) uint32 {
+	i, _ := slices.BinarySearch(rk.ids, id)
+	return uint32(i)
+}
+
+// pairCode packs two record ranks into one uint64 with the smaller
+// rank in the high word: equal codes are equal pairs, and ascending
+// codes are pairs in ascending (A, B) order.
+func pairCode(a, b uint32) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(a)<<32 | uint64(b)
+}
+
+// dedupCodesStable removes duplicate codes preserving first-occurrence
+// order: it sorts a copy to learn the distinct code set, then sweeps
+// the original once, keeping each code the first time its slot in the
+// sorted set is hit. One clone, one uint64 sort, one bool slice — the
+// inner loop never touches the heap per pair.
+func dedupCodesStable(codes []uint64) []uint64 {
+	if len(codes) < 2 {
+		return codes
+	}
+	uniq := slices.Clone(codes)
+	slices.Sort(uniq)
+	uniq = slices.Compact(uniq)
+	if len(uniq) == len(codes) {
+		return codes // already distinct
+	}
+	seen := make([]bool, len(uniq))
+	out := codes[:0]
+	for _, c := range codes {
+		i, _ := slices.BinarySearch(uniq, c)
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Engine shares one record-ID interning across several blocking passes
+// over the same records, so the resulting candidate sets live in one
+// rank space and can be unioned on packed codes.
+type Engine struct {
+	cfg   parallel.Config
+	recs  []*data.Record
+	rk    *ranker
+	ranks []uint32 // record position → rank
+}
+
+// NewEngine interns the record IDs once (in parallel) and returns an
+// engine bound to the records. workers <= 0 means NumCPU.
+func NewEngine(records []*data.Record, workers int) *Engine {
+	e := &Engine{cfg: parallel.Config{Workers: workers}, recs: records}
+	ids := make([]string, len(records))
+	for i, r := range records {
+		ids[i] = r.ID
+	}
+	e.rk = newRanker(ids)
+	e.ranks = parallel.MapSlice(e.cfg, records, func(r *data.Record) uint32 {
+		return e.rk.rank(r.ID)
+	})
+	return e
+}
+
+// Blocks applies key to every record — the expensive tokenisation runs
+// sharded across workers — and merges the shard maps deterministically
+// into an interned block collection. Shards are contiguous input
+// ranges, so concatenating a key's shard rows in shard order preserves
+// record input order within every block; keys are sorted, exactly
+// matching the sequential BuildBlocks semantics.
+func (e *Engine) Blocks(key KeyFunc) *Indexed {
+	n := len(e.recs)
+	w := e.cfg.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	shards := make([]map[string][]uint32, w)
+	parallel.ForEach(parallel.Config{Workers: w}, w, func(s int) {
+		lo, hi := n*s/w, n*(s+1)/w
+		m := make(map[string][]uint32)
+		var ks keySet
+		for i := lo; i < hi; i++ {
+			ks.reset()
+			for _, k := range key(e.recs[i]) {
+				if k == "" || !ks.add(k) {
+					continue
+				}
+				m[k] = append(m[k], e.ranks[i])
+			}
+		}
+		shards[s] = m
+	})
+	total := 0
+	for _, m := range shards {
+		total += len(m)
+	}
+	keys := make([]string, 0, total)
+	for _, m := range shards {
+		for k := range m {
+			keys = append(keys, k)
+		}
+	}
+	slices.Sort(keys)
+	keys = slices.Compact(keys)
+	rows := make([][]uint32, len(keys))
+	if w == 1 {
+		for i, k := range keys {
+			rows[i] = shards[0][k]
+		}
+	} else {
+		parallel.ForEach(e.cfg, len(keys), func(i int) {
+			k := keys[i]
+			sz := 0
+			for _, m := range shards {
+				sz += len(m[k])
+			}
+			row := make([]uint32, 0, sz)
+			for _, m := range shards {
+				row = append(row, m[k]...)
+			}
+			rows[i] = row
+		})
+	}
+	return &Indexed{cfg: e.cfg, ids: e.rk.ids, keys: keys, rows: rows}
+}
+
+// BuildIndexed is the one-shot form of NewEngine(...).Blocks(key): it
+// builds an interned block collection from records in parallel.
+func BuildIndexed(cfg parallel.Config, records []*data.Record, key KeyFunc) *Indexed {
+	return NewEngine(records, cfg.Workers).Blocks(key)
+}
+
+// Indexed is the interned form of a block collection: record IDs are
+// dense lexicographic ranks, block keys are sorted, and each row holds
+// the member ranks in record input order.
+type Indexed struct {
+	cfg  parallel.Config
+	ids  []string   // rank → record ID, sorted ascending
+	keys []string   // sorted block keys
+	rows [][]uint32 // rows[i] = member ranks of keys[i], input order
+}
+
+// Index interns a map-form block collection. Within-block order is
+// preserved; keys are sorted once (meta-blocking reuses this ordering
+// instead of re-sorting the key set per pass).
+func (b Blocks) Index() *Indexed {
+	keys := b.sortedKeys()
+	total := 0
+	for _, ids := range b {
+		total += len(ids)
+	}
+	all := make([]string, 0, total)
+	for _, ids := range b {
+		all = append(all, ids...)
+	}
+	rk := newRanker(all)
+	x := &Indexed{ids: rk.ids, keys: keys, rows: make([][]uint32, len(keys))}
+	for i, k := range keys {
+		src := b[k]
+		row := make([]uint32, len(src))
+		for j, id := range src {
+			row[j] = rk.rank(id)
+		}
+		x.rows[i] = row
+	}
+	return x
+}
+
+// NumBlocks returns the number of blocks.
+func (x *Indexed) NumBlocks() int { return len(x.keys) }
+
+// NumRecords returns the size of the interned ID table.
+func (x *Indexed) NumRecords() int { return len(x.ids) }
+
+// Comparisons counts the total pairwise comparisons implied by the
+// blocks, duplicates across blocks included (the meta-blocking cost
+// measure).
+func (x *Indexed) Comparisons() int {
+	n := 0
+	for _, row := range x.rows {
+		n += len(row) * (len(row) - 1) / 2
+	}
+	return n
+}
+
+// Purge drops blocks larger than maxSize, sharing the ID table with
+// the receiver. maxSize <= 0 is a no-op.
+func (x *Indexed) Purge(maxSize int) *Indexed {
+	if maxSize <= 0 {
+		return x
+	}
+	out := &Indexed{cfg: x.cfg, ids: x.ids}
+	for i, row := range x.rows {
+		if len(row) <= maxSize {
+			out.keys = append(out.keys, x.keys[i])
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out
+}
+
+// Blocks materialises the map form of the collection.
+func (x *Indexed) Blocks() Blocks {
+	b := make(Blocks, len(x.keys))
+	for i, k := range x.keys {
+		ids := make([]string, len(x.rows[i]))
+		for j, r := range x.rows[i] {
+			ids[j] = x.ids[r]
+		}
+		b[k] = ids
+	}
+	return b
+}
+
+// rawCodes packs every in-block pair into one flat code slice in the
+// sequential emission order (sorted keys, in-block input order),
+// duplicates across blocks retained. Per-block offsets are prefix-
+// summed so the fill parallelises with deterministic placement.
+func (x *Indexed) rawCodes() []uint64 {
+	offs := make([]int, len(x.rows)+1)
+	for i, row := range x.rows {
+		offs[i+1] = offs[i] + len(row)*(len(row)-1)/2
+	}
+	codes := make([]uint64, offs[len(x.rows)])
+	parallel.ForEach(x.cfg, len(x.rows), func(i int) {
+		row := x.rows[i]
+		w := offs[i]
+		for a := 0; a < len(row); a++ {
+			for b := a + 1; b < len(row); b++ {
+				codes[w] = pairCode(row[a], row[b])
+				w++
+			}
+		}
+	})
+	return codes
+}
+
+// CandidateSet expands the blocks into the deduplicated packed
+// candidate collection, in the exact order Blocks.Pairs emits.
+func (x *Indexed) CandidateSet() *CandidateSet {
+	return &CandidateSet{ids: x.ids, codes: dedupCodesStable(x.rawCodes())}
+}
+
+// Pairs expands the blocks into deduplicated candidate pairs,
+// byte-identical to the sequential map-based implementation.
+func (x *Indexed) Pairs() []data.Pair { return x.CandidateSet().Pairs() }
+
+// EmitPairs streams the deduplicated pairs to emit in Pairs order,
+// stopping early when emit returns false.
+func (x *Indexed) EmitPairs(emit func(data.Pair) bool) { x.CandidateSet().EmitPairs(emit) }
+
+// CandidateSet is a deduplicated candidate-pair collection packed as
+// uint64 rank codes over a shared ID table. It supports random access
+// (for the parallel matcher) and streaming emission without ever
+// materialising a []data.Pair.
+type CandidateSet struct {
+	ids   []string
+	codes []uint64 // deduplicated pair codes, first-emission order
+}
+
+// Len returns the number of candidate pairs.
+func (c *CandidateSet) Len() int { return len(c.codes) }
+
+// Pair decodes the i-th candidate. The high word holds the smaller
+// rank, so A < B lexicographically without a comparison.
+func (c *CandidateSet) Pair(i int) data.Pair {
+	code := c.codes[i]
+	return data.Pair{A: c.ids[code>>32], B: c.ids[code&0xffffffff]}
+}
+
+// Pairs materialises the full pair slice (nil when empty).
+func (c *CandidateSet) Pairs() []data.Pair {
+	if len(c.codes) == 0 {
+		return nil
+	}
+	out := make([]data.Pair, len(c.codes))
+	for i := range c.codes {
+		out[i] = c.Pair(i)
+	}
+	return out
+}
+
+// EmitPairs streams the candidates to emit in order, stopping early
+// when emit returns false.
+func (c *CandidateSet) EmitPairs(emit func(data.Pair) bool) {
+	for i := range c.codes {
+		if !emit(c.Pair(i)) {
+			return
+		}
+	}
+}
+
+// RecordIDs returns the distinct record IDs referenced by the
+// candidates, ascending.
+func (c *CandidateSet) RecordIDs() []string {
+	seen := make([]bool, len(c.ids))
+	for _, code := range c.codes {
+		seen[code>>32] = true
+		seen[code&0xffffffff] = true
+	}
+	var out []string
+	for rank, ok := range seen {
+		if ok {
+			out = append(out, c.ids[rank])
+		}
+	}
+	return out
+}
+
+// UnionCandidates unions candidate sets, deduplicating while
+// preserving first-seen order across the concatenation — the packed
+// equivalent of appending pair slices and deduplicating through a
+// map[data.Pair]bool. Sets built over the same Engine share an ID
+// table and merge on codes; mixed tables fall back to re-ranking.
+func UnionCandidates(sets ...*CandidateSet) *CandidateSet {
+	var nonEmpty []*CandidateSet
+	for _, s := range sets {
+		if s != nil && len(s.codes) > 0 {
+			nonEmpty = append(nonEmpty, s)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return &CandidateSet{}
+	}
+	if len(nonEmpty) == 1 {
+		return nonEmpty[0]
+	}
+	shared := true
+	for _, s := range nonEmpty[1:] {
+		if !sameIDs(nonEmpty[0].ids, s.ids) {
+			shared = false
+			break
+		}
+	}
+	if !shared {
+		return rerankUnion(nonEmpty)
+	}
+	total := 0
+	for _, s := range nonEmpty {
+		total += len(s.codes)
+	}
+	codes := make([]uint64, 0, total)
+	for _, s := range nonEmpty {
+		codes = append(codes, s.codes...)
+	}
+	return &CandidateSet{ids: nonEmpty[0].ids, codes: dedupCodesStable(codes)}
+}
+
+// sameIDs reports whether two ID tables are the same slice (the common
+// case: both sets came from one Engine).
+func sameIDs(a, b []string) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+// rerankUnion merges candidate sets with differing ID tables by
+// building a combined ranker and re-encoding every pair.
+func rerankUnion(sets []*CandidateSet) *CandidateSet {
+	var all []string
+	for _, s := range sets {
+		all = append(all, s.ids...)
+	}
+	rk := newRanker(all)
+	total := 0
+	for _, s := range sets {
+		total += len(s.codes)
+	}
+	codes := make([]uint64, 0, total)
+	for _, s := range sets {
+		for i := range s.codes {
+			p := s.Pair(i)
+			codes = append(codes, pairCode(rk.rank(p.A), rk.rank(p.B)))
+		}
+	}
+	return &CandidateSet{ids: rk.ids, codes: dedupCodesStable(codes)}
+}

@@ -1,0 +1,615 @@
+package blocking
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/parallel"
+)
+
+// ---------------------------------------------------------------------
+// Reference implementations: verbatim copies of the sequential seed
+// code the engine replaced. The regression tests below require the
+// engine's output to be byte-identical to these at every worker count.
+// ---------------------------------------------------------------------
+
+func refBuildBlocks(records []*data.Record, key KeyFunc) Blocks {
+	b := Blocks{}
+	for _, r := range records {
+		seen := map[string]bool{}
+		for _, k := range key(r) {
+			if k == "" || seen[k] {
+				continue
+			}
+			seen[k] = true
+			b[k] = append(b[k], r.ID)
+		}
+	}
+	return b
+}
+
+func refPairs(b Blocks) []data.Pair {
+	seen := map[data.Pair]bool{}
+	keys := b.sortedKeys()
+	var out []data.Pair
+	for _, k := range keys {
+		ids := b[k]
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				p := data.NewPair(ids[i], ids[j])
+				if !seen[p] {
+					seen[p] = true
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func refStandard(records []*data.Record, key KeyFunc, maxBlock int) []data.Pair {
+	return refPairs(refBuildBlocks(records, key).Purge(maxBlock))
+}
+
+type refEdge struct {
+	p data.Pair
+	w float64
+}
+
+func refMetaCandidates(mb MetaBlocker, blocks Blocks) []data.Pair {
+	blockOf := map[string][]string{}
+	for _, k := range blocks.sortedKeys() {
+		for _, id := range blocks[k] {
+			blockOf[id] = append(blockOf[id], k)
+		}
+	}
+	common := map[data.Pair]int{}
+	for _, k := range blocks.sortedKeys() {
+		ids := blocks[k]
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				common[data.NewPair(ids[i], ids[j])]++
+			}
+		}
+	}
+	edges := make([]refEdge, 0, len(common))
+	for p, c := range common {
+		var w float64
+		switch mb.Weight {
+		case CBS:
+			w = float64(c)
+		case ECBS:
+			nBlocks := float64(len(blocks))
+			w = float64(c) *
+				math.Log(nBlocks/float64(len(blockOf[p.A]))) *
+				math.Log(nBlocks/float64(len(blockOf[p.B])))
+		case JS:
+			union := len(blockOf[p.A]) + len(blockOf[p.B]) - c
+			if union > 0 {
+				w = float64(c) / float64(union)
+			}
+		}
+		edges = append(edges, refEdge{p: p, w: w})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].w != edges[j].w {
+			return edges[i].w > edges[j].w
+		}
+		if edges[i].p.A != edges[j].p.A {
+			return edges[i].p.A < edges[j].p.A
+		}
+		return edges[i].p.B < edges[j].p.B
+	})
+	switch mb.Prune {
+	case WEP:
+		return refPruneWEP(edges)
+	case CEP:
+		k := 0
+		for _, ids := range blocks {
+			k += len(ids)
+		}
+		k /= 2
+		if k < 1 {
+			k = 1
+		}
+		if k > len(edges) {
+			k = len(edges)
+		}
+		out := make([]data.Pair, 0, k)
+		for _, e := range edges[:k] {
+			out = append(out, e.p)
+		}
+		return out
+	case WNP:
+		return refPruneWNP(edges)
+	}
+	return nil
+}
+
+func refPruneWEP(edges []refEdge) []data.Pair {
+	if len(edges) == 0 {
+		return nil
+	}
+	var sum float64
+	for _, e := range edges {
+		sum += e.w
+	}
+	mean := sum / float64(len(edges))
+	var out []data.Pair
+	for _, e := range edges {
+		if e.w > mean {
+			out = append(out, e.p)
+		}
+	}
+	return out
+}
+
+func refPruneWNP(edges []refEdge) []data.Pair {
+	sum := map[string]float64{}
+	deg := map[string]int{}
+	for _, e := range edges {
+		sum[e.p.A] += e.w
+		sum[e.p.B] += e.w
+		deg[e.p.A]++
+		deg[e.p.B]++
+	}
+	mean := func(id string) float64 {
+		if deg[id] == 0 {
+			return 0
+		}
+		return sum[id] / float64(deg[id])
+	}
+	var out []data.Pair
+	for _, e := range edges {
+		if e.w >= mean(e.p.A) || e.w >= mean(e.p.B) {
+			out = append(out, e.p)
+		}
+	}
+	return out
+}
+
+func refSortedNeighborhood(records []*data.Record, keys []KeyFunc, window int) []data.Pair {
+	w := window
+	if w < 2 {
+		w = 5
+	}
+	seen := map[data.Pair]bool{}
+	var out []data.Pair
+	for _, key := range keys {
+		type entry struct{ k, id string }
+		entries := make([]entry, 0, len(records))
+		for _, r := range records {
+			ks := key(r)
+			if len(ks) == 0 || ks[0] == "" {
+				continue
+			}
+			entries = append(entries, entry{k: ks[0], id: r.ID})
+		}
+		sort.Slice(entries, func(i, j int) bool {
+			if entries[i].k != entries[j].k {
+				return entries[i].k < entries[j].k
+			}
+			return entries[i].id < entries[j].id
+		})
+		for i := range entries {
+			for j := i + 1; j < len(entries) && j < i+w; j++ {
+				p := data.NewPair(entries[i].id, entries[j].id)
+				if !seen[p] {
+					seen[p] = true
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func refProgressiveStream(records []*data.Record, key KeyFunc, maxBlock int) []data.Pair {
+	blocks := refBuildBlocks(records, key)
+	type blockEntry struct {
+		key string
+		ids []string
+	}
+	entries := make([]blockEntry, 0, len(blocks))
+	for k, ids := range blocks {
+		if len(ids) < 2 {
+			continue
+		}
+		if maxBlock > 0 && len(ids) > maxBlock {
+			continue
+		}
+		entries = append(entries, blockEntry{key: k, ids: ids})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if len(entries[i].ids) != len(entries[j].ids) {
+			return len(entries[i].ids) < len(entries[j].ids)
+		}
+		return entries[i].key < entries[j].key
+	})
+	seen := map[data.Pair]bool{}
+	var out []data.Pair
+	for _, e := range entries {
+		for i := 0; i < len(e.ids); i++ {
+			for j := i + 1; j < len(e.ids); j++ {
+				pair := data.NewPair(e.ids[i], e.ids[j])
+				if !seen[pair] {
+					seen[pair] = true
+					out = append(out, pair)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func refCanopy(c Canopy, records []*data.Record) []data.Pair {
+	remaining := append([]*data.Record(nil), records...)
+	seen := map[data.Pair]bool{}
+	var out []data.Pair
+	for len(remaining) > 0 {
+		center := remaining[0]
+		canopy := []*data.Record{center}
+		var next []*data.Record
+		for _, r := range remaining[1:] {
+			s := c.Sim(center, r)
+			if s >= c.Loose {
+				canopy = append(canopy, r)
+			}
+			if s < c.Tight {
+				next = append(next, r)
+			}
+		}
+		remaining = next
+		for i := 0; i < len(canopy); i++ {
+			for j := i + 1; j < len(canopy); j++ {
+				p := data.NewPair(canopy[i].ID, canopy[j].ID)
+				if !seen[p] {
+					seen[p] = true
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Workload: a deterministic noisy-product corpus with heavy token
+// overlap, a sprinkle of shared identifiers and missing values.
+// ---------------------------------------------------------------------
+
+var detWords = []string{
+	"acme", "ultra", "pro", "max", "mini", "camera", "lens", "tripod",
+	"battery", "charger", "digital", "compact", "zoom", "kit", "black",
+	"silver", "edition", "hd", "wireless", "flash",
+}
+
+// detRecords builds n records from a fixed linear-congruential stream,
+// so every run and every worker count sees the same corpus. IDs are
+// deliberately NOT in input order (r%7 shuffle digit) to exercise the
+// rank/ID-order distinction.
+func detRecords(n int) []*data.Record {
+	lcg := uint64(88172645463325252)
+	next := func(m int) int {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		return int((lcg >> 33) % uint64(m))
+	}
+	recs := make([]*data.Record, 0, n)
+	for i := 0; i < n; i++ {
+		title := ""
+		for w := 0; w < 3+next(4); w++ {
+			if w > 0 {
+				title += " "
+			}
+			title += detWords[next(len(detWords))]
+		}
+		id := fmt.Sprintf("s%d-r%04d", next(7), i)
+		r := data.NewRecord(id, fmt.Sprintf("src%d", next(5))).Set("title", data.String(title))
+		if next(3) == 0 {
+			r.Set("pid", data.String(fmt.Sprintf("P%03d", next(n/4+1))))
+		}
+		if next(4) != 0 {
+			r.Set("brand", data.String(detWords[next(6)]))
+		}
+		recs = append(recs, r)
+	}
+	return recs
+}
+
+var workerCounts = []int{1, 2, 8}
+
+func samePairs(t *testing.T, name string, want, got []data.Pair) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: got %d pairs, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: pair %d = %v, want %v", name, i, got[i], want[i])
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Regression tests: engine output vs the seed reference, at 1/2/8
+// workers, for every blocker.
+// ---------------------------------------------------------------------
+
+func TestEngineStandardMatchesSeed(t *testing.T) {
+	recs := detRecords(300)
+	keys := map[string]KeyFunc{
+		"token":  TokenKey("title"),
+		"prefix": AttrPrefixKey("title", 4),
+		"exact":  AttrExactKey("pid"),
+		"qgram":  QGramKey("title", 3),
+		"suffix": SuffixKey("brand", 3),
+		"all":    AllTokensKey(),
+	}
+	for name, key := range keys {
+		for _, max := range []int{0, 40} {
+			want := refStandard(recs, key, max)
+			for _, w := range workerCounts {
+				got := Standard{Key: key, MaxBlock: max, Workers: w}.Candidates(recs)
+				samePairs(t, fmt.Sprintf("%s max=%d workers=%d", name, max, w), want, got)
+			}
+		}
+	}
+}
+
+func TestEngineBlocksMatchSeedBlocks(t *testing.T) {
+	recs := detRecords(250)
+	key := TokenKey("title")
+	want := refBuildBlocks(recs, key)
+	for _, w := range workerCounts {
+		got := NewEngine(recs, w).Blocks(key).Blocks()
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d blocks, want %d", w, len(got), len(want))
+		}
+		for k, ids := range want {
+			g := got[k]
+			if len(g) != len(ids) {
+				t.Fatalf("workers=%d block %q: %v, want %v", w, k, g, ids)
+			}
+			for i := range ids {
+				if g[i] != ids[i] {
+					t.Fatalf("workers=%d block %q member %d: %q, want %q", w, k, i, g[i], ids[i])
+				}
+			}
+		}
+	}
+}
+
+func TestEngineMetaBlockingMatchesSeed(t *testing.T) {
+	recs := detRecords(250)
+	blocks := refBuildBlocks(recs, TokenKey("title")).Purge(60)
+	for _, weight := range []WeightScheme{CBS, ECBS, JS} {
+		for _, prune := range []PruneScheme{WEP, CEP, WNP} {
+			want := refMetaCandidates(MetaBlocker{Weight: weight, Prune: prune}, blocks)
+			for _, w := range workerCounts {
+				mb := MetaBlocker{Weight: weight, Prune: prune, Workers: w}
+				got := mb.Candidates(blocks)
+				samePairs(t, fmt.Sprintf("weight=%d prune=%d workers=%d", weight, prune, w), want, got)
+
+				// The interned fast path over an engine-built collection
+				// (whose ID table spans all records) must agree too.
+				idx := BuildIndexed(cfgFor(w), recs, TokenKey("title")).Purge(60)
+				got2 := mb.Pruned(idx).Pairs()
+				samePairs(t, fmt.Sprintf("pruned weight=%d prune=%d workers=%d", weight, prune, w), want, got2)
+			}
+		}
+	}
+}
+
+func TestEngineSortedNeighborhoodMatchesSeed(t *testing.T) {
+	recs := detRecords(300)
+	keys := []KeyFunc{AttrPrefixKey("title", 5), AttrExactKey("brand")}
+	for _, window := range []int{0, 3, 7} {
+		want := refSortedNeighborhood(recs, keys, window)
+		for _, w := range workerCounts {
+			got := SortedNeighborhood{Keys: keys, Window: window, Workers: w}.Candidates(recs)
+			samePairs(t, fmt.Sprintf("window=%d workers=%d", window, w), want, got)
+		}
+	}
+}
+
+func TestEngineProgressiveMatchesSeed(t *testing.T) {
+	recs := detRecords(300)
+	key := TokenKey("title")
+	for _, max := range []int{0, 30} {
+		want := refProgressiveStream(recs, key, max)
+		for _, w := range workerCounts {
+			got := Progressive{Key: key, MaxBlock: max, Workers: w}.Stream(recs)
+			samePairs(t, fmt.Sprintf("max=%d workers=%d", max, w), want, got)
+		}
+	}
+}
+
+func TestEngineCanopyMatchesSeed(t *testing.T) {
+	recs := detRecords(150)
+	sim := func(a, b *data.Record) float64 {
+		ta, tb := a.Get("title").String(), b.Get("title").String()
+		if len(ta) == 0 || len(tb) == 0 {
+			return 0
+		}
+		if ta[0] == tb[0] {
+			return 0.9
+		}
+		return 0.1
+	}
+	c := Canopy{Sim: sim, Loose: 0.5, Tight: 0.8}
+	want := refCanopy(c, recs)
+	got := c.Candidates(recs)
+	samePairs(t, "canopy", want, got)
+}
+
+// MinHash: the seed implementation iterated a Go map, so its ORDER was
+// never deterministic — the engine's canonical order is checked for
+// worker-independence, and the SET is checked against the seed.
+func TestEngineMinHashCanonicalAndSetMatchesSeed(t *testing.T) {
+	recs := detRecords(250)
+	m := MinHashLSH{Bands: 6, Rows: 3, Seed: 7}
+	base := MinHashLSH{Bands: 6, Rows: 3, Seed: 7, Workers: 1}.Candidates(recs)
+	for _, w := range workerCounts[1:] {
+		m.Workers = w
+		samePairs(t, fmt.Sprintf("minhash workers=%d", w), base, m.Candidates(recs))
+	}
+	seedSet := pairSet(refMinHash(m, recs))
+	gotSet := pairSet(base)
+	if len(seedSet) != len(gotSet) {
+		t.Fatalf("minhash set: %d pairs, want %d", len(gotSet), len(seedSet))
+	}
+	for p := range seedSet {
+		if !gotSet[p] {
+			t.Fatalf("minhash set: missing %v", p)
+		}
+	}
+}
+
+// refMinHash reproduces the seed bucket expansion (order irrelevant —
+// only the set is compared).
+func refMinHash(m MinHashLSH, records []*data.Record) []data.Pair {
+	attrs, bands, rows := m.params()
+	n := bands * rows
+	eng := NewEngine(records, 1)
+	buckets := map[uint64][]uint32{}
+	for i, r := range records {
+		sig := m.signature(r, attrs, n)
+		if sig == nil {
+			continue
+		}
+		for b := 0; b < bands; b++ {
+			key := bandHash(b, sig[b*rows:(b+1)*rows])
+			buckets[key] = append(buckets[key], eng.ranks[i])
+		}
+	}
+	seen := map[data.Pair]bool{}
+	var out []data.Pair
+	for _, ids := range buckets {
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				c := pairCode(ids[i], ids[j])
+				p := data.Pair{A: eng.rk.ids[c>>32], B: eng.rk.ids[c&0xffffffff]}
+				if !seen[p] {
+					seen[p] = true
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Streaming, union and allocation behaviour.
+// ---------------------------------------------------------------------
+
+func TestUnionCandidatesMatchesAppendDedup(t *testing.T) {
+	recs := detRecords(200)
+	eng := NewEngine(recs, 4)
+	token := eng.Blocks(TokenKey("title")).Purge(50).CandidateSet()
+	id := eng.Blocks(AttrExactKey("pid")).CandidateSet()
+
+	// Seed semantics: append the slices, dedup first-seen.
+	var want []data.Pair
+	want = append(want, token.Pairs()...)
+	want = append(want, id.Pairs()...)
+	seen := map[data.Pair]bool{}
+	dedup := want[:0:0]
+	for _, p := range want {
+		if !seen[p] {
+			seen[p] = true
+			dedup = append(dedup, p)
+		}
+	}
+	samePairs(t, "union shared table", dedup, UnionCandidates(token, id).Pairs())
+
+	// Mixed ID tables (separate engines) must agree as a set and order.
+	other := NewEngine(recs[:150], 2).Blocks(AttrExactKey("pid")).CandidateSet()
+	var want2 []data.Pair
+	want2 = append(want2, token.Pairs()...)
+	want2 = append(want2, other.Pairs()...)
+	seen2 := map[data.Pair]bool{}
+	dedup2 := want2[:0:0]
+	for _, p := range want2 {
+		if !seen2[p] {
+			seen2[p] = true
+			dedup2 = append(dedup2, p)
+		}
+	}
+	samePairs(t, "union mixed tables", dedup2, UnionCandidates(token, other).Pairs())
+}
+
+func TestEmitPairsOrderAndEarlyStop(t *testing.T) {
+	recs := detRecords(120)
+	idx := BuildIndexed(cfgFor(2), recs, TokenKey("title")).Purge(40)
+	want := idx.Pairs()
+	var got []data.Pair
+	idx.EmitPairs(func(p data.Pair) bool {
+		got = append(got, p)
+		return true
+	})
+	samePairs(t, "emit order", want, got)
+
+	stopAt := len(want) / 2
+	n := 0
+	idx.EmitPairs(func(p data.Pair) bool {
+		n++
+		return n < stopAt
+	})
+	if n != stopAt {
+		t.Fatalf("early stop after %d emissions, want %d", n, stopAt)
+	}
+}
+
+func TestCandidateSetRecordIDs(t *testing.T) {
+	recs := detRecords(100)
+	cs := BuildIndexed(cfgFor(2), recs, AttrExactKey("pid")).CandidateSet()
+	ids := cs.RecordIDs()
+	if !sort.StringsAreSorted(ids) {
+		t.Fatalf("RecordIDs not sorted: %v", ids)
+	}
+	inPairs := map[string]bool{}
+	for i := 0; i < cs.Len(); i++ {
+		p := cs.Pair(i)
+		inPairs[p.A] = true
+		inPairs[p.B] = true
+	}
+	if len(ids) != len(inPairs) {
+		t.Fatalf("RecordIDs has %d ids, pairs reference %d", len(ids), len(inPairs))
+	}
+	for _, id := range ids {
+		if !inPairs[id] {
+			t.Fatalf("RecordIDs includes %q which no pair references", id)
+		}
+	}
+}
+
+// Dedup allocations must not scale with the number of pairs: the packed
+// path allocates a constant number of slices, never a map entry per
+// pair.
+func TestDedupAllocsDoNotScaleWithPairs(t *testing.T) {
+	countAllocs := func(n int) float64 {
+		codes := make([]uint64, n)
+		lcg := uint64(12345)
+		for i := range codes {
+			lcg = lcg*6364136223846793005 + 1442695040888963407
+			codes[i] = pairCode(uint32((lcg>>33)%500), uint32((lcg>>43)%500))
+		}
+		buf := make([]uint64, n)
+		return testing.AllocsPerRun(5, func() {
+			copy(buf, codes)
+			dedupCodesStable(buf)
+		})
+	}
+	small, large := countAllocs(1_000), countAllocs(20_000)
+	if large > small+2 {
+		t.Fatalf("dedup allocations scale with input: %0.0f at 1k vs %0.0f at 20k", small, large)
+	}
+}
+
+func cfgFor(workers int) parallel.Config {
+	return parallel.Config{Workers: workers}
+}

@@ -1,10 +1,12 @@
 package blocking
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/data"
+	"repro/internal/parallel"
 )
 
 // Meta-blocking (Papadakis et al.) restructures a redundancy-positive
@@ -12,6 +14,15 @@ import (
 // are records, edges are co-occurring pairs — weights the edges by
 // co-occurrence evidence and prunes weak edges, cutting comparisons by
 // an order of magnitude at small recall cost.
+//
+// The graph is built on the interned representation: each record
+// carries a sorted []uint32 block-ID set, common-block counts come
+// from linear merges over those sorted sets (the same kernel style the
+// similarity.FeatureIndex uses for token sets), and edge scoring is
+// parallelized per record shard with a deterministic rank-order merge.
+// WEP/CEP/WNP pruning evaluates the same floating-point expressions in
+// the same order as the sequential implementation, so the surviving
+// candidate list is byte-identical at any worker count.
 
 // WeightScheme selects the edge-weighting function.
 type WeightScheme int
@@ -46,71 +57,125 @@ const (
 type MetaBlocker struct {
 	Weight WeightScheme
 	Prune  PruneScheme
+	// Workers bounds the edge-scoring workers (0 = NumCPU). Output is
+	// identical for any value.
+	Workers int
 }
 
-// edge is an internal weighted record pair.
-type edge struct {
-	p data.Pair
-	w float64
+// iedge is a weighted packed record pair.
+type iedge struct {
+	code uint64 // pairCode of the endpoints
+	w    float64
 }
 
 // Candidates builds the blocking graph from blocks and returns the
 // pairs surviving pruning.
 func (mb MetaBlocker) Candidates(blocks Blocks) []data.Pair {
-	// Per-record block membership.
-	blockOf := map[string][]string{} // record → block keys
-	for _, k := range blocksSorted(blocks) {
-		for _, id := range blocks[k] {
-			blockOf[id] = append(blockOf[id], k)
+	return mb.Pruned(blocks.Index()).Pairs()
+}
+
+// Pruned is Candidates on the interned representation, returning the
+// surviving pairs as a packed candidate set in pruning order.
+func (mb MetaBlocker) Pruned(x *Indexed) *CandidateSet {
+	cfg := parallel.Config{Workers: mb.Workers}
+	n := len(x.ids)
+
+	// Per-record sorted block-ID sets, filled from one flat buffer.
+	// Scanning blocks in ascending index order makes each set sorted by
+	// construction.
+	deg := make([]int32, n)
+	for _, row := range x.rows {
+		for _, r := range row {
+			deg[r]++
 		}
 	}
-	// Common-block counts per pair.
-	common := map[data.Pair]int{}
-	for _, k := range blocksSorted(blocks) {
-		ids := blocks[k]
-		for i := 0; i < len(ids); i++ {
-			for j := i + 1; j < len(ids); j++ {
-				common[data.NewPair(ids[i], ids[j])]++
+	offs := make([]int32, n+1)
+	for r := 0; r < n; r++ {
+		offs[r+1] = offs[r] + deg[r]
+	}
+	flat := make([]uint32, offs[n])
+	cursor := make([]int32, n)
+	copy(cursor, offs[:n])
+	for b, row := range x.rows {
+		for _, r := range row {
+			flat[cursor[r]] = uint32(b)
+			cursor[r]++
+		}
+	}
+	recBlocks := func(r uint32) []uint32 { return flat[offs[r]:offs[r+1]] }
+
+	// Edge scoring, sharded per record. Rank r owns every edge whose
+	// smaller endpoint it is: the occurrences of a larger rank s across
+	// r's blocks are exactly the common blocks of (r, s), so a sort +
+	// run-length pass over the gathered co-occurrers yields each
+	// neighbour with its CBS count — equal, by construction, to the
+	// linear-merge intersection of the two sorted block-ID sets.
+	nBlocks := float64(len(x.keys))
+	perRec := make([][]iedge, n)
+	parallel.ForEach(cfg, n, func(ri int) {
+		r := uint32(ri)
+		total := 0
+		for _, b := range recBlocks(r) {
+			total += len(x.rows[b])
+		}
+		if total == 0 {
+			return
+		}
+		scratch := make([]uint32, 0, total)
+		for _, b := range recBlocks(r) {
+			for _, s := range x.rows[b] {
+				if s > r {
+					scratch = append(scratch, s)
+				}
 			}
 		}
-	}
-	edges := make([]edge, 0, len(common))
-	for p, c := range common {
-		var w float64
-		switch mb.Weight {
-		case CBS:
-			w = float64(c)
-		case ECBS:
-			nBlocks := float64(len(blocks))
-			w = float64(c) *
-				math.Log(nBlocks/float64(len(blockOf[p.A]))) *
-				math.Log(nBlocks/float64(len(blockOf[p.B])))
-		case JS:
-			union := len(blockOf[p.A]) + len(blockOf[p.B]) - c
-			if union > 0 {
-				w = float64(c) / float64(union)
+		if len(scratch) == 0 {
+			return
+		}
+		slices.Sort(scratch)
+		edges := make([]iedge, 0, len(scratch))
+		for i := 0; i < len(scratch); {
+			s := scratch[i]
+			c := 1
+			for i++; i < len(scratch) && scratch[i] == s; i++ {
+				c++
 			}
+			edges = append(edges, iedge{
+				code: pairCode(r, s),
+				w:    mb.weight(c, nBlocks, deg[r], deg[s]),
+			})
 		}
-		edges = append(edges, edge{p: p, w: w})
+		perRec[ri] = edges
+	})
+	total := 0
+	for _, es := range perRec {
+		total += len(es)
 	}
-	// Deterministic order before pruning.
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].w != edges[j].w {
-			return edges[i].w > edges[j].w
+	edges := make([]iedge, 0, total)
+	for _, es := range perRec {
+		edges = append(edges, es...)
+	}
+
+	// Deterministic order before pruning: weight descending, then pair
+	// order (code order is (A, B) order because ranks are lexicographic).
+	slices.SortFunc(edges, func(a, b iedge) int {
+		if a.w != b.w {
+			if a.w > b.w {
+				return -1
+			}
+			return 1
 		}
-		if edges[i].p.A != edges[j].p.A {
-			return edges[i].p.A < edges[j].p.A
-		}
-		return edges[i].p.B < edges[j].p.B
+		return cmp.Compare(a.code, b.code)
 	})
 
+	var kept []iedge
 	switch mb.Prune {
 	case WEP:
-		return pruneWEP(edges)
+		kept = pruneWEP(edges)
 	case CEP:
 		k := 0
-		for _, ids := range blocks {
-			k += len(ids)
+		for _, row := range x.rows {
+			k += len(row)
 		}
 		k /= 2
 		if k < 1 {
@@ -119,18 +184,42 @@ func (mb MetaBlocker) Candidates(blocks Blocks) []data.Pair {
 		if k > len(edges) {
 			k = len(edges)
 		}
-		out := make([]data.Pair, 0, k)
-		for _, e := range edges[:k] {
-			out = append(out, e.p)
-		}
-		return out
+		kept = edges[:k]
 	case WNP:
-		return pruneWNP(edges)
+		kept = pruneWNP(edges, n)
 	}
-	return nil
+	if len(kept) == 0 {
+		return &CandidateSet{ids: x.ids}
+	}
+	codes := make([]uint64, len(kept))
+	for i, e := range kept {
+		codes[i] = e.code
+	}
+	return &CandidateSet{ids: x.ids, codes: codes}
 }
 
-func pruneWEP(edges []edge) []data.Pair {
+// weight computes the edge weight from the common-block count and the
+// endpoint degrees, with the exact floating-point expressions of the
+// sequential implementation (lo is the lexicographically smaller
+// endpoint, matching pair.A).
+func (mb MetaBlocker) weight(c int, nBlocks float64, degLo, degHi int32) float64 {
+	switch mb.Weight {
+	case CBS:
+		return float64(c)
+	case ECBS:
+		return float64(c) *
+			math.Log(nBlocks/float64(degLo)) *
+			math.Log(nBlocks/float64(degHi))
+	case JS:
+		union := int(degLo) + int(degHi) - c
+		if union > 0 {
+			return float64(c) / float64(union)
+		}
+	}
+	return 0
+}
+
+func pruneWEP(edges []iedge) []iedge {
 	if len(edges) == 0 {
 		return nil
 	}
@@ -139,45 +228,38 @@ func pruneWEP(edges []edge) []data.Pair {
 		sum += e.w
 	}
 	mean := sum / float64(len(edges))
-	var out []data.Pair
+	var out []iedge
 	for _, e := range edges {
 		if e.w > mean {
-			out = append(out, e.p)
+			out = append(out, e)
 		}
 	}
 	return out
 }
 
-func pruneWNP(edges []edge) []data.Pair {
-	sum := map[string]float64{}
-	deg := map[string]int{}
+func pruneWNP(edges []iedge, n int) []iedge {
+	sum := make([]float64, n)
+	cnt := make([]int32, n)
 	for _, e := range edges {
-		sum[e.p.A] += e.w
-		sum[e.p.B] += e.w
-		deg[e.p.A]++
-		deg[e.p.B]++
+		lo, hi := uint32(e.code>>32), uint32(e.code&0xffffffff)
+		sum[lo] += e.w
+		sum[hi] += e.w
+		cnt[lo]++
+		cnt[hi]++
 	}
-	mean := func(id string) float64 {
-		if deg[id] == 0 {
+	mean := func(r uint32) float64 {
+		if cnt[r] == 0 {
 			return 0
 		}
-		return sum[id] / float64(deg[id])
+		return sum[r] / float64(cnt[r])
 	}
-	var out []data.Pair
+	var out []iedge
 	for _, e := range edges {
+		lo, hi := uint32(e.code>>32), uint32(e.code&0xffffffff)
 		// Keep an edge retained by either endpoint's local threshold.
-		if e.w >= mean(e.p.A) || e.w >= mean(e.p.B) {
-			out = append(out, e.p)
+		if e.w >= mean(lo) || e.w >= mean(hi) {
+			out = append(out, e)
 		}
 	}
 	return out
-}
-
-func blocksSorted(b Blocks) []string {
-	keys := make([]string, 0, len(b))
-	for k := range b {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
 }

@@ -2,8 +2,10 @@ package blocking
 
 import (
 	"hash/fnv"
+	"slices"
 
 	"repro/internal/data"
+	"repro/internal/parallel"
 	"repro/internal/similarity"
 	"repro/internal/tokenize"
 )
@@ -23,6 +25,9 @@ type MinHashLSH struct {
 	Rows  int
 	// Seed varies the hash family.
 	Seed uint64
+	// Workers bounds the signature-computation workers (0 = NumCPU).
+	// Output is identical for any value.
+	Workers int
 }
 
 func (m MinHashLSH) params() (attrs []string, bands, rows int) {
@@ -73,43 +78,43 @@ func (m MinHashLSH) signature(r *data.Record, attrs []string, n int) []uint64 {
 	return sig
 }
 
-// Candidates implements Blocker.
+// Candidates implements Blocker. Signatures are computed across
+// workers; buckets are expanded in sorted band-hash order with packed
+// pair-code dedup, so — unlike the historical map-iteration version —
+// the output order is canonical and identical for any worker count.
 func (m MinHashLSH) Candidates(records []*data.Record) []data.Pair {
 	attrs, bands, rows := m.params()
 	n := bands * rows
-	buckets := map[uint64][]string{} // band-hash → record IDs
-	for _, r := range records {
-		sig := m.signature(r, attrs, n)
+	eng := NewEngine(records, m.Workers)
+	sigs := parallel.MapSlice(eng.cfg, records, func(r *data.Record) []uint64 {
+		return m.signature(r, attrs, n)
+	})
+	buckets := map[uint64][]uint32{} // band-hash → record ranks, input order
+	for i := range records {
+		sig := sigs[i]
 		if sig == nil {
 			continue
 		}
 		for b := 0; b < bands; b++ {
-			h := fnv.New64a()
-			var buf [8]byte
-			buf[0] = byte(b) // band tag keeps bands in separate key spaces
-			_, _ = h.Write(buf[:1])
-			for _, v := range sig[b*rows : (b+1)*rows] {
-				putUint64(&buf, v)
-				_, _ = h.Write(buf[:])
-			}
-			key := h.Sum64()
-			buckets[key] = append(buckets[key], r.ID)
+			key := bandHash(b, sig[b*rows:(b+1)*rows])
+			buckets[key] = append(buckets[key], eng.ranks[i])
 		}
 	}
-	seen := map[data.Pair]bool{}
-	var out []data.Pair
-	for _, ids := range buckets {
+	keys := make([]uint64, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	var codes []uint64
+	for _, k := range keys {
+		ids := buckets[k]
 		for i := 0; i < len(ids); i++ {
 			for j := i + 1; j < len(ids); j++ {
-				p := data.NewPair(ids[i], ids[j])
-				if !seen[p] {
-					seen[p] = true
-					out = append(out, p)
-				}
+				codes = append(codes, pairCode(ids[i], ids[j]))
 			}
 		}
 	}
-	return out
+	return (&CandidateSet{ids: eng.rk.ids, codes: dedupCodesStable(codes)}).Pairs()
 }
 
 // EstimateJaccard estimates the Jaccard similarity of two records'
@@ -130,6 +135,20 @@ func (m MinHashLSH) EstimateJaccard(a, b *data.Record) float64 {
 		}
 	}
 	return float64(agree) / float64(n)
+}
+
+// bandHash hashes one signature band into a bucket key. The band tag
+// keeps bands in separate key spaces.
+func bandHash(b int, band []uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	buf[0] = byte(b)
+	_, _ = h.Write(buf[:1])
+	for _, v := range band {
+		putUint64(&buf, v)
+		_, _ = h.Write(buf[:])
+	}
+	return h.Sum64()
 }
 
 func hash64(s string) uint64 {

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/data"
+	"repro/internal/parallel"
 )
 
 // Progressive blocking for budget-limited (anytime) entity resolution:
@@ -19,46 +20,50 @@ type Progressive struct {
 	Key KeyFunc
 	// MaxBlock skips blocks larger than this entirely (0 = no limit).
 	MaxBlock int
+	// Workers bounds the block-building workers (0 = NumCPU). Output
+	// is identical for any value.
+	Workers int
 }
 
 // Stream returns candidate pairs in progressive order, deduplicated.
+// Blocks are built by the interned parallel engine; dedup runs on
+// packed pair codes preserving the sequential emission order.
 func (p Progressive) Stream(records []*data.Record) []data.Pair {
-	blocks := BuildBlocks(records, p.Key)
+	x := BuildIndexed(parallel.Config{Workers: p.Workers}, records, p.Key)
 	type blockEntry struct {
 		key string
-		ids []string
+		row []uint32
 	}
-	entries := make([]blockEntry, 0, len(blocks))
-	for k, ids := range blocks {
-		if len(ids) < 2 {
+	entries := make([]blockEntry, 0, len(x.keys))
+	for i, row := range x.rows {
+		if len(row) < 2 {
 			continue
 		}
-		if p.MaxBlock > 0 && len(ids) > p.MaxBlock {
+		if p.MaxBlock > 0 && len(row) > p.MaxBlock {
 			continue
 		}
-		entries = append(entries, blockEntry{key: k, ids: ids})
+		entries = append(entries, blockEntry{key: x.keys[i], row: row})
 	}
 	// Smaller blocks first; ties by key for determinism.
 	sort.Slice(entries, func(i, j int) bool {
-		if len(entries[i].ids) != len(entries[j].ids) {
-			return len(entries[i].ids) < len(entries[j].ids)
+		if len(entries[i].row) != len(entries[j].row) {
+			return len(entries[i].row) < len(entries[j].row)
 		}
 		return entries[i].key < entries[j].key
 	})
-	seen := map[data.Pair]bool{}
-	var out []data.Pair
+	total := 0
 	for _, e := range entries {
-		for i := 0; i < len(e.ids); i++ {
-			for j := i + 1; j < len(e.ids); j++ {
-				pair := data.NewPair(e.ids[i], e.ids[j])
-				if !seen[pair] {
-					seen[pair] = true
-					out = append(out, pair)
-				}
+		total += len(e.row) * (len(e.row) - 1) / 2
+	}
+	codes := make([]uint64, 0, total)
+	for _, e := range entries {
+		for i := 0; i < len(e.row); i++ {
+			for j := i + 1; j < len(e.row); j++ {
+				codes = append(codes, pairCode(e.row[i], e.row[j]))
 			}
 		}
 	}
-	return out
+	return (&CandidateSet{ids: x.ids, codes: dedupCodesStable(codes)}).Pairs()
 }
 
 // Candidates implements Blocker (the full stream).

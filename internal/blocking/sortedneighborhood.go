@@ -4,16 +4,21 @@ import (
 	"sort"
 
 	"repro/internal/data"
+	"repro/internal/parallel"
 )
 
 // SortedNeighborhood implements the sorted-neighbourhood method: records
 // are sorted by a sorting key and every pair within a sliding window of
 // size Window becomes a candidate. MultiPass runs one pass per key
 // function and unions the candidates, the standard remedy for key
-// corruption.
+// corruption. Key extraction runs across workers; window pairs dedup
+// through packed codes, preserving the sequential emission order.
 type SortedNeighborhood struct {
 	Keys   []KeyFunc // one pass per key; each must yield ≤1 key
 	Window int       // window size (≥2); default 5
+	// Workers bounds the key-extraction workers (0 = NumCPU). Output
+	// is identical for any value.
+	Workers int
 }
 
 // Candidates implements Blocker.
@@ -22,35 +27,38 @@ func (sn SortedNeighborhood) Candidates(records []*data.Record) []data.Pair {
 	if w < 2 {
 		w = 5
 	}
-	seen := map[data.Pair]bool{}
-	var out []data.Pair
+	cfg := parallel.Config{Workers: sn.Workers}
+	eng := NewEngine(records, sn.Workers)
+	var codes []uint64
 	for _, key := range sn.Keys {
-		type entry struct{ k, id string }
+		type entry struct {
+			k    string
+			rank uint32
+		}
+		keyed := parallel.MapSlice(cfg, records, func(r *data.Record) []string { return key(r) })
 		entries := make([]entry, 0, len(records))
-		for _, r := range records {
-			ks := key(r)
+		for i := range records {
+			ks := keyed[i]
 			if len(ks) == 0 || ks[0] == "" {
 				continue
 			}
-			entries = append(entries, entry{k: ks[0], id: r.ID})
+			entries = append(entries, entry{k: ks[0], rank: eng.ranks[i]})
 		}
+		// Rank order is ID order, so the (key, id) sort of the
+		// sequential implementation is exactly this.
 		sort.Slice(entries, func(i, j int) bool {
 			if entries[i].k != entries[j].k {
 				return entries[i].k < entries[j].k
 			}
-			return entries[i].id < entries[j].id
+			return entries[i].rank < entries[j].rank
 		})
 		for i := range entries {
 			for j := i + 1; j < len(entries) && j < i+w; j++ {
-				p := data.NewPair(entries[i].id, entries[j].id)
-				if !seen[p] {
-					seen[p] = true
-					out = append(out, p)
-				}
+				codes = append(codes, pairCode(entries[i].rank, entries[j].rank))
 			}
 		}
 	}
-	return out
+	return (&CandidateSet{ids: eng.rk.ids, codes: dedupCodesStable(codes)}).Pairs()
 }
 
 // Canopy implements canopy clustering with a cheap similarity: records
@@ -58,7 +66,8 @@ func (sn SortedNeighborhood) Candidates(records []*data.Record) []data.Pair {
 // are candidates. Loose < Tight thresholds follow McCallum et al.:
 // records within Loose of a centre join its canopy (and may join
 // others); records within Tight are removed from further consideration
-// as centres.
+// as centres. The greedy sweep is inherently sequential; only the pair
+// dedup runs on packed codes.
 type Canopy struct {
 	Sim   func(a, b *data.Record) float64
 	Loose float64 // canopy-membership threshold (lower)
@@ -67,9 +76,13 @@ type Canopy struct {
 
 // Candidates implements Blocker.
 func (c Canopy) Candidates(records []*data.Record) []data.Pair {
+	eng := NewEngine(records, 1)
+	rank := make(map[string]uint32, len(records))
+	for i, r := range records {
+		rank[r.ID] = eng.ranks[i]
+	}
 	remaining := append([]*data.Record(nil), records...)
-	seen := map[data.Pair]bool{}
-	var out []data.Pair
+	var codes []uint64
 	for len(remaining) > 0 {
 		center := remaining[0]
 		canopy := []*data.Record{center}
@@ -86,13 +99,9 @@ func (c Canopy) Candidates(records []*data.Record) []data.Pair {
 		remaining = next
 		for i := 0; i < len(canopy); i++ {
 			for j := i + 1; j < len(canopy); j++ {
-				p := data.NewPair(canopy[i].ID, canopy[j].ID)
-				if !seen[p] {
-					seen[p] = true
-					out = append(out, p)
-				}
+				codes = append(codes, pairCode(rank[canopy[i].ID], rank[canopy[j].ID]))
 			}
 		}
 	}
-	return out
+	return (&CandidateSet{ids: eng.rk.ids, codes: dedupCodesStable(codes)}).Pairs()
 }

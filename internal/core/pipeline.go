@@ -73,6 +73,14 @@ type Config struct {
 	// (each pair re-tokenises its records). Matching output is identical
 	// either way; the knob exists for ablations and benchmark baselines.
 	NoFeatureIndex bool
+
+	// MaterializeCandidates forces the historical blocking path: map-form
+	// blocks, a fully materialised []data.Pair candidate slice and
+	// map-based dedup. The default (false) runs the interned parallel
+	// blocking engine and streams packed candidates straight into the
+	// matcher. Candidates and matches are identical either way; the knob
+	// exists for ablations and benchmark baselines.
+	MaterializeCandidates bool
 }
 
 func (c *Config) defaults() {
@@ -198,33 +206,67 @@ func (p *Pipeline) runSchemaFirst(d *data.Dataset, rep *Report) (*Report, error)
 	return rep, nil
 }
 
-// linkStage: blocking → matching → clustering.
+// linkStage: blocking → matching → clustering. The default path keeps
+// candidates packed inside the blocking engine's CandidateSet all the
+// way to the matcher; MaterializeCandidates restores the historical
+// pair-slice path for ablations.
 func (p *Pipeline) linkStage(d *data.Dataset, rep *Report) error {
 	records := d.Records()
 
 	start := time.Now()
-	var candidates []data.Pair
 	keyFn := blocking.TokenKey(p.cfg.BlockAttrs...)
-	blocks := blocking.BuildBlocks(records, keyFn).Purge(p.cfg.MaxBlock)
-	if p.cfg.MetaBlock {
-		candidates = blocking.MetaBlocker{
-			Weight: blocking.ECBS, Prune: blocking.WEP,
-		}.Candidates(blocks)
+	var (
+		candidates []data.Pair            // materialised path
+		cs         *blocking.CandidateSet // streaming path
+	)
+	if p.cfg.MaterializeCandidates {
+		blocks := blocking.BuildBlocks(records, keyFn).Purge(p.cfg.MaxBlock)
+		if p.cfg.MetaBlock {
+			candidates = blocking.MetaBlocker{
+				Weight: blocking.ECBS, Prune: blocking.WEP,
+			}.Candidates(blocks)
+		} else {
+			candidates = blocks.Pairs()
+		}
+		// Identifier blocking always contributes candidates: records
+		// sharing an identifier must be compared no matter what.
+		for _, attr := range p.cfg.IdentifierAttrs {
+			idPairs := blocking.Standard{Key: blocking.AttrExactKey(attr)}.Candidates(records)
+			candidates = append(candidates, idPairs...)
+		}
+		candidates = dedupePairs(candidates)
+		rep.Candidates = len(candidates)
 	} else {
-		candidates = blocks.Pairs()
+		eng := blocking.NewEngine(records, p.cfg.Workers)
+		idx := eng.Blocks(keyFn).Purge(p.cfg.MaxBlock)
+		var base *blocking.CandidateSet
+		if p.cfg.MetaBlock {
+			base = blocking.MetaBlocker{
+				Weight: blocking.ECBS, Prune: blocking.WEP, Workers: p.cfg.Workers,
+			}.Pruned(idx)
+		} else {
+			base = idx.CandidateSet()
+		}
+		// Identifier blocking shares the engine's interning, so the union
+		// dedups on packed codes without leaving rank space.
+		sets := []*blocking.CandidateSet{base}
+		for _, attr := range p.cfg.IdentifierAttrs {
+			sets = append(sets, eng.Blocks(blocking.AttrExactKey(attr)).CandidateSet())
+		}
+		cs = blocking.UnionCandidates(sets...)
+		rep.Candidates = cs.Len()
 	}
-	// Identifier blocking always contributes candidates: records
-	// sharing an identifier must be compared no matter what.
-	for _, attr := range p.cfg.IdentifierAttrs {
-		idPairs := blocking.Standard{Key: blocking.AttrExactKey(attr)}.Candidates(records)
-		candidates = append(candidates, idPairs...)
-	}
-	candidates = dedupePairs(candidates)
-	rep.Candidates = len(candidates)
 	rep.StageTime["blocking"] += time.Since(start)
 
 	start = time.Now()
-	matcher, err := p.buildMatcher(d, candidates)
+	// Only Fellegi–Sunter training needs a pair slice; everything else
+	// consumes the packed set directly.
+	matcher, err := p.buildMatcher(d, func() []data.Pair {
+		if p.cfg.MaterializeCandidates {
+			return candidates
+		}
+		return cs.Pairs()
+	})
 	if err != nil {
 		return err
 	}
@@ -232,7 +274,11 @@ func (p *Pipeline) linkStage(d *data.Dataset, rep *Report) error {
 	if p.cfg.NoFeatureIndex {
 		scorer = linkage.NoIndex(matcher)
 	}
-	rep.Matched = linkage.MatchPairs(d, candidates, scorer, p.cfg.Workers)
+	if p.cfg.MaterializeCandidates {
+		rep.Matched = linkage.MatchPairs(d, candidates, scorer, p.cfg.Workers)
+	} else {
+		rep.Matched = linkage.MatchPairsFrom(d, cs, scorer, p.cfg.Workers)
+	}
 	rep.StageTime["matching"] += time.Since(start)
 
 	start = time.Now()
@@ -296,7 +342,7 @@ func (p *Pipeline) swooshCluster(d *data.Dataset, records []*data.Record,
 	return out.Normalize(), nil
 }
 
-func (p *Pipeline) buildMatcher(d *data.Dataset, candidates []data.Pair) (linkage.Matcher, error) {
+func (p *Pipeline) buildMatcher(d *data.Dataset, candidates func() []data.Pair) (linkage.Matcher, error) {
 	attrs := append([]string(nil), p.cfg.MatchAttrs...)
 	if p.cfg.FellegiSunter {
 		// A probabilistic matcher needs several comparison fields to
@@ -317,7 +363,7 @@ func (p *Pipeline) buildMatcher(d *data.Dataset, candidates []data.Pair) (linkag
 		fs := linkage.NewFellegiSunter(cmp)
 		fs.Threshold = 0.9
 		fs.AgreeAt = 0.7
-		if err := fs.Train(d, candidates, 15); err != nil {
+		if err := fs.Train(d, candidates(), 15); err != nil {
 			return nil, fmt.Errorf("core: training matcher: %w", err)
 		}
 		if p.cfg.NoFeatureIndex {
@@ -344,6 +390,11 @@ type fsWithIdentifier struct {
 // PrepareIndex implements linkage.IndexPreparer.
 func (m *fsWithIdentifier) PrepareIndex(d *data.Dataset, candidates []data.Pair) {
 	m.fs.PrepareIndex(d, candidates)
+}
+
+// PrepareIndexIDs implements linkage.IDIndexPreparer.
+func (m *fsWithIdentifier) PrepareIndexIDs(d *data.Dataset, ids []string) {
+	m.fs.PrepareIndexIDs(d, ids)
 }
 
 // Match implements linkage.Matcher.

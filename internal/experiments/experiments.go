@@ -66,6 +66,7 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+func f1(x float64) string { return fmt.Sprintf("%.1f", x) }
 func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
 func f4(x float64) string { return fmt.Sprintf("%.4f", x) }
 func d1(x int) string     { return fmt.Sprintf("%d", x) }

@@ -182,20 +182,27 @@ func E12(seed int64) (*Table, *E12Result, error) {
 
 // E13Result is the structured output of E13. MatchingUncached and
 // MatchSpeedup compare the matching stage against a NoFeatureIndex
-// ablation run.
+// ablation run; BlockingMaterialized and BlockingSpeedup compare the
+// streaming interned blocking engine against the historical
+// materialized map-based path (MaterializeCandidates).
 type E13Result struct {
-	Report           *core.Report
-	LinkageF1        float64
-	FusedItems       int
-	MatchingCached   time.Duration
-	MatchingUncached time.Duration
-	MatchSpeedup     float64
+	Report               *core.Report
+	LinkageF1            float64
+	FusedItems           int
+	MatchingCached       time.Duration
+	MatchingUncached     time.Duration
+	MatchSpeedup         float64
+	BlockingStreamed     time.Duration
+	BlockingMaterialized time.Duration
+	BlockingSpeedup      float64
 }
 
 // E13 — end-to-end pipeline: stage timings and integration quality on a
-// full heterogeneous multi-category web. The pipeline runs twice —
-// default (feature cache on) and with NoFeatureIndex — to report the
-// matching-stage speedup the cache buys.
+// full heterogeneous multi-category web. The pipeline runs three times —
+// default (feature cache on, streaming blocking engine), with
+// NoFeatureIndex, and with MaterializeCandidates — to report the
+// matching-stage speedup the cache buys and the blocking-stage speedup
+// the interned engine buys.
 func E13(seed int64) (*Table, *E13Result, error) {
 	w := datagen.NewWorld(datagen.WorldConfig{Seed: seed, NumEntities: 60})
 	web := datagen.BuildWeb(w, datagen.SourceConfig{
@@ -211,15 +218,24 @@ func E13(seed int64) (*Table, *E13Result, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	repM, err := core.New(core.Config{Fuser: "accucopy", MaterializeCandidates: true}).Run(web.Dataset)
+	if err != nil {
+		return nil, nil, err
+	}
 	res := &E13Result{
-		Report:           rep,
-		LinkageF1:        eval.Clusters(rep.Clusters, web.Dataset.GroundTruthClusters()).F1,
-		FusedItems:       len(rep.Fusion.Values),
-		MatchingCached:   rep.StageTime["matching"],
-		MatchingUncached: repU.StageTime["matching"],
+		Report:               rep,
+		LinkageF1:            eval.Clusters(rep.Clusters, web.Dataset.GroundTruthClusters()).F1,
+		FusedItems:           len(rep.Fusion.Values),
+		MatchingCached:       rep.StageTime["matching"],
+		MatchingUncached:     repU.StageTime["matching"],
+		BlockingStreamed:     rep.StageTime["blocking"],
+		BlockingMaterialized: repM.StageTime["blocking"],
 	}
 	if res.MatchingCached > 0 {
 		res.MatchSpeedup = float64(res.MatchingUncached) / float64(res.MatchingCached)
+	}
+	if res.BlockingStreamed > 0 {
+		res.BlockingSpeedup = float64(res.BlockingMaterialized) / float64(res.BlockingStreamed)
 	}
 	tab := &Table{
 		ID: "E13", Title: "end-to-end pipeline on a heterogeneous web",
@@ -243,6 +259,8 @@ func E13(seed int64) (*Table, *E13Result, error) {
 	tab.Rows = append(tab.Rows,
 		[]string{"matching time (no feature cache)", res.MatchingUncached.String()},
 		[]string{"matching cache speedup", f3(res.MatchSpeedup) + "x"},
+		[]string{"blocking time (materialized path)", res.BlockingMaterialized.String()},
+		[]string{"blocking engine speedup", f3(res.BlockingSpeedup) + "x"},
 	)
 	return tab, res, nil
 }

@@ -39,6 +39,11 @@ func (fs *FellegiSunter) PrepareIndex(d *data.Dataset, candidates []data.Pair) {
 	PrepareComparatorIndex(fs.Comparator, d, candidates)
 }
 
+// PrepareIndexIDs implements IDIndexPreparer for the streaming path.
+func (fs *FellegiSunter) PrepareIndexIDs(d *data.Dataset, ids []string) {
+	PrepareComparatorIndexIDs(fs.Comparator, d, ids)
+}
+
 // agreementVector binarises the comparator's field scores: 1 = agree,
 // 0 = disagree, -1 = not comparable (missing from both). scratch, when
 // non-nil, must have length len(Fields()) and is reused for the raw

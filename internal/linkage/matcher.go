@@ -23,6 +23,29 @@ type IndexPreparer interface {
 	PrepareIndex(d *data.Dataset, candidates []data.Pair)
 }
 
+// IDIndexPreparer is the streaming-friendly variant of IndexPreparer:
+// the matcher precomputes per-record features from record IDs alone,
+// so a packed candidate source never has to materialise pair slices
+// just to warm the cache.
+type IDIndexPreparer interface {
+	PrepareIndexIDs(d *data.Dataset, ids []string)
+}
+
+// PairSource is a random-access, deduplicated candidate collection —
+// the streaming alternative to a materialised []data.Pair. The
+// blocking engine's CandidateSet implements it with packed uint64
+// codes, so large candidate sets reach the matcher without a pair
+// slice ever existing.
+type PairSource interface {
+	// Len returns the number of candidate pairs.
+	Len() int
+	// Pair decodes the i-th candidate.
+	Pair(i int) data.Pair
+	// RecordIDs returns the distinct record IDs the candidates
+	// reference (a superset is permitted).
+	RecordIDs() []string
+}
+
 // PrepareComparatorIndex builds a feature index over the records
 // referenced by candidates and attaches it to the comparator. It is a
 // no-op when the comparator is nil or its attached index already covers
@@ -62,6 +85,35 @@ func PrepareComparatorIndex(c *similarity.RecordComparator, d *data.Dataset, can
 	c.AttachIndex(similarity.BuildFeatureIndex(recs, c))
 }
 
+// PrepareComparatorIndexIDs is PrepareComparatorIndex for a known
+// record-ID set (the streaming path): no candidate pairs are needed to
+// decide what to index. IDs must be distinct; an attached index that
+// already covers them is kept.
+func PrepareComparatorIndexIDs(c *similarity.RecordComparator, d *data.Dataset, ids []string) {
+	if c == nil || len(c.Fields()) == 0 || len(ids) == 0 {
+		return
+	}
+	if idx := c.Index(); idx != nil {
+		covered := true
+		for _, id := range ids {
+			if !idx.Has(id) {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			return
+		}
+	}
+	recs := make([]*data.Record, 0, len(ids))
+	for _, id := range ids {
+		if r := d.Record(id); r != nil {
+			recs = append(recs, r)
+		}
+	}
+	c.AttachIndex(similarity.BuildFeatureIndex(recs, c))
+}
+
 // NoIndex hides a matcher's IndexPreparer implementation so MatchPairs
 // evaluates it without building the per-record feature cache — the
 // uncached baseline for benchmarks and ablations.
@@ -87,6 +139,11 @@ func (m ThresholdMatcher) Match(a, b *data.Record) (float64, bool) {
 // PrepareIndex implements IndexPreparer.
 func (m ThresholdMatcher) PrepareIndex(d *data.Dataset, candidates []data.Pair) {
 	PrepareComparatorIndex(m.Comparator, d, candidates)
+}
+
+// PrepareIndexIDs implements IDIndexPreparer.
+func (m ThresholdMatcher) PrepareIndexIDs(d *data.Dataset, ids []string) {
+	PrepareComparatorIndexIDs(m.Comparator, d, ids)
 }
 
 // RuleMatcher matches when a hard rule fires: any of the Exact
@@ -120,6 +177,11 @@ func (m RuleMatcher) PrepareIndex(d *data.Dataset, candidates []data.Pair) {
 	PrepareComparatorIndex(m.Comparator, d, candidates)
 }
 
+// PrepareIndexIDs implements IDIndexPreparer.
+func (m RuleMatcher) PrepareIndexIDs(d *data.Dataset, ids []string) {
+	PrepareComparatorIndexIDs(m.Comparator, d, ids)
+}
+
 // MatchPairs scores every candidate pair with the matcher, in parallel,
 // and returns the matching pairs with scores, sorted by descending
 // score then pair order (deterministic regardless of worker count).
@@ -131,10 +193,36 @@ func MatchPairs(d *data.Dataset, candidates []data.Pair, m Matcher, workers int)
 	if ip, ok := m.(IndexPreparer); ok {
 		ip.PrepareIndex(d, candidates)
 	}
-	results := make([]data.ScoredPair, len(candidates))
-	ok := make([]bool, len(candidates))
-	parallel.ForEach(parallel.Config{Workers: workers}, len(candidates), func(i int) {
-		p := candidates[i]
+	return matchAt(d, len(candidates), func(i int) data.Pair { return candidates[i] }, m, workers)
+}
+
+// MatchPairsFrom is MatchPairs over a packed candidate source: pairs
+// are decoded on the fly inside the workers, so no []data.Pair is ever
+// materialised. Matchers implementing IDIndexPreparer warm their
+// feature cache from the source's record IDs; legacy IndexPreparer
+// matchers fall back to a one-off pair materialisation. Output is
+// identical to MatchPairs over src's pairs.
+func MatchPairsFrom(d *data.Dataset, src PairSource, m Matcher, workers int) []data.ScoredPair {
+	switch ip := m.(type) {
+	case IDIndexPreparer:
+		ip.PrepareIndexIDs(d, src.RecordIDs())
+	case IndexPreparer:
+		pairs := make([]data.Pair, src.Len())
+		for i := range pairs {
+			pairs[i] = src.Pair(i)
+		}
+		ip.PrepareIndex(d, pairs)
+	}
+	return matchAt(d, src.Len(), src.Pair, m, workers)
+}
+
+// matchAt scores n candidates supplied by at, in parallel, returning
+// accepted pairs sorted by descending score then pair order.
+func matchAt(d *data.Dataset, n int, at func(int) data.Pair, m Matcher, workers int) []data.ScoredPair {
+	results := make([]data.ScoredPair, n)
+	ok := make([]bool, n)
+	parallel.ForEach(parallel.Config{Workers: workers}, n, func(i int) {
+		p := at(i)
 		a, b := d.Record(p.A), d.Record(p.B)
 		if a == nil || b == nil {
 			return
@@ -145,7 +233,7 @@ func MatchPairs(d *data.Dataset, candidates []data.Pair, m Matcher, workers int)
 			ok[i] = true
 		}
 	})
-	out := make([]data.ScoredPair, 0, len(candidates))
+	out := make([]data.ScoredPair, 0, n)
 	for i, keep := range ok {
 		if keep {
 			out = append(out, results[i])
