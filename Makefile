@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-blocking bench bench-blocking check
+.PHONY: all build vet test race race-blocking race-fusion bench bench-blocking bench-fusion check
 
 all: check
 
@@ -20,6 +20,10 @@ race:
 race-blocking:
 	$(GO) test -race ./internal/blocking/... ./internal/parallel/...
 
+# Race-checks the parallel fusion engine and its substrate (PR 3 gate).
+race-fusion:
+	$(GO) test -race ./internal/fusion/... ./internal/parallel/...
+
 # The cached-vs-uncached matching benchmarks (PR 1 acceptance numbers).
 bench:
 	$(GO) test -run xxx -bench 'MatchPairs(Cached|Uncached)$$' -benchmem .
@@ -27,6 +31,10 @@ bench:
 # The blocking-engine benchmarks (PR 2 acceptance numbers).
 bench-blocking:
 	$(GO) test -run xxx -bench 'BuildBlocks|BlocksPairs|MetaBlocking' -benchmem .
+
+# The fusion-engine benchmarks, seq vs par (PR 3 acceptance numbers).
+bench-fusion:
+	$(GO) test -run xxx -bench 'ACCUFuse|CopyDetect|FuseACCUCOPY' -benchmem .
 
 # Everything the CI gate runs.
 check: build vet race

@@ -537,14 +537,57 @@ func BenchmarkMetaBlocking(b *testing.B) {
 	})
 }
 
-func BenchmarkFuseACCU(b *testing.B) {
-	cw := BuildClaims(ClaimConfig{Seed: 5, NumItems: 300, NumSources: 12})
-	f := ACCU{}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := f.Fuse(cw.Claims); err != nil {
-			b.Fatal(err)
-		}
+// BenchmarkACCUFuse times the full ACCU EM on an E2-style workload
+// scaled up so the parallel engine has work to spread: sequential
+// (Workers: 1) vs the default worker pool. Both produce byte-identical
+// results (pinned by internal/fusion/engine_test.go).
+func BenchmarkACCUFuse(b *testing.B) {
+	cw := BuildClaims(ClaimConfig{
+		Seed: 5, NumItems: 2000, NumValues: 5, NumSources: 30,
+		MinAccuracy: 0.4, MaxAccuracy: 0.95,
+	})
+	for _, bench := range []struct {
+		name string
+		f    ACCU
+	}{
+		{"seq", ACCU{Workers: 1}},
+		{"par", ACCU{}},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.f.Fuse(cw.Claims); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCopyDetect times the O(S²·overlap) pairwise copy detector,
+// sequential vs parallel over source pairs.
+func BenchmarkCopyDetect(b *testing.B) {
+	cw := BuildClaims(ClaimConfig{
+		Seed: 9, NumItems: 1500, NumValues: 5, NumSources: 40,
+		MinAccuracy: 0.4, MaxAccuracy: 0.95, NumCopiers: 8, CopyRate: 0.9,
+	})
+	truth, err := ACCU{}.Fuse(cw.Claims)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bench := range []struct {
+		name string
+		cd   CopyDetector
+	}{
+		{"seq", CopyDetector{Workers: 1}},
+		{"par", CopyDetector{}},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bench.cd.Detect(cw.Claims, truth, truth.SourceAccuracy)
+			}
+		})
 	}
 }
 

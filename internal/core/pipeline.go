@@ -66,7 +66,9 @@ type Config struct {
 	// "popaccu", "accucopy".
 	Fuser string
 
-	// Workers for parallel matching; default NumCPU via parallel pkg.
+	// Workers bounds every parallel stage (blocking, matching, fusion);
+	// default NumCPU via parallel pkg. Results are identical for any
+	// value.
 	Workers int
 
 	// NoFeatureIndex disables the per-record feature cache in matching
@@ -457,7 +459,7 @@ func (p *Pipeline) fuseStage(rep *Report) error {
 	}
 	attrs = dedupeStrings(attrs)
 	rep.Claims = data.ClaimsFromClusters(rep.Normalized, rep.Clusters, attrs)
-	fuser, err := BuildFuser(p.cfg.Fuser)
+	fuser, err := BuildFuserWith(p.cfg.Fuser, p.cfg.Workers)
 	if err != nil {
 		return err
 	}
@@ -470,19 +472,25 @@ func (p *Pipeline) fuseStage(rep *Report) error {
 	return nil
 }
 
-// BuildFuser resolves a fuser by name.
+// BuildFuser resolves a fuser by name with the default worker pool.
 func BuildFuser(name string) (fusion.Fuser, error) {
+	return BuildFuserWith(name, 0)
+}
+
+// BuildFuserWith resolves a fuser by name with an explicit worker
+// bound (0 = NumCPU). Fusion output is identical for any worker count.
+func BuildFuserWith(name string, workers int) (fusion.Fuser, error) {
 	switch name {
 	case "", "vote":
-		return fusion.MajorityVote{}, nil
+		return fusion.MajorityVote{Workers: workers}, nil
 	case "truthfinder":
-		return fusion.TruthFinder{}, nil
+		return fusion.TruthFinder{Workers: workers}, nil
 	case "accu":
-		return fusion.ACCU{}, nil
+		return fusion.ACCU{Workers: workers}, nil
 	case "popaccu":
-		return fusion.ACCU{Popularity: true}, nil
+		return fusion.ACCU{Popularity: true, Workers: workers}, nil
 	case "accucopy":
-		return fusion.ACCUCOPY{}, nil
+		return fusion.ACCUCOPY{Accu: fusion.ACCU{Workers: workers}}, nil
 	case "numeric":
 		return fusion.NumericFusion{}, nil
 	default:

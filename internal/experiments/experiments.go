@@ -9,6 +9,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/data"
 	"repro/internal/datagen"
@@ -140,15 +141,21 @@ func E1(seed int64) (*Table, *E1Result, error) {
 	return tab, res, nil
 }
 
-// E2Result is the structured output of E2.
+// E2Result is the structured output of E2. FuseSeq/FusePar time the
+// full ACCU EM on one worker vs the default pool (same byte-identical
+// result either way).
 type E2Result struct {
 	Iteration []int
 	Accuracy  []float64
 	MAE       []float64 // source-accuracy mean absolute error per iter
+
+	FuseSeq     time.Duration
+	FusePar     time.Duration
+	FuseSpeedup float64
 }
 
 // E2 — ACCU EM convergence: accuracy and source-accuracy error per
-// iteration.
+// iteration, plus sequential-vs-parallel timing of the fusion engine.
 func E2(seed int64) (*Table, *E2Result, error) {
 	cw := datagen.BuildClaims(datagen.ClaimConfig{
 		Seed: seed, NumItems: 250, NumValues: 5,
@@ -159,6 +166,10 @@ func E2(seed int64) (*Table, *E2Result, error) {
 		return nil, nil, err
 	}
 	res := &E2Result{}
+	res.FuseSeq, res.FusePar, res.FuseSpeedup, err = timeFuse(fusion.ACCU{Workers: 1}, fusion.ACCU{}, cw.Claims)
+	if err != nil {
+		return nil, nil, err
+	}
 	tab := &Table{
 		ID: "E2", Title: "ACCU convergence over EM iterations",
 		Columns: []string{"iter", "accuracy", "src-acc MAE"},
@@ -181,8 +192,40 @@ func E2(seed int64) (*Table, *E2Result, error) {
 		res.MAE = append(res.MAE, mae)
 		tab.Rows = append(tab.Rows, []string{d1(i + 1), f4(acc), f4(mae)})
 	}
-	tab.Notes = "accuracy should be non-decreasing and converge within ~10 iterations"
+	tab.Notes = fmt.Sprintf(
+		"accuracy should be non-decreasing and converge within ~10 iterations; "+
+			"fuse time %v (1 worker) vs %v (parallel engine), %.2fx",
+		res.FuseSeq, res.FusePar, res.FuseSpeedup)
 	return tab, res, nil
+}
+
+// timeFuse times a sequential and a parallel configuration of the same
+// fuser on the same claims (best of 3 runs each) and returns both
+// durations plus the speedup.
+func timeFuse(seq, par fusion.Fuser, cs *data.ClaimSet) (ts, tp time.Duration, speedup float64, err error) {
+	best := func(f fusion.Fuser) (time.Duration, error) {
+		var b time.Duration
+		for r := 0; r < 3; r++ {
+			start := time.Now()
+			if _, ferr := f.Fuse(cs); ferr != nil {
+				return 0, ferr
+			}
+			if el := time.Since(start); r == 0 || el < b {
+				b = el
+			}
+		}
+		return b, nil
+	}
+	if ts, err = best(seq); err != nil {
+		return
+	}
+	if tp, err = best(par); err != nil {
+		return
+	}
+	if tp > 0 {
+		speedup = float64(ts) / float64(tp)
+	}
+	return
 }
 
 func abs(x float64) float64 {

@@ -184,7 +184,9 @@ func E12(seed int64) (*Table, *E12Result, error) {
 // MatchSpeedup compare the matching stage against a NoFeatureIndex
 // ablation run; BlockingMaterialized and BlockingSpeedup compare the
 // streaming interned blocking engine against the historical
-// materialized map-based path (MaterializeCandidates).
+// materialized map-based path (MaterializeCandidates); FusionSeq and
+// FusionSpeedup re-fuse the pipeline's claims on one worker vs the
+// default pool (byte-identical results either way).
 type E13Result struct {
 	Report               *core.Report
 	LinkageF1            float64
@@ -195,6 +197,9 @@ type E13Result struct {
 	BlockingStreamed     time.Duration
 	BlockingMaterialized time.Duration
 	BlockingSpeedup      float64
+	FusionSeq            time.Duration
+	FusionPar            time.Duration
+	FusionSpeedup        float64
 }
 
 // E13 — end-to-end pipeline: stage timings and integration quality on a
@@ -237,6 +242,18 @@ func E13(seed int64) (*Table, *E13Result, error) {
 	if res.BlockingStreamed > 0 {
 		res.BlockingSpeedup = float64(res.BlockingMaterialized) / float64(res.BlockingStreamed)
 	}
+	fuserSeq, err := core.BuildFuserWith("accucopy", 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	fuserPar, err := core.BuildFuserWith("accucopy", 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.FusionSeq, res.FusionPar, res.FusionSpeedup, err = timeFuse(fuserSeq, fuserPar, rep.Claims)
+	if err != nil {
+		return nil, nil, err
+	}
 	tab := &Table{
 		ID: "E13", Title: "end-to-end pipeline on a heterogeneous web",
 		Columns: []string{"metric", "value"},
@@ -261,6 +278,9 @@ func E13(seed int64) (*Table, *E13Result, error) {
 		[]string{"matching cache speedup", f3(res.MatchSpeedup) + "x"},
 		[]string{"blocking time (materialized path)", res.BlockingMaterialized.String()},
 		[]string{"blocking engine speedup", f3(res.BlockingSpeedup) + "x"},
+		[]string{"fusion time (1 worker)", res.FusionSeq.String()},
+		[]string{"fusion time (parallel engine)", res.FusionPar.String()},
+		[]string{"fusion parallel speedup", f3(res.FusionSpeedup) + "x"},
 	)
 	return tab, res, nil
 }

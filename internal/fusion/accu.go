@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/data"
+	"repro/internal/parallel"
 )
 
 // ACCU is the Bayesian source-accuracy model (AccuVote): assuming each
@@ -14,6 +15,12 @@ import (
 // vote sums; source accuracies are re-estimated as the mean posterior
 // of their claims; iterate to a fixpoint. POPACCU replaces the uniform
 // false-value assumption with the observed value popularity.
+//
+// The EM runs on the interned claimIndex: the E-step parallelises over
+// items (each writes its own posterior range), the M-step over sources
+// (each writes its own accuracy slot), and every float accumulation
+// walks a fixed slice order, so results are bit-identical for any
+// worker count.
 type ACCU struct {
 	// N is the assumed number of false values per item. Default 10.
 	N float64
@@ -25,6 +32,9 @@ type ACCU struct {
 	// Popularity switches to POPACCU false-value modelling: the
 	// effective N per item is its observed number of distinct values.
 	Popularity bool
+	// Workers bounds the EM worker pool (0 = NumCPU). Output is
+	// identical for any value.
+	Workers int
 
 	// Similarity, when set, enables the AccuSim variant: a value's vote
 	// score is boosted by the scores of *similar* values, so "2999" and
@@ -73,164 +83,180 @@ func (a ACCU) params() (n, acc0 float64, maxIter int, eps float64) {
 
 // Fuse implements Fuser.
 func (a ACCU) Fuse(cs *data.ClaimSet) (*Result, error) {
-	n, acc0, maxIter, eps := a.params()
+	ci := buildIndex(cs, parallel.Config{Workers: a.Workers})
+	return a.fuseOn(ci, nil)
+}
 
-	accuracy := map[string]float64{}
-	for _, s := range cs.Sources() {
-		accuracy[s] = acc0
+// fuseOn runs the EM over a prebuilt index (ACCUCOPY reuses one index
+// across its outer passes). When snap is non-nil it receives a Result
+// snapshot after every iteration — the FuseTrace hook.
+func (a ACCU) fuseOn(ci *claimIndex, snap func(*Result)) (*Result, error) {
+	n, acc0, maxIter, eps := a.params()
+	cfg := ci.cfg
+
+	acc := make([]float64, len(ci.sources))
+	for s := range acc {
+		acc[s] = acc0
 	}
-	items := cs.Items()
-	tallies := make([]*voteCounts, len(items))
-	for i, it := range items {
-		tallies[i] = tally(cs.ItemClaims(it))
+
+	// Copy discounts are constant across iterations (they depend only on
+	// the claim set and the detector's last pass), so resolve the
+	// closure once into a slice aligned with the support lists.
+	var disc []float64
+	if a.copyDiscount != nil {
+		disc = make([]float64, len(ci.supSrc))
+		parallel.ForEach(cfg, ci.numValues(), func(v int) {
+			it := ci.items[ci.valItem[v]]
+			k := ci.valKeys[v]
+			for e := ci.supOff[v]; e < ci.supOff[v+1]; e++ {
+				disc[e] = a.copyDiscount(it, k, ci.sources[ci.supSrc[e]])
+			}
+		})
+	}
+
+	rho := a.SimInfluence
+	if rho <= 0 {
+		rho = 0.5
 	}
 
 	const minAcc, maxAcc = 0.01, 0.99
-	post := make([]map[string]float64, len(items)) // per item: value key → P
+	nv := ci.numValues()
+	scores := make([]float64, nv)
+	post := make([]float64, nv)
+	var adj []float64
+	if a.Similarity != nil {
+		adj = make([]float64, nv)
+	}
+	clamped := make([]float64, len(ci.sources))
+	delta := make([]float64, len(ci.sources))
+
 	iters := 0
 	for iter := 0; iter < maxIter; iter++ {
 		iters = iter + 1
-		// E: value posteriors from accuracies.
-		for i, it := range items {
-			vc := tallies[i]
+		// E: value posteriors from accuracies. Items are independent;
+		// each writes only its own [valOff[i], valOff[i+1]) range.
+		for s := range acc {
+			clamped[s] = clampF(acc[s], minAcc, maxAcc)
+		}
+		parallel.ForEach(cfg, len(ci.items), func(i int) {
+			lo, hi := ci.valOff[i], ci.valOff[i+1]
 			effN := n
 			if a.Popularity {
-				if d := float64(len(vc.keyOrder)); d > 1 {
+				if d := float64(hi - lo); d > 1 {
 					effN = d
 				} else {
 					effN = 2
 				}
 			}
-			scores := map[string]float64{}
-			for _, k := range vc.keyOrder {
+			for v := lo; v < hi; v++ {
 				var sum float64
-				for _, s := range vc.sources[k] {
-					acc := clampF(accuracy[s], minAcc, maxAcc)
-					w := math.Log(effN * acc / (1 - acc))
-					if a.copyDiscount != nil {
-						w *= a.copyDiscount(it, k, s)
+				for e := ci.supOff[v]; e < ci.supOff[v+1]; e++ {
+					ca := clamped[ci.supSrc[e]]
+					w := math.Log(effN * ca / (1 - ca))
+					if disc != nil {
+						w *= disc[e]
 					}
 					sum += w
 				}
-				scores[k] = sum
+				scores[v] = sum
 			}
+			src := scores
 			if a.Similarity != nil {
-				scores = a.simAdjust(vc, scores)
+				// AccuSim: each value's score absorbs a ρ-scaled share
+				// of the scores of similar values, accumulated in
+				// sorted-key order.
+				for v := lo; v < hi; v++ {
+					boost := 0.0
+					for v2 := lo; v2 < hi; v2++ {
+						if v2 == v {
+							continue
+						}
+						if sim := a.Similarity(ci.valVals[v], ci.valVals[v2]); sim > 0 {
+							boost += sim * scores[v2]
+						}
+					}
+					adj[v] = scores[v] + rho*boost
+				}
+				src = adj
 			}
-			post[i] = softmax(scores)
-		}
-		// M: accuracies from posteriors.
-		itemIndex := map[data.Item]int{}
-		for i, it := range items {
-			itemIndex[it] = i
-		}
-		maxDelta := 0.0
-		for _, s := range cs.Sources() {
-			claims := cs.SourceClaims(s)
-			if len(claims) == 0 {
-				continue
+			softmaxRange(src, post, lo, hi)
+		})
+		// M: accuracies from posteriors. Sources are independent; each
+		// writes only its own slot, summing its claims' posteriors in
+		// claim insertion order.
+		parallel.ForEach(cfg, len(ci.sources), func(s int) {
+			lo, hi := ci.srcOff[s], ci.srcOff[s+1]
+			if lo == hi {
+				delta[s] = 0
+				return
 			}
 			var sum float64
-			for _, c := range claims {
-				sum += post[itemIndex[c.Item]][c.Value.Key()]
+			for c := lo; c < hi; c++ {
+				sum += post[ci.srcVal[c]]
 			}
-			next := clampF(sum/float64(len(claims)), minAcc, maxAcc)
-			if d := math.Abs(next - accuracy[s]); d > maxDelta {
+			next := clampF(sum/float64(hi-lo), minAcc, maxAcc)
+			delta[s] = math.Abs(next - acc[s])
+			acc[s] = next
+		})
+		maxDelta := 0.0
+		for _, d := range delta {
+			if d > maxDelta {
 				maxDelta = d
 			}
-			accuracy[s] = next
+		}
+		if snap != nil {
+			snap(ci.buildResult(post, ci.accuracyMap(acc), iters))
 		}
 		if maxDelta < eps {
 			break
 		}
 	}
-
-	res := &Result{
-		Values:         map[data.Item]data.Value{},
-		Confidence:     map[data.Item]float64{},
-		SourceAccuracy: accuracy,
-		Iterations:     iters,
-	}
-	for i, it := range items {
-		vc := tallies[i]
-		keys := append([]string(nil), vc.keyOrder...)
-		sort.Strings(keys)
-		bestKey, best := "", -1.0
-		for _, k := range keys {
-			if p := post[i][k]; p > best {
-				best, bestKey = p, k
-			}
-		}
-		if bestKey != "" {
-			res.Values[it] = vc.values[bestKey]
-			res.Confidence[it] = best
-		}
-	}
-	return res, nil
+	return ci.buildResult(post, ci.accuracyMap(acc), iters), nil
 }
 
 // FuseTrace runs Fuse while recording, after each EM iteration, the
 // value produced for every item — used by the convergence experiment
-// (E2). The trace's last entry equals the final result.
+// (E2). The trace's last entry equals the final result. Snapshots are
+// captured inside a single EM run, so the cost is one Fuse plus
+// O(items) per iteration — not the quadratic re-run-per-prefix the
+// first implementation paid.
 func (a ACCU) FuseTrace(cs *data.ClaimSet) ([]*Result, error) {
-	_, _, maxIter, _ := a.params()
+	ci := buildIndex(cs, parallel.Config{Workers: a.Workers})
 	var trace []*Result
-	for i := 1; i <= maxIter; i++ {
-		step := a
-		step.MaxIterations = i
-		r, err := step.Fuse(cs)
-		if err != nil {
-			return nil, err
-		}
-		trace = append(trace, r)
-		if r.Iterations < i {
-			break // converged earlier
-		}
+	if _, err := a.fuseOn(ci, func(r *Result) { trace = append(trace, r) }); err != nil {
+		return nil, err
 	}
 	return trace, nil
 }
 
-// simAdjust applies the AccuSim boost: each value's score absorbs a
-// ρ-scaled share of the scores of similar values.
-func (a ACCU) simAdjust(vc *voteCounts, scores map[string]float64) map[string]float64 {
-	rho := a.SimInfluence
-	if rho <= 0 {
-		rho = 0.5
-	}
-	adj := make(map[string]float64, len(scores))
-	for _, k := range vc.keyOrder {
-		boost := 0.0
-		for _, k2 := range vc.keyOrder {
-			if k == k2 {
-				continue
-			}
-			if sim := a.Similarity(vc.values[k], vc.values[k2]); sim > 0 {
-				boost += sim * scores[k2]
-			}
-		}
-		adj[k] = scores[k] + rho*boost
-	}
-	return adj
-}
-
+// softmax normalises a score map into a probability map, accumulating
+// the normalizer in sorted key order so the result is bit-deterministic
+// (Go map iteration order is randomised). The engine path uses
+// softmaxRange over the interned layout; this helper remains for
+// reference implementations in tests.
 func softmax(scores map[string]float64) map[string]float64 {
 	if len(scores) == 0 {
 		return scores
 	}
+	keys := make([]string, 0, len(scores))
+	for k := range scores {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	maxS := math.Inf(-1)
-	for _, s := range scores {
-		if s > maxS {
+	for _, k := range keys {
+		if s := scores[k]; s > maxS {
 			maxS = s
 		}
 	}
 	out := make(map[string]float64, len(scores))
 	var z float64
-	for k, s := range scores {
-		e := math.Exp(s - maxS)
+	for _, k := range keys {
+		e := math.Exp(scores[k] - maxS)
 		out[k] = e
 		z += e
 	}
-	for k := range out {
+	for _, k := range keys {
 		out[k] /= z
 	}
 	return out

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/data"
+	"repro/internal/parallel"
 )
 
 // CopyDetector estimates, for every pair of overlapping sources, the
@@ -31,6 +32,9 @@ type CopyDetector struct {
 	// disagreements at all) from independent sources (independent
 	// mistakes force disagreements).
 	IgnoreTruth bool
+	// Workers bounds the pair-scoring worker pool (0 = NumCPU); output
+	// is identical for any value.
+	Workers int
 }
 
 func (cd CopyDetector) params() (alpha, c, n float64, minOv int) {
@@ -64,77 +68,138 @@ func NewSourcePair(a, b string) SourcePair {
 	return SourcePair{A: a, B: b}
 }
 
+// Truth sentinels for the interned detection pass.
+const (
+	noTruth        = ^uint32(0)     // no ground estimate for the item
+	truthUnclaimed = ^uint32(0) - 1 // estimate exists but matches no claimed value
+)
+
 // Detect returns the posterior copy probability per overlapping source
 // pair, given the current fused truth estimate and source accuracies.
+// The O(S²·overlap) pair loop runs on parallel.ForEachPair over the
+// interned index; per-pair agreement counts are integers, so the
+// posteriors are deterministic for any worker count.
 func (cd CopyDetector) Detect(cs *data.ClaimSet, truth *Result, accuracy map[string]float64) map[SourcePair]float64 {
+	return cd.detectOn(buildIndex(cs, parallel.Config{Workers: cd.Workers}), truth, accuracy)
+}
+
+// srcClaim is one deduplicated claim of a source: the item rank and the
+// global value index claimed.
+type srcClaim struct{ item, val uint32 }
+
+func (cd CopyDetector) detectOn(ci *claimIndex, truth *Result, accuracy map[string]float64) map[SourcePair]float64 {
 	alpha, c, n, minOv := cd.params()
+	cfg := ci.cfg
+	nSrc := len(ci.sources)
 
-	// Index claims: source → item → value key.
-	claimOf := map[string]map[data.Item]string{}
-	for _, s := range cs.Sources() {
-		m := map[data.Item]string{}
-		for _, cl := range cs.SourceClaims(s) {
-			m[cl.Item] = cl.Value.Key()
+	// Interned truth per item. A map-based claim lookup kept only the
+	// last claim a source made about an item; the sorted lists below
+	// preserve that by keeping the last entry of each item run.
+	truthIdx := make([]uint32, len(ci.items))
+	parallel.ForEach(cfg, len(ci.items), func(i int) {
+		truthIdx[i] = noTruth
+		if cd.IgnoreTruth || truth == nil {
+			return
 		}
-		claimOf[s] = m
-	}
-	sources := cs.Sources()
+		tv, ok := truth.Values[ci.items[i]]
+		if !ok {
+			return
+		}
+		if v, found := ci.findVal(uint32(i), tv.Key()); found {
+			truthIdx[i] = v
+		} else {
+			truthIdx[i] = truthUnclaimed
+		}
+	})
 
-	out := map[SourcePair]float64{}
-	for i := 0; i < len(sources); i++ {
-		for j := i + 1; j < len(sources); j++ {
-			s1, s2 := sources[i], sources[j]
-			kt, kf, kd := 0, 0, 0
-			for it, v1 := range claimOf[s1] {
-				v2, ok := claimOf[s2][it]
-				if !ok {
-					continue
-				}
-				var truthVal data.Value
-				hasTruth := false
-				if !cd.IgnoreTruth && truth != nil {
-					truthVal, hasTruth = truth.Values[it]
-				}
+	// Per-source claim lists sorted by item, last claim wins.
+	lists := make([][]srcClaim, nSrc)
+	parallel.ForEach(cfg, nSrc, func(s int) {
+		lo, hi := ci.srcOff[s], ci.srcOff[s+1]
+		lst := make([]srcClaim, 0, hi-lo)
+		for c := lo; c < hi; c++ {
+			v := ci.srcVal[c]
+			lst = append(lst, srcClaim{item: ci.valItem[v], val: v})
+		}
+		sort.SliceStable(lst, func(a, b int) bool { return lst[a].item < lst[b].item })
+		ded := lst[:0]
+		for i, sc := range lst {
+			if i+1 < len(lst) && lst[i+1].item == sc.item {
+				continue
+			}
+			ded = append(ded, sc)
+		}
+		lists[s] = ded
+	})
+
+	// Score every pair; each writes only its own slot.
+	nPairs := nSrc * (nSrc - 1) / 2
+	post := make([]float64, nPairs)
+	scored := make([]bool, nPairs)
+	parallel.ForEachPair(cfg, nSrc, func(k, i, j int) {
+		kt, kf, kd := 0, 0, 0
+		li, lj := lists[i], lists[j]
+		for a, b := 0, 0; a < len(li) && b < len(lj); {
+			switch {
+			case li[a].item < lj[b].item:
+				a++
+			case li[a].item > lj[b].item:
+				b++
+			default:
+				v1, v2 := li[a].val, lj[b].val
 				switch {
 				case v1 != v2:
 					kd++
-				case hasTruth && v1 == truthVal.Key():
-					kt++
-				case hasTruth:
-					kf++
-				default:
+				case truthIdx[li[a].item] == noTruth:
 					kt++ // truth-free: count as generic agreement
+				case v1 == truthIdx[li[a].item]:
+					kt++
+				default:
+					kf++
 				}
+				a++
+				b++
 			}
-			if kt+kf+kd < minOv {
-				continue
-			}
-			a1 := defaultAcc(accuracy, s1)
-			a2 := defaultAcc(accuracy, s2)
-			// Independent-agreement probabilities.
-			pt := a1 * a2
-			pf := (1 - a1) * (1 - a2) / n
-			if cd.IgnoreTruth {
-				pt += pf // generic agreement combines both channels
-			}
-			pd := 1 - pt - pf
-			if pd < 1e-9 {
-				pd = 1e-9
-			}
-			// Copier-agreement probabilities (copy with rate c, else
-			// behave independently).
-			ct := c + (1-c)*pt
-			cf := c + (1-c)*pf
-			cdiff := (1 - c) * pd
+		}
+		if kt+kf+kd < minOv {
+			return
+		}
+		a1 := defaultAcc(accuracy, ci.sources[i])
+		a2 := defaultAcc(accuracy, ci.sources[j])
+		// Independent-agreement probabilities.
+		pt := a1 * a2
+		pf := (1 - a1) * (1 - a2) / n
+		if cd.IgnoreTruth {
+			pt += pf // generic agreement combines both channels
+		}
+		pd := 1 - pt - pf
+		if pd < 1e-9 {
+			pd = 1e-9
+		}
+		// Copier-agreement probabilities (copy with rate c, else
+		// behave independently).
+		ct := c + (1-c)*pt
+		cf := c + (1-c)*pf
+		cdiff := (1 - c) * pd
 
-			logIndep := float64(kt)*math.Log(pt) + float64(kf)*math.Log(pf) + float64(kd)*math.Log(pd)
-			logCopy := float64(kt)*math.Log(ct) + float64(kf)*math.Log(cf) + float64(kd)*math.Log(cdiff)
-			// Posterior via log-sum-exp.
-			lc := math.Log(alpha) + logCopy
-			li := math.Log(1-alpha) + logIndep
-			m := math.Max(lc, li)
-			p := math.Exp(lc-m) / (math.Exp(lc-m) + math.Exp(li-m))
-			out[NewSourcePair(s1, s2)] = p
+		logIndep := float64(kt)*math.Log(pt) + float64(kf)*math.Log(pf) + float64(kd)*math.Log(pd)
+		logCopy := float64(kt)*math.Log(ct) + float64(kf)*math.Log(cf) + float64(kd)*math.Log(cdiff)
+		// Posterior via log-sum-exp.
+		lc := math.Log(alpha) + logCopy
+		li2 := math.Log(1-alpha) + logIndep
+		m := math.Max(lc, li2)
+		post[k] = math.Exp(lc-m) / (math.Exp(lc-m) + math.Exp(li2-m))
+		scored[k] = true
+	})
+
+	out := map[SourcePair]float64{}
+	k := 0
+	for i := 0; i < nSrc; i++ {
+		for j := i + 1; j < nSrc; j++ {
+			if scored[k] {
+				out[NewSourcePair(ci.sources[i], ci.sources[j])] = post[k]
+			}
+			k++
 		}
 	}
 	return out
@@ -149,7 +214,8 @@ func defaultAcc(accuracy map[string]float64, s string) float64 {
 
 // ACCUCOPY interleaves ACCU fusion with copy detection: fuse, detect
 // copying from agreement-on-false-values, down-weight dependent votes,
-// and re-fuse — the full AccuCopy loop.
+// and re-fuse — the full AccuCopy loop. The claim set is interned once
+// and the same index backs every fuse and detect pass.
 type ACCUCOPY struct {
 	Accu     ACCU
 	Detector CopyDetector
@@ -168,6 +234,11 @@ func (ACCUCOPY) Name() string { return "accucopy" }
 
 // Fuse implements Fuser.
 func (ac ACCUCOPY) Fuse(cs *data.ClaimSet) (*Result, error) {
+	res, _, err := ac.fuse(buildIndex(cs, parallel.Config{Workers: ac.Accu.Workers}))
+	return res, err
+}
+
+func (ac ACCUCOPY) fuse(ci *claimIndex) (*Result, map[SourcePair]float64, error) {
 	outer := ac.OuterIterations
 	if outer <= 0 {
 		outer = 3
@@ -175,9 +246,9 @@ func (ac ACCUCOPY) Fuse(cs *data.ClaimSet) (*Result, error) {
 	_, c, _, _ := ac.Detector.params()
 
 	accu := ac.Accu
-	res, err := accu.Fuse(cs)
+	res, err := accu.fuseOn(ci, nil)
 	if err != nil {
-		return nil, fmt.Errorf("fusion: accucopy initial pass: %w", err)
+		return nil, nil, fmt.Errorf("fusion: accucopy initial pass: %w", err)
 	}
 	var copies map[SourcePair]float64
 	for iter := 0; iter < outer; iter++ {
@@ -191,13 +262,13 @@ func (ac ACCUCOPY) Fuse(cs *data.ClaimSet) (*Result, error) {
 		if iter == 0 && !ac.DisableBootstrap {
 			_, acc0, _, _ := accu.params()
 			accIn = map[string]float64{}
-			for _, s := range cs.Sources() {
+			for _, s := range ci.sources {
 				accIn[s] = acc0
 			}
 			det.IgnoreTruth = true
 		}
-		copies = det.Detect(cs, res, accIn)
-		discounts := buildDiscounts(cs, copies, res.SourceAccuracy, c)
+		copies = det.detectOn(ci, res, accIn)
+		discounts := buildDiscounts(ci, copies, res.SourceAccuracy, c)
 		withDiscount := accu
 		withDiscount.copyDiscount = func(it data.Item, valueKey, source string) float64 {
 			if d, ok := discounts[discountKey{it, valueKey, source}]; ok {
@@ -205,23 +276,24 @@ func (ac ACCUCOPY) Fuse(cs *data.ClaimSet) (*Result, error) {
 			}
 			return 1
 		}
-		res, err = withDiscount.Fuse(cs)
+		res, err = withDiscount.fuseOn(ci, nil)
 		if err != nil {
-			return nil, fmt.Errorf("fusion: accucopy pass %d: %w", iter+1, err)
+			return nil, nil, fmt.Errorf("fusion: accucopy pass %d: %w", iter+1, err)
 		}
 	}
 	res.Iterations = outer
-	return res, nil
+	return res, copies, nil
 }
 
 // CopyProbabilities runs the full loop and returns the final pairwise
 // copy posteriors alongside the fused result.
 func (ac ACCUCOPY) CopyProbabilities(cs *data.ClaimSet) (*Result, map[SourcePair]float64, error) {
-	res, err := ac.Fuse(cs)
+	ci := buildIndex(cs, parallel.Config{Workers: ac.Accu.Workers})
+	res, _, err := ac.fuse(ci)
 	if err != nil {
 		return nil, nil, err
 	}
-	copies := ac.Detector.Detect(cs, res, res.SourceAccuracy)
+	copies := ac.Detector.detectOn(ci, res, res.SourceAccuracy)
 	return res, copies, nil
 }
 
@@ -235,29 +307,46 @@ type discountKey struct {
 // that the source's claim is independent: among the claimants of the
 // same value, ordered by descending accuracy (the presumed copy
 // direction), each source's vote is discounted by the probability that
-// it copied from any preceding claimant.
-func buildDiscounts(cs *data.ClaimSet, copies map[SourcePair]float64,
+// it copied from any preceding claimant. Per-item entries compute in
+// parallel; the map assembles sequentially in item order.
+func buildDiscounts(ci *claimIndex, copies map[SourcePair]float64,
 	accuracy map[string]float64, copyRate float64) map[discountKey]float64 {
-	out := map[discountKey]float64{}
-	for _, it := range cs.Items() {
-		vc := tally(cs.ItemClaims(it))
-		for _, k := range vc.keyOrder {
-			claimants := append([]string(nil), vc.sources[k]...)
-			sort.Slice(claimants, func(i, j int) bool {
-				ai, aj := defaultAcc(accuracy, claimants[i]), defaultAcc(accuracy, claimants[j])
-				if ai != aj {
-					return ai > aj
+	type entry struct {
+		key discountKey
+		d   float64
+	}
+	perItem := make([][]entry, len(ci.items))
+	parallel.ForEach(ci.cfg, len(ci.items), func(i int) {
+		var ents []entry
+		it := ci.items[i]
+		for v := ci.valOff[i]; v < ci.valOff[i+1]; v++ {
+			k := ci.valKeys[v]
+			claimants := make([]string, 0, ci.supOff[v+1]-ci.supOff[v])
+			for e := ci.supOff[v]; e < ci.supOff[v+1]; e++ {
+				claimants = append(claimants, ci.sources[ci.supSrc[e]])
+			}
+			sort.Slice(claimants, func(a, b int) bool {
+				aa, ab := defaultAcc(accuracy, claimants[a]), defaultAcc(accuracy, claimants[b])
+				if aa != ab {
+					return aa > ab
 				}
-				return claimants[i] < claimants[j]
+				return claimants[a] < claimants[b]
 			})
-			for i, s := range claimants {
+			for idx, s := range claimants {
 				indep := 1.0
-				for j := 0; j < i; j++ {
+				for j := 0; j < idx; j++ {
 					p := copies[NewSourcePair(s, claimants[j])]
 					indep *= 1 - copyRate*p
 				}
-				out[discountKey{it, k, s}] = indep
+				ents = append(ents, entry{key: discountKey{it, k, s}, d: indep})
 			}
+		}
+		perItem[i] = ents
+	})
+	out := map[discountKey]float64{}
+	for _, ents := range perItem {
+		for _, e := range ents {
+			out[e.key] = e.d
 		}
 	}
 	return out

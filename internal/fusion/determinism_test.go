@@ -1,0 +1,93 @@
+package fusion
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/data"
+)
+
+// nearTieClaims builds a claim set engineered to expose accumulation-
+// order nondeterminism: every item carries many distinct values with
+// nearly balanced support, so the softmax normalizer z sums many
+// distinct exp terms and near-tie posteriors feed back through the EM
+// accuracy estimates. Any map-order accumulation shows up as run-to-run
+// ULP drift in posteriors (and, for the closest ties, flipped values).
+func nearTieClaims() *data.ClaimSet {
+	cs := data.NewClaimSet()
+	const nItems, nSources = 24, 10
+	for i := 0; i < nItems; i++ {
+		it := data.Item{Entity: fmt.Sprintf("e%02d", i), Attr: "v"}
+		for s := 0; s < nSources; s++ {
+			// Spread the sources over ~6 values per item with slight,
+			// item-dependent asymmetries so no two values tie exactly.
+			v := (s + i*3) % 6
+			if (i+s)%7 == 0 {
+				v = (v + 1) % 6
+			}
+			cs.Add(data.Claim{
+				Item:   it,
+				Source: fmt.Sprintf("s%02d", s),
+				Value:  data.String(fmt.Sprintf("val-%d", v)),
+			})
+		}
+	}
+	return cs
+}
+
+// sameBits reports whether two results are bit-identical: same fused
+// values, bit-equal confidences and source accuracies, same iteration
+// count.
+func sameBits(a, b *Result) (string, bool) {
+	if a.Iterations != b.Iterations {
+		return fmt.Sprintf("iterations %d vs %d", a.Iterations, b.Iterations), false
+	}
+	if len(a.Values) != len(b.Values) {
+		return fmt.Sprintf("%d vs %d values", len(a.Values), len(b.Values)), false
+	}
+	for it, v := range a.Values {
+		w, ok := b.Values[it]
+		if !ok || v.Key() != w.Key() {
+			return fmt.Sprintf("value at %v: %q vs %q", it, v.Key(), w.Key()), false
+		}
+		if math.Float64bits(a.Confidence[it]) != math.Float64bits(b.Confidence[it]) {
+			return fmt.Sprintf("confidence bits at %v: %x vs %x", it,
+				math.Float64bits(a.Confidence[it]), math.Float64bits(b.Confidence[it])), false
+		}
+	}
+	if len(a.SourceAccuracy) != len(b.SourceAccuracy) {
+		return "source accuracy cardinality", false
+	}
+	for s, acc := range a.SourceAccuracy {
+		if math.Float64bits(acc) != math.Float64bits(b.SourceAccuracy[s]) {
+			return fmt.Sprintf("accuracy bits for %s: %x vs %x", s,
+				math.Float64bits(acc), math.Float64bits(b.SourceAccuracy[s])), false
+		}
+	}
+	return "", true
+}
+
+// TestACCURunToRunBitDeterminism is the regression test for the softmax
+// map-order bug: the normalizer z must be accumulated in sorted key
+// order, so repeated runs over the same claims produce bit-identical
+// posteriors. Against the unfixed code (z summed in Go map iteration
+// order) this fails within a handful of the 20 repeats.
+func TestACCURunToRunBitDeterminism(t *testing.T) {
+	cs := nearTieClaims()
+	for _, fuser := range []Fuser{ACCU{}, ACCU{Popularity: true}} {
+		base, err := fuser.Fuse(cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for run := 1; run <= 20; run++ {
+			res, err := fuser.Fuse(cs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff, ok := sameBits(base, res); !ok {
+				t.Fatalf("%s: run %d diverged from run 0: %s", fuser.Name(), run, diff)
+			}
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package fusion
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/parallel"
+)
+
+// claimIndex is the interned claim-set representation every fuser runs
+// on — the fusion-stage analogue of blocking.Engine and
+// similarity.FeatureIndex. Items keep their first-appearance order,
+// source IDs are interned to their sorted rank, and each item's
+// distinct value keys are laid out contiguously in sorted-key order, so
+// the EM state (vote scores, posteriors, accuracies) lives in flat
+// slices indexed by dense uint32 ranks instead of map-of-map lookups.
+// Every accumulation an algorithm performs over the index walks a slice
+// whose order is fixed at build time, which is what makes the parallel
+// E/M steps bit-deterministic for any worker count.
+type claimIndex struct {
+	cfg parallel.Config
+
+	items   []data.Item // item rank → item, first-appearance order
+	sources []string    // source rank → source ID, sorted
+
+	// Value columns: item i's distinct values occupy the global index
+	// range [valOff[i], valOff[i+1]), sorted by value key within the
+	// item. valVals holds the canonical Value (first one claimed).
+	valOff  []int
+	valKeys []string
+	valVals []data.Value
+	valItem []uint32 // global value index → owning item rank
+
+	// Support lists: value v's claiming sources occupy
+	// supSrc[supOff[v]:supOff[v+1]] in claim insertion order (a source
+	// appears once per claim, exactly as the map-based tally did).
+	supOff []int
+	supSrc []uint32
+
+	// Per-source claim lists: source s's claims occupy
+	// srcVal[srcOff[s]:srcOff[s+1]] as global value indices, in claim
+	// insertion order — the M-step accumulation order.
+	srcOff []int
+	srcVal []uint32
+}
+
+// buildIndex interns a claim set. The per-item value tallies build in
+// parallel (each item is independent); the flat layout is concatenated
+// sequentially so offsets are identical for any worker count.
+func buildIndex(cs *data.ClaimSet, cfg parallel.Config) *claimIndex {
+	ci := &claimIndex{cfg: cfg, items: cs.Items(), sources: cs.Sources()}
+
+	srcRank := make(map[string]uint32, len(ci.sources))
+	for r, s := range ci.sources {
+		srcRank[s] = uint32(r)
+	}
+	// Item ranks are resolved once here — never rebuilt per iteration.
+	itemRank := make(map[data.Item]uint32, len(ci.items))
+	for r, it := range ci.items {
+		itemRank[it] = uint32(r)
+	}
+
+	type itemCols struct {
+		keys []string
+		vals []data.Value
+		sup  [][]uint32
+	}
+	cols := make([]itemCols, len(ci.items))
+	parallel.ForEach(cfg, len(ci.items), func(i int) {
+		claims := cs.ItemClaims(ci.items[i])
+		canon := make(map[string]data.Value, 4)
+		keys := make([]string, 0, 4)
+		for _, cl := range claims {
+			k := cl.Value.Key()
+			if _, seen := canon[k]; !seen {
+				canon[k] = cl.Value
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		pos := make(map[string]int, len(keys))
+		vals := make([]data.Value, len(keys))
+		for j, k := range keys {
+			pos[k] = j
+			vals[j] = canon[k]
+		}
+		sup := make([][]uint32, len(keys))
+		for _, cl := range claims {
+			j := pos[cl.Value.Key()]
+			sup[j] = append(sup[j], srcRank[cl.Source])
+		}
+		cols[i] = itemCols{keys: keys, vals: vals, sup: sup}
+	})
+
+	nVals, nSup := 0, 0
+	for i := range cols {
+		nVals += len(cols[i].keys)
+		for _, s := range cols[i].sup {
+			nSup += len(s)
+		}
+	}
+	ci.valOff = make([]int, len(ci.items)+1)
+	ci.valKeys = make([]string, 0, nVals)
+	ci.valVals = make([]data.Value, 0, nVals)
+	ci.valItem = make([]uint32, 0, nVals)
+	ci.supOff = make([]int, 1, nVals+1)
+	ci.supSrc = make([]uint32, 0, nSup)
+	for i := range cols {
+		ci.valOff[i] = len(ci.valKeys)
+		ci.valKeys = append(ci.valKeys, cols[i].keys...)
+		ci.valVals = append(ci.valVals, cols[i].vals...)
+		for range cols[i].keys {
+			ci.valItem = append(ci.valItem, uint32(i))
+		}
+		for _, s := range cols[i].sup {
+			ci.supSrc = append(ci.supSrc, s...)
+			ci.supOff = append(ci.supOff, len(ci.supSrc))
+		}
+	}
+	ci.valOff[len(ci.items)] = len(ci.valKeys)
+
+	// Per-source claim lists: resolve each claim's global value index by
+	// binary search inside its item's sorted key range.
+	srcCols := make([][]uint32, len(ci.sources))
+	parallel.ForEach(cfg, len(ci.sources), func(s int) {
+		claims := cs.SourceClaims(ci.sources[s])
+		lst := make([]uint32, 0, len(claims))
+		for _, cl := range claims {
+			lst = append(lst, ci.valIdx(itemRank[cl.Item], cl.Value.Key()))
+		}
+		srcCols[s] = lst
+	})
+	ci.srcOff = make([]int, len(ci.sources)+1)
+	ci.srcVal = make([]uint32, 0, nSup)
+	for s := range srcCols {
+		ci.srcOff[s] = len(ci.srcVal)
+		ci.srcVal = append(ci.srcVal, srcCols[s]...)
+	}
+	ci.srcOff[len(ci.sources)] = len(ci.srcVal)
+	return ci
+}
+
+// valIdx locates the global value index of (item rank, value key); the
+// key must be one of the item's claimed keys.
+func (ci *claimIndex) valIdx(item uint32, key string) uint32 {
+	lo, hi := ci.valOff[item], ci.valOff[item+1]
+	return uint32(lo + sort.SearchStrings(ci.valKeys[lo:hi], key))
+}
+
+// findVal is valIdx for keys that may not be claimed (e.g. an external
+// truth estimate): the second return reports whether the key exists.
+func (ci *claimIndex) findVal(item uint32, key string) (uint32, bool) {
+	lo, hi := ci.valOff[item], ci.valOff[item+1]
+	p := lo + sort.SearchStrings(ci.valKeys[lo:hi], key)
+	if p < hi && ci.valKeys[p] == key {
+		return uint32(p), true
+	}
+	return 0, false
+}
+
+// numValues returns the total distinct (item, value) count.
+func (ci *claimIndex) numValues() int { return len(ci.valKeys) }
+
+// softmaxRange normalises scores[lo:hi] into post[lo:hi]. The
+// normalizer z accumulates in index order — within an item that is
+// sorted value-key order — so posteriors are bit-deterministic (the fix
+// for the map-iteration softmax the engine replaced).
+func softmaxRange(scores, post []float64, lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	maxS := scores[lo]
+	for v := lo + 1; v < hi; v++ {
+		if scores[v] > maxS {
+			maxS = scores[v]
+		}
+	}
+	var z float64
+	for v := lo; v < hi; v++ {
+		e := math.Exp(scores[v] - maxS)
+		post[v] = e
+		z += e
+	}
+	for v := lo; v < hi; v++ {
+		post[v] /= z
+	}
+}
+
+// accuracyMap expands a rank-indexed accuracy slice into the map form
+// Result exposes.
+func (ci *claimIndex) accuracyMap(acc []float64) map[string]float64 {
+	m := make(map[string]float64, len(ci.sources))
+	for s, a := range acc {
+		m[ci.sources[s]] = a
+	}
+	return m
+}
+
+// buildResult assembles a Result from per-value posteriors: for each
+// item, the arg-max over its sorted value range with strict > — the
+// same lowest-key tie-break the map-based fusers used.
+func (ci *claimIndex) buildResult(post []float64, accuracy map[string]float64, iters int) *Result {
+	res := &Result{
+		Values:         make(map[data.Item]data.Value, len(ci.items)),
+		Confidence:     make(map[data.Item]float64, len(ci.items)),
+		SourceAccuracy: accuracy,
+		Iterations:     iters,
+	}
+	for i, it := range ci.items {
+		bestV, best := -1, -1.0
+		for v := ci.valOff[i]; v < ci.valOff[i+1]; v++ {
+			if post[v] > best {
+				best, bestV = post[v], v
+			}
+		}
+		if bestV >= 0 {
+			res.Values[it] = ci.valVals[bestV]
+			res.Confidence[it] = best
+		}
+	}
+	return res
+}

@@ -4,12 +4,17 @@
 // pairwise copy detection between sources, and the copy-aware ACCUCOPY
 // fuser — the method family of Dong, Berti-Équille & Srivastava that
 // the Big Data Integration tutorial surveys.
+//
+// Every fuser runs on the interned claimIndex (engine.go): source IDs,
+// items and value keys are interned to dense uint32 ranks, the
+// iterative state lives in flat slices, and all float accumulations
+// walk fixed slice orders, so each fuser is bit-deterministic and
+// produces identical output for any worker count.
 package fusion
 
 import (
-	"sort"
-
 	"repro/internal/data"
+	"repro/internal/parallel"
 )
 
 // Result is the outcome of fusing a claim set.
@@ -33,6 +38,8 @@ type Fuser interface {
 
 // voteCounts tallies, per item, the supporting sources of each distinct
 // value key. The canonical value for a key is the first one observed.
+// The engine path replaces this with the claimIndex layout; the tally
+// remains as the reference implementation tests pin against.
 type voteCounts struct {
 	values   map[string]data.Value
 	sources  map[string][]string
@@ -54,14 +61,18 @@ func tally(claims []data.Claim) *voteCounts {
 
 // MajorityVote picks the most-claimed value per item, breaking ties by
 // value key for determinism.
-type MajorityVote struct{}
+type MajorityVote struct {
+	// Workers bounds the worker pool (0 = NumCPU); output is identical
+	// for any value.
+	Workers int
+}
 
 // Name implements Fuser.
 func (MajorityVote) Name() string { return "vote" }
 
 // Fuse implements Fuser.
-func (MajorityVote) Fuse(cs *data.ClaimSet) (*Result, error) {
-	return weightedVote(cs, func(string) float64 { return 1 })
+func (mv MajorityVote) Fuse(cs *data.ClaimSet) (*Result, error) {
+	return weightedVote(cs, parallel.Config{Workers: mv.Workers}, func(string) float64 { return 1 })
 }
 
 // WeightedVote votes with per-source weights (e.g. externally known
@@ -69,6 +80,9 @@ func (MajorityVote) Fuse(cs *data.ClaimSet) (*Result, error) {
 type WeightedVote struct {
 	Weights       map[string]float64
 	DefaultWeight float64
+	// Workers bounds the worker pool (0 = NumCPU); output is identical
+	// for any value.
+	Workers int
 }
 
 // Name implements Fuser.
@@ -80,7 +94,7 @@ func (wv WeightedVote) Fuse(cs *data.ClaimSet) (*Result, error) {
 	if def == 0 {
 		def = 1
 	}
-	return weightedVote(cs, func(s string) float64 {
+	return weightedVote(cs, parallel.Config{Workers: wv.Workers}, func(s string) float64 {
 		if w, ok := wv.Weights[s]; ok {
 			return w
 		}
@@ -88,34 +102,47 @@ func (wv WeightedVote) Fuse(cs *data.ClaimSet) (*Result, error) {
 	})
 }
 
-func weightedVote(cs *data.ClaimSet, weight func(string) float64) (*Result, error) {
+// weightedVote runs one voting round on the interned index: weights are
+// resolved once per source rank, items score in parallel (per-key sums
+// in claim insertion order, totals in sorted-key order), and each item
+// writes only its own slots — identical output for any worker count.
+func weightedVote(cs *data.ClaimSet, cfg parallel.Config, weight func(string) float64) (*Result, error) {
+	ci := buildIndex(cs, cfg)
+	w := make([]float64, len(ci.sources))
+	for s, src := range ci.sources {
+		w[s] = weight(src)
+	}
+
+	bestV := make([]int, len(ci.items))
+	bestW := make([]float64, len(ci.items))
+	totalW := make([]float64, len(ci.items))
+	parallel.ForEach(cfg, len(ci.items), func(i int) {
+		best, bw, tw := -1, 0.0, 0.0
+		for v := ci.valOff[i]; v < ci.valOff[i+1]; v++ {
+			var vw float64
+			for e := ci.supOff[v]; e < ci.supOff[v+1]; e++ {
+				vw += w[ci.supSrc[e]]
+			}
+			tw += vw
+			if vw > bw {
+				bw, best = vw, v
+			}
+		}
+		bestV[i], bestW[i], totalW[i] = best, bw, tw
+	})
+
 	res := &Result{
-		Values:     map[data.Item]data.Value{},
-		Confidence: map[data.Item]float64{},
+		Values:     make(map[data.Item]data.Value, len(ci.items)),
+		Confidence: make(map[data.Item]float64, len(ci.items)),
 		Iterations: 1,
 	}
-	for _, it := range cs.Items() {
-		vc := tally(cs.ItemClaims(it))
-		var bestKey string
-		var bestW, totalW float64
-		keys := append([]string(nil), vc.keyOrder...)
-		sort.Strings(keys)
-		for _, k := range keys {
-			var w float64
-			for _, s := range vc.sources[k] {
-				w += weight(s)
-			}
-			totalW += w
-			if w > bestW {
-				bestW, bestKey = w, k
-			}
-		}
-		if bestKey == "" {
+	for i, it := range ci.items {
+		if bestV[i] < 0 {
 			continue
 		}
-		res.Values[it] = vc.values[bestKey]
-		if totalW > 0 {
-			res.Confidence[it] = bestW / totalW
+		res.Values[it] = ci.valVals[bestV[i]]
+		if totalW[i] > 0 {
+			res.Confidence[it] = bestW[i] / totalW[i]
 		}
 	}
 	return res, nil

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/data"
+	"repro/internal/parallel"
 )
 
 // Online implements online data fusion (Liu, Dong & Srivastava,
@@ -21,6 +22,9 @@ type Online struct {
 	// N is the assumed number of false values (ACCU vote weighting).
 	// Default 10.
 	N float64
+	// Workers bounds the per-item probing worker pool (0 = NumCPU);
+	// output is identical for any value.
+	Workers int
 }
 
 // OnlineResult extends Result with probing statistics.
@@ -59,6 +63,9 @@ func (o Online) weightOf(src string) float64 {
 }
 
 // FuseOnline runs the full online protocol and reports probe counts.
+// Items are probed independently, so the per-item loop fans out on the
+// worker pool; each item writes only its own slot and the result maps
+// assemble sequentially in item order.
 func (o Online) FuseOnline(cs *data.ClaimSet) (*OnlineResult, error) {
 	order := append([]string(nil), cs.Sources()...)
 	sort.Slice(order, func(i, j int) bool {
@@ -69,7 +76,7 @@ func (o Online) FuseOnline(cs *data.ClaimSet) (*OnlineResult, error) {
 		return order[i] < order[j]
 	})
 
-	// Per-source claim lookup.
+	// Per-source claim lookup (read-only once built).
 	claimOf := map[string]map[data.Item]data.Value{}
 	for _, s := range order {
 		m := map[data.Item]data.Value{}
@@ -99,11 +106,19 @@ func (o Online) FuseOnline(cs *data.ClaimSet) (*OnlineResult, error) {
 		res.SourceAccuracy[s] = clampF(accOrDefault(o.Accuracy, s), 0.05, 0.95)
 	}
 
-	for _, it := range cs.Items() {
+	items := cs.Items()
+	type probed struct {
+		value  data.Value
+		conf   float64
+		probes int
+		found  bool
+	}
+	outs := make([]probed, len(items))
+	parallel.ForEach(parallel.Config{Workers: o.Workers}, len(items), func(idx int) {
+		it := items[idx]
 		scores := map[string]float64{}
 		values := map[string]data.Value{}
 		probes := 0
-		finalised := false
 		for i, s := range order {
 			v, ok := claimOf[s][it]
 			if ok {
@@ -116,21 +131,21 @@ func (o Online) FuseOnline(cs *data.ClaimSet) (*OnlineResult, error) {
 			// every remaining source voted for the runner-up.
 			lead, second := topTwo(scores)
 			if lead != "" && scores[lead]-second > remaining[i+1] {
-				res.Values[it] = values[lead]
-				res.Probes[it] = probes
-				res.Confidence[it] = confidenceOf(scores, lead)
-				finalised = true
-				break
+				outs[idx] = probed{value: values[lead], conf: confidenceOf(scores, lead), probes: probes, found: true}
+				return
 			}
 		}
-		if !finalised {
-			lead, _ := topTwo(scores)
-			if lead != "" {
-				res.Values[it] = values[lead]
-				res.Probes[it] = probes
-				res.Confidence[it] = confidenceOf(scores, lead)
-			}
+		if lead, _ := topTwo(scores); lead != "" {
+			outs[idx] = probed{value: values[lead], conf: confidenceOf(scores, lead), probes: probes, found: true}
 		}
+	})
+	for idx, it := range items {
+		if !outs[idx].found {
+			continue
+		}
+		res.Values[it] = outs[idx].value
+		res.Probes[it] = outs[idx].probes
+		res.Confidence[it] = outs[idx].conf
 	}
 	res.Iterations = 1
 	return res, nil
@@ -165,7 +180,7 @@ func (o Online) FuseWithPrefix(cs *data.ClaimSet, k int) (*Result, error) {
 			sub.SetTruth(it, v)
 		}
 	}
-	return WeightedVote{Weights: weightsFor(o, order[:k])}.Fuse(sub)
+	return WeightedVote{Weights: weightsFor(o, order[:k]), Workers: o.Workers}.Fuse(sub)
 }
 
 func weightsFor(o Online, sources []string) map[string]float64 {
@@ -207,10 +222,19 @@ func topTwo(scores map[string]float64) (lead string, second float64) {
 	return lead, second
 }
 
+// confidenceOf normalises the leader's exponentiated score. The
+// normalizer accumulates in sorted key order — like softmax, this was a
+// map-iteration accumulation whose low bits depended on Go's randomised
+// map order.
 func confidenceOf(scores map[string]float64, lead string) float64 {
+	keys := make([]string, 0, len(scores))
+	for k := range scores {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	var z, l float64
-	for k, s := range scores {
-		e := math.Exp(s)
+	for _, k := range keys {
+		e := math.Exp(scores[k])
 		z += e
 		if k == lead {
 			l = e

@@ -2,16 +2,17 @@ package fusion
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/data"
+	"repro/internal/parallel"
 )
 
 // TruthFinder implements Yin, Han & Yu's iterative trust model: a
 // source's trustworthiness is the average confidence of the values it
 // claims; a value's confidence aggregates the trust of its claimants
 // through a log-odds combination. Iterate until source trust
-// stabilises.
+// stabilises. Runs on the interned claimIndex with the same
+// parallel-E/parallel-M layout as ACCU.
 type TruthFinder struct {
 	// Gamma dampens the confidence logistic. Default 0.3.
 	Gamma float64
@@ -21,6 +22,9 @@ type TruthFinder struct {
 	// fixpoint loop.
 	MaxIterations int
 	Epsilon       float64
+	// Workers bounds the worker pool (0 = NumCPU); output is identical
+	// for any value.
+	Workers int
 }
 
 // Name implements Fuser.
@@ -45,80 +49,57 @@ func (tf TruthFinder) Fuse(cs *data.ClaimSet) (*Result, error) {
 		eps = 1e-4
 	}
 
-	trust := map[string]float64{}
-	for _, s := range cs.Sources() {
+	ci := buildIndex(cs, parallel.Config{Workers: tf.Workers})
+	cfg := ci.cfg
+
+	trust := make([]float64, len(ci.sources))
+	for s := range trust {
 		trust[s] = trust0
-	}
-	items := cs.Items()
-	tallies := make([]*voteCounts, len(items))
-	for i, it := range items {
-		tallies[i] = tally(cs.ItemClaims(it))
 	}
 
 	const maxTrust = 0.999999
-	conf := map[data.Item]map[string]float64{} // item → value key → confidence
+	conf := make([]float64, ci.numValues())
+	delta := make([]float64, len(ci.sources))
 	iters := 0
 	for iter := 0; iter < maxIter; iter++ {
 		iters = iter + 1
-		// Value confidences from source trust.
-		for i, it := range items {
-			vc := tallies[i]
-			m := map[string]float64{}
-			for _, k := range vc.keyOrder {
-				var sigma float64
-				for _, s := range vc.sources[k] {
-					t := trust[s]
-					if t > maxTrust {
-						t = maxTrust
-					}
-					sigma += -math.Log(1 - t) // tau(s)
+		// Value confidences from source trust: each value sums its
+		// claimants' tau in claim insertion order.
+		parallel.ForEach(cfg, ci.numValues(), func(v int) {
+			var sigma float64
+			for e := ci.supOff[v]; e < ci.supOff[v+1]; e++ {
+				t := trust[ci.supSrc[e]]
+				if t > maxTrust {
+					t = maxTrust
 				}
-				m[k] = 1 / (1 + math.Exp(-gamma*sigma))
+				sigma += -math.Log(1 - t) // tau(s)
 			}
-			conf[it] = m
-		}
+			conf[v] = 1 / (1 + math.Exp(-gamma*sigma))
+		})
 		// Source trust from value confidences.
-		maxDelta := 0.0
-		for _, s := range cs.Sources() {
-			claims := cs.SourceClaims(s)
-			if len(claims) == 0 {
-				continue
+		parallel.ForEach(cfg, len(ci.sources), func(s int) {
+			lo, hi := ci.srcOff[s], ci.srcOff[s+1]
+			if lo == hi {
+				delta[s] = 0
+				return
 			}
 			var sum float64
-			for _, c := range claims {
-				sum += conf[c.Item][c.Value.Key()]
+			for c := lo; c < hi; c++ {
+				sum += conf[ci.srcVal[c]]
 			}
-			next := sum / float64(len(claims))
-			if d := math.Abs(next - trust[s]); d > maxDelta {
+			next := sum / float64(hi-lo)
+			delta[s] = math.Abs(next - trust[s])
+			trust[s] = next
+		})
+		maxDelta := 0.0
+		for _, d := range delta {
+			if d > maxDelta {
 				maxDelta = d
 			}
-			trust[s] = next
 		}
 		if maxDelta < eps {
 			break
 		}
 	}
-
-	res := &Result{
-		Values:         map[data.Item]data.Value{},
-		Confidence:     map[data.Item]float64{},
-		SourceAccuracy: trust,
-		Iterations:     iters,
-	}
-	for i, it := range items {
-		vc := tallies[i]
-		keys := append([]string(nil), vc.keyOrder...)
-		sort.Strings(keys)
-		bestKey, best := "", -1.0
-		for _, k := range keys {
-			if c := conf[it][k]; c > best {
-				best, bestKey = c, k
-			}
-		}
-		if bestKey != "" {
-			res.Values[it] = vc.values[bestKey]
-			res.Confidence[it] = best
-		}
-	}
-	return res, nil
+	return ci.buildResult(conf, ci.accuracyMap(trust), iters), nil
 }

@@ -156,6 +156,33 @@ func ForEach(cfg Config, n int, f func(i int)) {
 	wg.Wait()
 }
 
+// ForEachPair applies f to every unordered pair (i, j), i < j, drawn
+// from [0,n), in parallel. k is the pair's rank in lexicographic (i, j)
+// order — callers write results to slot k for deterministic assembly.
+// The triangular flat index is decoded per pair by binary search on the
+// row-start offsets, so work is handed out with the same dynamic
+// chunking as ForEach and a skewed row cannot strand a worker.
+func ForEachPair(cfg Config, n int, f func(k, i, j int)) {
+	if n < 2 {
+		return
+	}
+	// rowStart(i) = number of pairs whose first element precedes i.
+	rowStart := func(i int) int { return i*(2*n-i-1) / 2 }
+	total := rowStart(n - 1)
+	ForEach(cfg, total, func(k int) {
+		lo, hi := 0, n-2
+		for lo < hi {
+			mid := int(uint(lo+hi+1) >> 1)
+			if rowStart(mid) <= k {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		f(k, lo, lo+1+(k-rowStart(lo)))
+	})
+}
+
 // MapSlice applies f to every element of a slice in parallel and
 // returns outputs in input order.
 func MapSlice[I, O any](cfg Config, in []I, f func(item I) O) []O {

@@ -260,3 +260,36 @@ func TestErrgroup(t *testing.T) {
 		t.Errorf("all-nil must return nil, got %v", err)
 	}
 }
+
+// TestForEachPair checks the triangular decode: every unordered pair
+// (i, j), i < j, is visited exactly once, k is its lexicographic rank,
+// and the visit set is identical for any worker count.
+func TestForEachPair(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 20} {
+		for _, w := range []int{1, 2, 8} {
+			total := n * (n - 1) / 2
+			if total < 0 {
+				total = 0
+			}
+			got := make([][2]int, total)
+			seen := make([]bool, total)
+			ForEachPair(Config{Workers: w}, n, func(k, i, j int) {
+				if seen[k] {
+					t.Fatalf("n=%d workers=%d: slot %d visited twice", n, w, k)
+				}
+				seen[k] = true
+				got[k] = [2]int{i, j}
+			})
+			k := 0
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					if !seen[k] || got[k] != [2]int{i, j} {
+						t.Fatalf("n=%d workers=%d: slot %d = %v (seen=%v), want (%d,%d)",
+							n, w, k, got[k], seen[k], i, j)
+					}
+					k++
+				}
+			}
+		}
+	}
+}
