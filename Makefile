@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-blocking race-fusion bench bench-blocking bench-fusion check
+.PHONY: all build vet test race race-blocking race-fusion race-obs bench bench-blocking bench-fusion bench-obs check
 
 all: check
 
@@ -24,6 +24,11 @@ race-blocking:
 race-fusion:
 	$(GO) test -race ./internal/fusion/... ./internal/parallel/...
 
+# Race-checks the observability layer and the instrumented stages
+# (PR 4 gate): concurrent metric updates from every worker path.
+race-obs:
+	$(GO) test -race ./internal/obs/... ./internal/parallel/... ./internal/core/... ./internal/linkage/...
+
 # The cached-vs-uncached matching benchmarks (PR 1 acceptance numbers).
 bench:
 	$(GO) test -run xxx -bench 'MatchPairs(Cached|Uncached)$$' -benchmem .
@@ -35,6 +40,12 @@ bench-blocking:
 # The fusion-engine benchmarks, seq vs par (PR 3 acceptance numbers).
 bench-fusion:
 	$(GO) test -run xxx -bench 'ACCUFuse|CopyDetect|FuseACCUCOPY' -benchmem .
+
+# The observability benchmarks (PR 4 acceptance numbers): disabled
+# registry vs baseline must show identical allocs/op.
+bench-obs:
+	$(GO) test -run xxx -bench 'MatchPairs(Cached|ObsDisabled|ObsEnabled)$$' -benchmem .
+	$(GO) test -run xxx -bench . -benchmem ./internal/obs/...
 
 # Everything the CI gate runs.
 check: build vet race

@@ -26,6 +26,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/eval"
 	"repro/internal/fusion"
+	"repro/internal/obs"
 )
 
 // Data model re-exports.
@@ -90,6 +91,11 @@ type (
 	Report = core.Report
 	// Order selects linkage-first or schema-first stage ordering.
 	Order = core.Order
+	// Metrics is the observability registry: attach one via
+	// PipelineConfig.Obs (or obs.SetDefault) to collect per-stage
+	// counters, timers and the stage span tree; export with
+	// Snapshot().Stable().Text() / .JSON().
+	Metrics = obs.Registry
 )
 
 // Pipeline orderings.
@@ -99,6 +105,13 @@ const (
 	// SchemaFirst aligns schemas before linking (traditional ordering).
 	SchemaFirst = core.SchemaFirst
 )
+
+// ZeroThreshold marks a threshold as explicitly zero (the zero value
+// of the threshold fields means "use the default").
+const ZeroThreshold = core.ZeroThreshold
+
+// NewMetrics returns an empty, enabled metrics registry.
+var NewMetrics = obs.NewRegistry
 
 // NewPipeline builds a pipeline, resolving config defaults.
 func NewPipeline(cfg PipelineConfig) *Pipeline { return core.New(cfg) }

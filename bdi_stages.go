@@ -153,6 +153,11 @@ var (
 	// (e.g. a CandidateSet): pairs decode on the fly inside the
 	// workers.
 	MatchPairsFrom = linkage.MatchPairsFrom
+	// MatchPairsObs is MatchPairs recording comparison counts into a
+	// metrics registry (nil registry = identical to MatchPairs).
+	MatchPairsObs = linkage.MatchPairsObs
+	// MatchPairsFromObs is the instrumented MatchPairsFrom.
+	MatchPairsFromObs = linkage.MatchPairsFromObs
 	// NoIndexMatcher wraps a matcher so MatchPairs skips the feature
 	// cache — the uncached baseline for benchmarks and ablations.
 	NoIndexMatcher = linkage.NoIndex

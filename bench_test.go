@@ -301,6 +301,34 @@ func BenchmarkMatchPairsUncached(b *testing.B) {
 	b.ReportMetric(float64(len(cands)), "pairs/batch")
 }
 
+// BenchmarkMatchPairsObsDisabled is the cached workload routed through
+// the instrumented entry point with a nil registry. Compare allocs/op
+// against BenchmarkMatchPairsCached: a disabled registry must add none.
+func BenchmarkMatchPairsObsDisabled(b *testing.B) {
+	d, cands := matchBenchWorkload()
+	m := ThresholdMatcher{Comparator: matchBenchComparator(), Threshold: 0.6}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatchPairsObs(d, cands, m, 1, nil)
+	}
+	b.ReportMetric(float64(len(cands)), "pairs/batch")
+}
+
+// BenchmarkMatchPairsObsEnabled is the same workload with a live
+// registry attached, to price the enabled instrumentation.
+func BenchmarkMatchPairsObsEnabled(b *testing.B) {
+	d, cands := matchBenchWorkload()
+	m := ThresholdMatcher{Comparator: matchBenchComparator(), Threshold: 0.6}
+	reg := NewMetrics()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatchPairsObs(d, cands, m, 1, reg)
+	}
+	b.ReportMetric(float64(len(cands)), "pairs/batch")
+}
+
 func BenchmarkPipelineEndToEnd(b *testing.B) {
 	world := NewWorld(WorldConfig{Seed: 1, NumEntities: 60})
 	web := BuildWeb(world, SourceConfig{Seed: 2, NumSources: 12, DirtLevel: 1})

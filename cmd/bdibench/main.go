@@ -20,14 +20,26 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment ID (E1..E14) or 'all'")
-		seed = flag.Int64("seed", 42, "workload seed")
+		exp       = flag.String("exp", "all", "experiment ID (E1..E14) or 'all'")
+		seed      = flag.Int64("seed", 42, "workload seed")
+		metrics   = flag.Bool("metrics", false, "print a per-experiment metrics block")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		_, addr, err := obs.ServeDebug(*debugAddr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bdibench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bdibench: debug server on http://%s\n", addr)
+	}
 
 	runner := experiments.Runner{Seed: *seed}
 	ids := experiments.All()
@@ -37,6 +49,14 @@ func main() {
 	failed := 0
 	for _, id := range ids {
 		start := time.Now()
+		// Fresh registry per experiment: the stages pick it up through
+		// obs.OrDefault, and the debug server's expvar export always
+		// reflects the experiment currently running.
+		var reg *obs.Registry
+		if *metrics || *debugAddr != "" {
+			reg = obs.NewRegistry()
+			obs.SetDefault(reg)
+		}
 		tab, err := runner.Run(id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bdibench: %s: %v\n", id, err)
@@ -44,6 +64,9 @@ func main() {
 			continue
 		}
 		fmt.Println(tab)
+		if *metrics {
+			fmt.Printf("-- %s metrics --\n%s", id, reg.Snapshot().Text())
+		}
 		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
 	if failed > 0 {

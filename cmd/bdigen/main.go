@@ -13,11 +13,13 @@ import (
 	"os"
 
 	"repro/internal/datagen"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
 		seed       = flag.Int64("seed", 42, "generator seed")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address")
 		entities   = flag.Int("entities", 100, "number of real-world entities")
 		sources    = flag.Int("sources", 20, "number of sources")
 		dirt       = flag.Int("dirt", 1, "dirt level 0..3")
@@ -29,6 +31,14 @@ func main() {
 		out        = flag.String("out", "-", "output file (- for stdout)")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		_, addr, err := obs.ServeDebug(*debugAddr, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "bdigen: debug server on http://%s\n", addr)
+	}
 
 	wcfg := datagen.WorldConfig{Seed: *seed, NumEntities: *entities}
 	if *categories != "" {

@@ -19,19 +19,25 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/eval"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		in        = flag.String("in", "-", "input dataset (JSON; - for stdin)")
-		csvIn     = flag.Bool("csv", false, "input is CSV instead of JSON")
-		order     = flag.String("order", "linkage-first", "stage order: linkage-first or schema-first")
-		fuser     = flag.String("fuser", "vote", "fusion method: vote, truthfinder, accu, popaccu, accucopy")
-		clusterer = flag.String("clusterer", "components", "clustering: components, center, merge, correlation")
-		meta      = flag.Bool("metablock", false, "apply meta-blocking")
-		fs        = flag.Bool("fellegi-sunter", false, "use the probabilistic matcher")
-		verbose   = flag.Bool("v", false, "print clusters and fused values")
-		search    = flag.String("search", "", "keyword query over the integrated entities")
+		in          = flag.String("in", "-", "input dataset (JSON; - for stdin)")
+		csvIn       = flag.Bool("csv", false, "input is CSV instead of JSON")
+		order       = flag.String("order", "linkage-first", "stage order: linkage-first or schema-first")
+		fuser       = flag.String("fuser", "vote", "fusion method: vote, truthfinder, accu, popaccu, accucopy")
+		clusterer   = flag.String("clusterer", "components", "clustering: components, center, merge, correlation")
+		meta        = flag.Bool("metablock", false, "apply meta-blocking")
+		fs          = flag.Bool("fellegi-sunter", false, "use the probabilistic matcher")
+		workers     = flag.Int("workers", 0, "worker goroutines per stage (0 = NumCPU)")
+		verbose     = flag.Bool("v", false, "print clusters and fused values")
+		search      = flag.String("search", "", "keyword query over the integrated entities")
+		metrics     = flag.Bool("metrics", false, "print the stable metrics snapshot (byte-deterministic)")
+		metricsJSON = flag.Bool("metrics-json", false, "print the stable metrics snapshot as JSON")
+		metricsFull = flag.Bool("metrics-full", false, "print the full snapshot, including timers and scheduling metrics")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	)
 	flag.Parse()
 
@@ -57,14 +63,31 @@ func main() {
 		fatal(err)
 	}
 
+	reg := obs.NewRegistry()
+	obs.SetDefault(reg)
+	if *debugAddr != "" {
+		_, addr, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "bdirun: debug server on http://%s\n", addr)
+	}
+
 	cfg := core.Config{
 		Fuser:         *fuser,
 		Clusterer:     *clusterer,
 		MetaBlock:     *meta,
 		FellegiSunter: *fs,
+		Workers:       *workers,
+		Obs:           reg,
 	}
-	if *order == "schema-first" {
+	switch *order {
+	case "linkage-first":
+		cfg.Order = core.LinkageFirst
+	case "schema-first":
 		cfg.Order = core.SchemaFirst
+	default:
+		fatal(fmt.Errorf("unknown -order %q (want linkage-first or schema-first)", *order))
 	}
 	rep, err := core.New(cfg).Run(d)
 	if err != nil {
@@ -121,6 +144,23 @@ func main() {
 			if v, ok := rep.Fusion.Values[it]; ok {
 				fmt.Printf("%s = %s (conf %.3f)\n", it, v, rep.Fusion.Confidence[it])
 			}
+		}
+	}
+
+	if *metrics || *metricsJSON || *metricsFull {
+		snap := reg.Snapshot()
+		if !*metricsFull {
+			snap = snap.Stable()
+		}
+		switch {
+		case *metricsJSON:
+			js, err := snap.JSON()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\n%s\n", js)
+		default:
+			fmt.Printf("\n-- metrics --\n%s", snap.Text())
 		}
 	}
 }

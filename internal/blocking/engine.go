@@ -15,6 +15,7 @@ import (
 	"slices"
 
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -86,7 +87,17 @@ type Engine struct {
 // NewEngine interns the record IDs once (in parallel) and returns an
 // engine bound to the records. workers <= 0 means NumCPU.
 func NewEngine(records []*data.Record, workers int) *Engine {
-	e := &Engine{cfg: parallel.Config{Workers: workers}, recs: records}
+	return NewEngineObs(records, workers, nil)
+}
+
+// NewEngineObs is NewEngine with an attached metrics registry: the
+// engine and every Indexed/CandidateSet derived from it record
+// "blocking." counters (blocks built/purged, raw vs emitted pairs,
+// dedup ratio). A nil registry falls back to the process-wide
+// obs.Default registry (usually unset, which disables recording at no
+// cost).
+func NewEngineObs(records []*data.Record, workers int, reg *obs.Registry) *Engine {
+	e := &Engine{cfg: parallel.Config{Workers: workers, Obs: obs.OrDefault(reg)}, recs: records}
 	ids := make([]string, len(records))
 	for i, r := range records {
 		ids[i] = r.ID
@@ -163,6 +174,7 @@ func (e *Engine) Blocks(key KeyFunc) *Indexed {
 			rows[i] = row
 		})
 	}
+	e.cfg.Obs.Counter("blocking.blocks_built").Add(int64(len(keys)))
 	return &Indexed{cfg: e.cfg, ids: e.rk.ids, keys: keys, rows: rows}
 }
 
@@ -238,6 +250,7 @@ func (x *Indexed) Purge(maxSize int) *Indexed {
 			out.rows = append(out.rows, row)
 		}
 	}
+	x.cfg.Obs.Counter("blocking.blocks_purged").Add(int64(len(x.keys) - len(out.keys)))
 	return out
 }
 
@@ -280,7 +293,21 @@ func (x *Indexed) rawCodes() []uint64 {
 // CandidateSet expands the blocks into the deduplicated packed
 // candidate collection, in the exact order Blocks.Pairs emits.
 func (x *Indexed) CandidateSet() *CandidateSet {
-	return &CandidateSet{ids: x.ids, codes: dedupCodesStable(x.rawCodes())}
+	raw := x.rawCodes()
+	nraw := len(raw)
+	codes := dedupCodesStable(raw)
+	if reg := x.cfg.Obs; reg != nil {
+		rawC := reg.Counter("blocking.pairs_raw")
+		rawC.Add(int64(nraw))
+		emitC := reg.Counter("blocking.pairs_emitted")
+		emitC.Add(int64(len(codes)))
+		// Cumulative ratio across all passes on this registry, so the
+		// gauge stays meaningful when a pipeline unions several blockers.
+		if tot := rawC.Value(); tot > 0 {
+			reg.Gauge("blocking.dedup_ratio").Set(float64(emitC.Value()) / float64(tot))
+		}
+	}
+	return &CandidateSet{ids: x.ids, codes: codes}
 }
 
 // Pairs expands the blocks into deduplicated candidate pairs,

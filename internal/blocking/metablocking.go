@@ -6,6 +6,7 @@ import (
 	"slices"
 
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -60,6 +61,8 @@ type MetaBlocker struct {
 	// Workers bounds the edge-scoring workers (0 = NumCPU). Output is
 	// identical for any value.
 	Workers int
+	// Obs records "blocking.meta_edges" / "blocking.meta_kept" when set.
+	Obs *obs.Registry
 }
 
 // iedge is a weighted packed record pair.
@@ -77,7 +80,7 @@ func (mb MetaBlocker) Candidates(blocks Blocks) []data.Pair {
 // Pruned is Candidates on the interned representation, returning the
 // surviving pairs as a packed candidate set in pruning order.
 func (mb MetaBlocker) Pruned(x *Indexed) *CandidateSet {
-	cfg := parallel.Config{Workers: mb.Workers}
+	cfg := parallel.Config{Workers: mb.Workers, Obs: obs.OrDefault(mb.Obs)}
 	n := len(x.ids)
 
 	// Per-record sorted block-ID sets, filled from one flat buffer.
@@ -188,6 +191,9 @@ func (mb MetaBlocker) Pruned(x *Indexed) *CandidateSet {
 	case WNP:
 		kept = pruneWNP(edges, n)
 	}
+	reg := obs.OrDefault(mb.Obs)
+	reg.Counter("blocking.meta_edges").Add(int64(len(edges)))
+	reg.Counter("blocking.meta_kept").Add(int64(len(kept)))
 	if len(kept) == 0 {
 		return &CandidateSet{ids: x.ids}
 	}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/fusion"
 	"repro/internal/linkage"
+	"repro/internal/obs"
 	"repro/internal/schema"
 	"repro/internal/similarity"
 )
@@ -30,13 +31,22 @@ const (
 	SchemaFirst
 )
 
-// String names the ordering.
+// String names the ordering. Unknown values are reported as such, not
+// passed off as linkage-first — Validate rejects them anyway.
 func (o Order) String() string {
-	if o == SchemaFirst {
+	switch o {
+	case LinkageFirst:
+		return "linkage-first"
+	case SchemaFirst:
 		return "schema-first"
 	}
-	return "linkage-first"
+	return fmt.Sprintf("order(%d)", int(o))
 }
+
+// ZeroThreshold is the sentinel meaning "explicitly zero" for the
+// threshold fields, whose literal zero value means "use the default"
+// (a plain float64 cannot distinguish unset from 0).
+const ZeroThreshold = -1.0
 
 // Config controls a pipeline run. The zero value is usable.
 type Config struct {
@@ -50,8 +60,10 @@ type Config struct {
 	// Matching.
 	IdentifierAttrs []string // exact-match attributes; default {"pid"}
 	MatchAttrs      []string // comparator attributes; default {"title"}
-	MatchThreshold  float64  // default 0.6
-	FellegiSunter   bool     // train an FS matcher instead of threshold
+	// MatchThreshold is the match decision threshold in [0,1]; zero
+	// value means the default 0.6, ZeroThreshold means literally 0.
+	MatchThreshold float64
+	FellegiSunter  bool // train an FS matcher instead of threshold
 
 	// Clustering: "components" (default), "center", "merge",
 	// "correlation", or "swoosh" (merge-based resolution inside blocks:
@@ -59,8 +71,9 @@ type Config struct {
 	// matches directly).
 	Clusterer string
 
-	// Schema alignment.
-	AlignThreshold float64 // default 0.5
+	// Schema alignment. Zero value means the default 0.5, ZeroThreshold
+	// means literally 0.
+	AlignThreshold float64
 
 	// Fusion: "vote" (default), "weighted", "truthfinder", "accu",
 	// "popaccu", "accucopy".
@@ -83,6 +96,11 @@ type Config struct {
 	// matcher. Candidates and matches are identical either way; the knob
 	// exists for ablations and benchmark baselines.
 	MaterializeCandidates bool
+
+	// Obs, when set, records per-stage metrics and the stage span tree
+	// into the registry (falling back to obs.Default() when nil). A nil
+	// registry with no process default disables recording at ~zero cost.
+	Obs *obs.Registry
 }
 
 func (c *Config) defaults() {
@@ -98,14 +116,20 @@ func (c *Config) defaults() {
 	if len(c.MatchAttrs) == 0 {
 		c.MatchAttrs = []string{"title"}
 	}
-	if c.MatchThreshold <= 0 {
+	switch c.MatchThreshold {
+	case 0:
 		c.MatchThreshold = 0.6
+	case ZeroThreshold:
+		c.MatchThreshold = 0
 	}
 	if c.Clusterer == "" {
 		c.Clusterer = "components"
 	}
-	if c.AlignThreshold <= 0 {
+	switch c.AlignThreshold {
+	case 0:
 		c.AlignThreshold = 0.5
+	case ZeroThreshold:
+		c.AlignThreshold = 0
 	}
 	if c.Fuser == "" {
 		c.Fuser = "vote"
@@ -145,6 +169,11 @@ func (p *Pipeline) Config() Config { return p.cfg }
 // Validate rejects configurations naming unknown components, so typos
 // fail loudly instead of silently running defaults.
 func (c Config) Validate() error {
+	switch c.Order {
+	case LinkageFirst, SchemaFirst:
+	default:
+		return fmt.Errorf("core: unknown stage order %v (want linkage-first or schema-first)", c.Order)
+	}
 	switch c.Clusterer {
 	case "", "components", "center", "merge", "correlation", "swoosh":
 	default:
@@ -153,16 +182,23 @@ func (c Config) Validate() error {
 	if _, err := BuildFuser(c.Fuser); err != nil {
 		return err
 	}
-	if c.MatchThreshold < 0 || c.MatchThreshold > 1 {
-		return fmt.Errorf("core: match threshold %f out of [0,1]", c.MatchThreshold)
+	if t := c.MatchThreshold; t != ZeroThreshold && (t < 0 || t > 1) {
+		return fmt.Errorf("core: match threshold %f out of [0,1]", t)
 	}
-	if c.AlignThreshold < 0 || c.AlignThreshold > 1 {
-		return fmt.Errorf("core: align threshold %f out of [0,1]", c.AlignThreshold)
+	if t := c.AlignThreshold; t != ZeroThreshold && (t < 0 || t > 1) {
+		return fmt.Errorf("core: align threshold %f out of [0,1]", t)
 	}
 	return nil
 }
 
-// Run executes the pipeline over a dataset.
+// reg resolves the pipeline's metrics registry (explicit config beats
+// the process default; nil disables).
+func (p *Pipeline) reg() *obs.Registry { return obs.OrDefault(p.cfg.Obs) }
+
+// Run executes the pipeline over a dataset. Stage timings are recorded
+// as a span tree rooted at "pipeline" (visible in metric snapshots when
+// a registry is attached); Report.StageTime is derived from that tree,
+// so its keys and values match the historical ad-hoc bookkeeping.
 func (p *Pipeline) Run(d *data.Dataset) (*Report, error) {
 	if err := p.cfg.Validate(); err != nil {
 		return nil, err
@@ -171,38 +207,50 @@ func (p *Pipeline) Run(d *data.Dataset) (*Report, error) {
 		return nil, fmt.Errorf("core: empty dataset")
 	}
 	rep := &Report{StageTime: map[string]time.Duration{}}
+	// StartSpan returns a live span even on a nil registry, so the
+	// StageTime derivation below never depends on observability being on.
+	root := p.reg().StartSpan("pipeline")
+	var err error
 	switch p.cfg.Order {
 	case SchemaFirst:
-		return p.runSchemaFirst(d, rep)
+		rep, err = p.runSchemaFirst(d, rep, root)
 	default:
-		return p.runLinkageFirst(d, rep)
+		rep, err = p.runLinkageFirst(d, rep, root)
 	}
+	root.End()
+	if err != nil {
+		return nil, err
+	}
+	for _, sp := range root.Children() {
+		rep.StageTime[sp.Name()] += sp.Duration()
+	}
+	return rep, nil
 }
 
-func (p *Pipeline) runLinkageFirst(d *data.Dataset, rep *Report) (*Report, error) {
-	if err := p.linkStage(d, rep); err != nil {
+func (p *Pipeline) runLinkageFirst(d *data.Dataset, rep *Report, root *obs.Span) (*Report, error) {
+	if err := p.linkStage(d, rep, root); err != nil {
 		return nil, err
 	}
-	if err := p.alignStage(d, rep, rep.Clusters); err != nil {
+	if err := p.alignStage(d, rep, rep.Clusters, root); err != nil {
 		return nil, err
 	}
-	if err := p.fuseStage(rep); err != nil {
+	if err := p.fuseStage(rep, root); err != nil {
 		return nil, err
 	}
 	return rep, nil
 }
 
-func (p *Pipeline) runSchemaFirst(d *data.Dataset, rep *Report) (*Report, error) {
+func (p *Pipeline) runSchemaFirst(d *data.Dataset, rep *Report, root *obs.Span) (*Report, error) {
 	// Align with name+instance evidence only (no clusters yet).
-	if err := p.alignStage(d, rep, nil); err != nil {
+	if err := p.alignStage(d, rep, nil, root); err != nil {
 		return nil, err
 	}
 	// Link over the normalised dataset.
-	if err := p.linkStage(rep.Normalized, rep); err != nil {
+	if err := p.linkStage(rep.Normalized, rep, root); err != nil {
 		return nil, err
 	}
 	// Rebuild claims with the final clusters.
-	if err := p.fuseStage(rep); err != nil {
+	if err := p.fuseStage(rep, root); err != nil {
 		return nil, err
 	}
 	return rep, nil
@@ -212,10 +260,11 @@ func (p *Pipeline) runSchemaFirst(d *data.Dataset, rep *Report) (*Report, error)
 // candidates packed inside the blocking engine's CandidateSet all the
 // way to the matcher; MaterializeCandidates restores the historical
 // pair-slice path for ablations.
-func (p *Pipeline) linkStage(d *data.Dataset, rep *Report) error {
+func (p *Pipeline) linkStage(d *data.Dataset, rep *Report, root *obs.Span) error {
+	reg := p.reg()
 	records := d.Records()
 
-	start := time.Now()
+	sp := root.Child("blocking")
 	keyFn := blocking.TokenKey(p.cfg.BlockAttrs...)
 	var (
 		candidates []data.Pair            // materialised path
@@ -239,12 +288,12 @@ func (p *Pipeline) linkStage(d *data.Dataset, rep *Report) error {
 		candidates = dedupePairs(candidates)
 		rep.Candidates = len(candidates)
 	} else {
-		eng := blocking.NewEngine(records, p.cfg.Workers)
+		eng := blocking.NewEngineObs(records, p.cfg.Workers, reg)
 		idx := eng.Blocks(keyFn).Purge(p.cfg.MaxBlock)
 		var base *blocking.CandidateSet
 		if p.cfg.MetaBlock {
 			base = blocking.MetaBlocker{
-				Weight: blocking.ECBS, Prune: blocking.WEP, Workers: p.cfg.Workers,
+				Weight: blocking.ECBS, Prune: blocking.WEP, Workers: p.cfg.Workers, Obs: reg,
 			}.Pruned(idx)
 		} else {
 			base = idx.CandidateSet()
@@ -258,9 +307,10 @@ func (p *Pipeline) linkStage(d *data.Dataset, rep *Report) error {
 		cs = blocking.UnionCandidates(sets...)
 		rep.Candidates = cs.Len()
 	}
-	rep.StageTime["blocking"] += time.Since(start)
+	reg.Counter("blocking.candidates").Add(int64(rep.Candidates))
+	sp.End()
 
-	start = time.Now()
+	sp = root.Child("matching")
 	// Only Fellegi–Sunter training needs a pair slice; everything else
 	// consumes the packed set directly.
 	matcher, err := p.buildMatcher(d, func() []data.Pair {
@@ -268,7 +318,7 @@ func (p *Pipeline) linkStage(d *data.Dataset, rep *Report) error {
 			return candidates
 		}
 		return cs.Pairs()
-	})
+	}, sp)
 	if err != nil {
 		return err
 	}
@@ -277,13 +327,13 @@ func (p *Pipeline) linkStage(d *data.Dataset, rep *Report) error {
 		scorer = linkage.NoIndex(matcher)
 	}
 	if p.cfg.MaterializeCandidates {
-		rep.Matched = linkage.MatchPairs(d, candidates, scorer, p.cfg.Workers)
+		rep.Matched = linkage.MatchPairsObs(d, candidates, scorer, p.cfg.Workers, reg)
 	} else {
-		rep.Matched = linkage.MatchPairsFrom(d, cs, scorer, p.cfg.Workers)
+		rep.Matched = linkage.MatchPairsFromObs(d, cs, scorer, p.cfg.Workers, reg)
 	}
-	rep.StageTime["matching"] += time.Since(start)
+	sp.End()
 
-	start = time.Now()
+	sp = root.Child("clustering")
 	if p.cfg.Clusterer == "swoosh" {
 		clusters, err := p.swooshCluster(d, records, rep.Matched, matcher)
 		if err != nil {
@@ -297,7 +347,15 @@ func (p *Pipeline) linkStage(d *data.Dataset, rep *Report) error {
 		}
 		rep.Clusters = p.buildClusterer().Cluster(ids, rep.Matched)
 	}
-	rep.StageTime["clustering"] += time.Since(start)
+	sp.End()
+	reg.Counter("clustering.clusters").Add(int64(len(rep.Clusters)))
+	multi := 0
+	for _, cl := range rep.Clusters {
+		if len(cl) > 1 {
+			multi++
+		}
+	}
+	reg.Counter("clustering.multi_record_clusters").Add(int64(multi))
 	return nil
 }
 
@@ -344,7 +402,7 @@ func (p *Pipeline) swooshCluster(d *data.Dataset, records []*data.Record,
 	return out.Normalize(), nil
 }
 
-func (p *Pipeline) buildMatcher(d *data.Dataset, candidates func() []data.Pair) (linkage.Matcher, error) {
+func (p *Pipeline) buildMatcher(d *data.Dataset, candidates func() []data.Pair, sp *obs.Span) (linkage.Matcher, error) {
 	attrs := append([]string(nil), p.cfg.MatchAttrs...)
 	if p.cfg.FellegiSunter {
 		// A probabilistic matcher needs several comparison fields to
@@ -361,11 +419,15 @@ func (p *Pipeline) buildMatcher(d *data.Dataset, candidates func() []data.Pair) 
 		fields = append(fields, similarity.FieldWeight{Attr: a, Weight: w, Metric: similarity.Jaccard})
 	}
 	cmp := similarity.NewRecordComparator(fields...)
+	cmp.AttachObs(p.reg())
 	if p.cfg.FellegiSunter {
 		fs := linkage.NewFellegiSunter(cmp)
 		fs.Threshold = 0.9
 		fs.AgreeAt = 0.7
-		if err := fs.Train(d, candidates(), 15); err != nil {
+		train := sp.Child("train")
+		err := fs.Train(d, candidates(), 15)
+		train.End()
+		if err != nil {
 			return nil, fmt.Errorf("core: training matcher: %w", err)
 		}
 		if p.cfg.NoFeatureIndex {
@@ -425,8 +487,10 @@ func (p *Pipeline) buildClusterer() linkage.Clusterer {
 
 // alignStage: profiling → (optional linkage evidence) → mediated schema
 // → transforms → normalisation.
-func (p *Pipeline) alignStage(d *data.Dataset, rep *Report, clusters data.Clustering) error {
-	start := time.Now()
+func (p *Pipeline) alignStage(d *data.Dataset, rep *Report, clusters data.Clustering, root *obs.Span) error {
+	reg := p.reg()
+	sp := root.Child("alignment")
+	sub := sp.Child("align")
 	profiles := schema.Profiler{}.Build(d)
 	aligner := schema.Aligner{Threshold: p.cfg.AlignThreshold}
 	if clusters != nil {
@@ -434,32 +498,42 @@ func (p *Pipeline) alignStage(d *data.Dataset, rep *Report, clusters data.Cluste
 		aligner.Evidence = le.Blend
 	}
 	ms, err := aligner.Align(profiles)
+	sub.End()
 	if err != nil {
 		return fmt.Errorf("core: schema alignment: %w", err)
 	}
 	rep.Schema = ms
 	if clusters != nil {
+		sub = sp.Child("transforms")
 		rep.Transforms = schema.DiscoverTransforms(d, clusters, ms, 3)
+		sub.End()
 	}
+	sub = sp.Child("normalize")
 	norm := schema.NewNormalizer(ms, rep.Transforms)
 	rep.Normalized = norm.ApplyAll(d)
-	rep.StageTime["alignment"] += time.Since(start)
+	sub.End()
+	sp.End()
+	reg.Counter("alignment.mediated_attrs").Add(int64(len(ms.Attrs)))
+	reg.Counter("alignment.transforms").Add(int64(len(rep.Transforms)))
 	return nil
 }
 
 // fuseStage: claims over (cluster, mediated attribute) → fusion.
-func (p *Pipeline) fuseStage(rep *Report) error {
+func (p *Pipeline) fuseStage(rep *Report, root *obs.Span) error {
 	if rep.Normalized == nil || rep.Clusters == nil {
 		return fmt.Errorf("core: fusion requires alignment and linkage results")
 	}
-	start := time.Now()
+	sp := root.Child("fusion")
+	defer sp.End()
+	sub := sp.Child("claims")
 	var attrs []string
 	for _, ma := range rep.Schema.Attrs {
 		attrs = append(attrs, ma.Name)
 	}
 	attrs = dedupeStrings(attrs)
 	rep.Claims = data.ClaimsFromClusters(rep.Normalized, rep.Clusters, attrs)
-	fuser, err := BuildFuserWith(p.cfg.Fuser, p.cfg.Workers)
+	sub.End()
+	fuser, err := BuildFuserObs(p.cfg.Fuser, p.cfg.Workers, p.reg())
 	if err != nil {
 		return err
 	}
@@ -468,7 +542,6 @@ func (p *Pipeline) fuseStage(rep *Report) error {
 		return fmt.Errorf("core: fusion: %w", err)
 	}
 	rep.Fusion = res
-	rep.StageTime["fusion"] += time.Since(start)
 	return nil
 }
 
@@ -480,17 +553,23 @@ func BuildFuser(name string) (fusion.Fuser, error) {
 // BuildFuserWith resolves a fuser by name with an explicit worker
 // bound (0 = NumCPU). Fusion output is identical for any worker count.
 func BuildFuserWith(name string, workers int) (fusion.Fuser, error) {
+	return BuildFuserObs(name, workers, nil)
+}
+
+// BuildFuserObs is BuildFuserWith with an attached metrics registry:
+// the fuser records "fusion." index sizes and EM convergence metrics.
+func BuildFuserObs(name string, workers int, reg *obs.Registry) (fusion.Fuser, error) {
 	switch name {
 	case "", "vote":
-		return fusion.MajorityVote{Workers: workers}, nil
+		return fusion.MajorityVote{Workers: workers, Obs: reg}, nil
 	case "truthfinder":
-		return fusion.TruthFinder{Workers: workers}, nil
+		return fusion.TruthFinder{Workers: workers, Obs: reg}, nil
 	case "accu":
-		return fusion.ACCU{Workers: workers}, nil
+		return fusion.ACCU{Workers: workers, Obs: reg}, nil
 	case "popaccu":
-		return fusion.ACCU{Popularity: true, Workers: workers}, nil
+		return fusion.ACCU{Popularity: true, Workers: workers, Obs: reg}, nil
 	case "accucopy":
-		return fusion.ACCUCOPY{Accu: fusion.ACCU{Workers: workers}}, nil
+		return fusion.ACCUCOPY{Accu: fusion.ACCU{Workers: workers, Obs: reg}}, nil
 	case "numeric":
 		return fusion.NumericFusion{}, nil
 	default:

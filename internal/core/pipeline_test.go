@@ -277,14 +277,18 @@ func indexByte(s string, c byte) int {
 
 func TestConfigValidate(t *testing.T) {
 	web := testWeb(t, 1, 0.9)
-	// Note: non-positive thresholds are "use the default" by convention
-	// and get resolved before validation; only over-range values and
-	// unknown component names can survive to Validate.
+	// Note: a zero threshold means "use the default" and resolves before
+	// validation; explicit zero is spelled ZeroThreshold. Over-range
+	// values, other negatives, unknown component names and unknown stage
+	// orders must all fail.
 	cases := []Config{
 		{Clusterer: "bogus"},
 		{Fuser: "bogus"},
 		{MatchThreshold: 1.5},
 		{AlignThreshold: 1.7},
+		{MatchThreshold: -0.2},
+		{AlignThreshold: -0.2},
+		{Order: Order(7)},
 	}
 	for i, cfg := range cases {
 		if _, err := New(cfg).Run(web.Dataset); err == nil {
@@ -293,5 +297,42 @@ func TestConfigValidate(t *testing.T) {
 	}
 	if err := (Config{Clusterer: "center", Fuser: "accu"}).Validate(); err != nil {
 		t.Errorf("valid config rejected: %v", err)
+	}
+	if err := (Config{MatchThreshold: ZeroThreshold, AlignThreshold: ZeroThreshold}).Validate(); err != nil {
+		t.Errorf("ZeroThreshold rejected: %v", err)
+	}
+}
+
+func TestConfigThresholdSentinel(t *testing.T) {
+	// Zero value resolves to the documented defaults...
+	def := New(Config{}).Config()
+	if def.MatchThreshold != 0.6 || def.AlignThreshold != 0.5 {
+		t.Errorf("zero-value thresholds resolved to %v/%v, want 0.6/0.5",
+			def.MatchThreshold, def.AlignThreshold)
+	}
+	// ...while ZeroThreshold pins a literal 0, which defaults() used to
+	// clobber back to the default.
+	zero := New(Config{MatchThreshold: ZeroThreshold, AlignThreshold: ZeroThreshold}).Config()
+	if zero.MatchThreshold != 0 || zero.AlignThreshold != 0 {
+		t.Errorf("ZeroThreshold resolved to %v/%v, want 0/0",
+			zero.MatchThreshold, zero.AlignThreshold)
+	}
+	// Explicit in-range values pass through untouched.
+	set := New(Config{MatchThreshold: 0.72, AlignThreshold: 0.3}).Config()
+	if set.MatchThreshold != 0.72 || set.AlignThreshold != 0.3 {
+		t.Errorf("explicit thresholds resolved to %v/%v, want 0.72/0.3",
+			set.MatchThreshold, set.AlignThreshold)
+	}
+}
+
+func TestOrderStringUnknown(t *testing.T) {
+	if got := LinkageFirst.String(); got != "linkage-first" {
+		t.Errorf("LinkageFirst = %q", got)
+	}
+	if got := SchemaFirst.String(); got != "schema-first" {
+		t.Errorf("SchemaFirst = %q", got)
+	}
+	if got := Order(7).String(); got != "order(7)" {
+		t.Errorf("Order(7) = %q, must not masquerade as a valid ordering", got)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -35,6 +36,9 @@ type ACCU struct {
 	// Workers bounds the EM worker pool (0 = NumCPU). Output is
 	// identical for any value.
 	Workers int
+	// Obs records "fusion." metrics (index sizes, EM iterations and
+	// per-iteration convergence deltas) when set.
+	Obs *obs.Registry
 
 	// Similarity, when set, enables the AccuSim variant: a value's vote
 	// score is boosted by the scores of *similar* values, so "2999" and
@@ -83,7 +87,7 @@ func (a ACCU) params() (n, acc0 float64, maxIter int, eps float64) {
 
 // Fuse implements Fuser.
 func (a ACCU) Fuse(cs *data.ClaimSet) (*Result, error) {
-	ci := buildIndex(cs, parallel.Config{Workers: a.Workers})
+	ci := buildIndex(cs, parallel.Config{Workers: a.Workers, Obs: a.Obs})
 	return a.fuseOn(ci, nil)
 }
 
@@ -93,6 +97,7 @@ func (a ACCU) Fuse(cs *data.ClaimSet) (*Result, error) {
 func (a ACCU) fuseOn(ci *claimIndex, snap func(*Result)) (*Result, error) {
 	n, acc0, maxIter, eps := a.params()
 	cfg := ci.cfg
+	reg := obs.OrDefault(a.Obs)
 
 	acc := make([]float64, len(ci.sources))
 	for s := range acc {
@@ -204,6 +209,10 @@ func (a ACCU) fuseOn(ci *claimIndex, snap func(*Result)) (*Result, error) {
 				maxDelta = d
 			}
 		}
+		// The delta reduction runs sequentially on the driver goroutine,
+		// so the Dist's running sum is bit-deterministic.
+		reg.Dist("fusion.em_delta").Observe(maxDelta)
+		reg.Gauge("fusion.em_final_delta").Set(maxDelta)
 		if snap != nil {
 			snap(ci.buildResult(post, ci.accuracyMap(acc), iters))
 		}
@@ -211,6 +220,8 @@ func (a ACCU) fuseOn(ci *claimIndex, snap func(*Result)) (*Result, error) {
 			break
 		}
 	}
+	reg.Counter("fusion.em_iterations").Add(int64(iters))
+	reg.Counter("fusion.em_runs").Inc()
 	return ci.buildResult(post, ci.accuracyMap(acc), iters), nil
 }
 
@@ -221,7 +232,7 @@ func (a ACCU) fuseOn(ci *claimIndex, snap func(*Result)) (*Result, error) {
 // O(items) per iteration — not the quadratic re-run-per-prefix the
 // first implementation paid.
 func (a ACCU) FuseTrace(cs *data.ClaimSet) ([]*Result, error) {
-	ci := buildIndex(cs, parallel.Config{Workers: a.Workers})
+	ci := buildIndex(cs, parallel.Config{Workers: a.Workers, Obs: a.Obs})
 	var trace []*Result
 	if _, err := a.fuseOn(ci, func(r *Result) { trace = append(trace, r) }); err != nil {
 		return nil, err

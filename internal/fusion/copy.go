@@ -234,7 +234,7 @@ func (ACCUCOPY) Name() string { return "accucopy" }
 
 // Fuse implements Fuser.
 func (ac ACCUCOPY) Fuse(cs *data.ClaimSet) (*Result, error) {
-	res, _, err := ac.fuse(buildIndex(cs, parallel.Config{Workers: ac.Accu.Workers}))
+	res, _, err := ac.fuse(buildIndex(cs, parallel.Config{Workers: ac.Accu.Workers, Obs: ac.Accu.Obs}))
 	return res, err
 }
 
@@ -288,7 +288,7 @@ func (ac ACCUCOPY) fuse(ci *claimIndex) (*Result, map[SourcePair]float64, error)
 // CopyProbabilities runs the full loop and returns the final pairwise
 // copy posteriors alongside the fused result.
 func (ac ACCUCOPY) CopyProbabilities(cs *data.ClaimSet) (*Result, map[SourcePair]float64, error) {
-	ci := buildIndex(cs, parallel.Config{Workers: ac.Accu.Workers})
+	ci := buildIndex(cs, parallel.Config{Workers: ac.Accu.Workers, Obs: ac.Accu.Obs})
 	res, _, err := ac.fuse(ci)
 	if err != nil {
 		return nil, nil, err

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -138,6 +139,11 @@ func buildIndex(cs *data.ClaimSet, cfg parallel.Config) *claimIndex {
 		ci.srcVal = append(ci.srcVal, srcCols[s]...)
 	}
 	ci.srcOff[len(ci.sources)] = len(ci.srcVal)
+	if reg := obs.OrDefault(cfg.Obs); reg != nil {
+		reg.Counter("fusion.items").Add(int64(len(ci.items)))
+		reg.Counter("fusion.sources").Add(int64(len(ci.sources)))
+		reg.Counter("fusion.values").Add(int64(ci.numValues()))
+	}
 	return ci
 }
 

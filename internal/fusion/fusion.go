@@ -14,6 +14,7 @@ package fusion
 
 import (
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -65,6 +66,8 @@ type MajorityVote struct {
 	// Workers bounds the worker pool (0 = NumCPU); output is identical
 	// for any value.
 	Workers int
+	// Obs records "fusion." index metrics when set.
+	Obs *obs.Registry
 }
 
 // Name implements Fuser.
@@ -72,7 +75,7 @@ func (MajorityVote) Name() string { return "vote" }
 
 // Fuse implements Fuser.
 func (mv MajorityVote) Fuse(cs *data.ClaimSet) (*Result, error) {
-	return weightedVote(cs, parallel.Config{Workers: mv.Workers}, func(string) float64 { return 1 })
+	return weightedVote(cs, parallel.Config{Workers: mv.Workers, Obs: mv.Obs}, func(string) float64 { return 1 })
 }
 
 // WeightedVote votes with per-source weights (e.g. externally known
@@ -83,6 +86,8 @@ type WeightedVote struct {
 	// Workers bounds the worker pool (0 = NumCPU); output is identical
 	// for any value.
 	Workers int
+	// Obs records "fusion." index metrics when set.
+	Obs *obs.Registry
 }
 
 // Name implements Fuser.
@@ -94,7 +99,7 @@ func (wv WeightedVote) Fuse(cs *data.ClaimSet) (*Result, error) {
 	if def == 0 {
 		def = 1
 	}
-	return weightedVote(cs, parallel.Config{Workers: wv.Workers}, func(s string) float64 {
+	return weightedVote(cs, parallel.Config{Workers: wv.Workers, Obs: wv.Obs}, func(s string) float64 {
 		if w, ok := wv.Weights[s]; ok {
 			return w
 		}

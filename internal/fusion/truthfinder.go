@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -25,6 +26,8 @@ type TruthFinder struct {
 	// Workers bounds the worker pool (0 = NumCPU); output is identical
 	// for any value.
 	Workers int
+	// Obs records "fusion." metrics when set.
+	Obs *obs.Registry
 }
 
 // Name implements Fuser.
@@ -49,8 +52,9 @@ func (tf TruthFinder) Fuse(cs *data.ClaimSet) (*Result, error) {
 		eps = 1e-4
 	}
 
-	ci := buildIndex(cs, parallel.Config{Workers: tf.Workers})
+	ci := buildIndex(cs, parallel.Config{Workers: tf.Workers, Obs: tf.Obs})
 	cfg := ci.cfg
+	reg := obs.OrDefault(tf.Obs)
 
 	trust := make([]float64, len(ci.sources))
 	for s := range trust {
@@ -97,9 +101,13 @@ func (tf TruthFinder) Fuse(cs *data.ClaimSet) (*Result, error) {
 				maxDelta = d
 			}
 		}
+		reg.Dist("fusion.em_delta").Observe(maxDelta)
+		reg.Gauge("fusion.em_final_delta").Set(maxDelta)
 		if maxDelta < eps {
 			break
 		}
 	}
+	reg.Counter("fusion.em_iterations").Add(int64(iters))
+	reg.Counter("fusion.em_runs").Inc()
 	return ci.buildResult(conf, ci.accuracyMap(trust), iters), nil
 }

@@ -2,6 +2,7 @@ package linkage
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/data"
 	"repro/internal/tokenize"
@@ -46,13 +47,16 @@ func NewIncremental(key func(r *data.Record) []string, m Matcher) *Incremental {
 }
 
 // TitleTokenKey is the default incremental blocking key: distinct
-// normalised title tokens.
+// normalised title tokens, in sorted order. Key order is the posting
+// lists' probe order and therefore Insert's match order, so it must
+// not inherit WordSet's random map iteration.
 func TitleTokenKey(r *data.Record) []string {
 	set := tokenize.WordSet(r.Get("title").String())
 	out := make([]string, 0, len(set))
 	for w := range set {
 		out = append(out, w)
 	}
+	sort.Strings(out)
 	return out
 }
 

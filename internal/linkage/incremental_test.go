@@ -2,6 +2,8 @@ package linkage
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/data"
@@ -44,6 +46,59 @@ func TestIncrementalLinksStreamingDuplicates(t *testing.T) {
 	}
 	if inc.Comparisons() == 0 {
 		t.Error("comparisons must be counted")
+	}
+}
+
+func TestTitleTokenKeySorted(t *testing.T) {
+	r := data.NewRecord("r", "s").
+		Set("title", data.String("zulu yankee xray whiskey victor uniform"))
+	keys := TitleTokenKey(r)
+	if len(keys) != 6 {
+		t.Fatalf("keys = %v, want 6 distinct tokens", keys)
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Fatalf("TitleTokenKey must return sorted keys, got %v", keys)
+	}
+}
+
+// TestIncrementalInsertMatchOrderDeterministic pins the probe order of
+// Insert: 6 existing records each own one distinct title token, a new
+// record carries all 6 tokens, and the Overlap metric scores every
+// probe 1 (the 1-token set is fully contained), so `matched` lists all
+// 6 — in key probe order. With TitleTokenKey iterating WordSet's map
+// directly there are 6! = 720 possible orders, and 20 fresh runs catch
+// a regression with probability ≈ 1.
+func TestIncrementalInsertMatchOrderDeterministic(t *testing.T) {
+	tokens := []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot"}
+	run := func() string {
+		inc := NewIncremental(TitleTokenKey, ThresholdMatcher{
+			Comparator: similarity.UniformComparator(similarity.Overlap, "title"),
+			Threshold:  0.9,
+		})
+		src := &data.Source{ID: "s"}
+		for i, tok := range tokens {
+			r := data.NewRecord(fmt.Sprintf("r%d", i), "s").
+				Set("title", data.String(tok))
+			if _, err := inc.Insert(src, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		probe := data.NewRecord("probe", "s").
+			Set("title", data.String(strings.Join(tokens, " ")))
+		matched, err := inc.Insert(src, probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(matched) != len(tokens) {
+			t.Fatalf("probe matched %v, want all %d single-token records", matched, len(tokens))
+		}
+		return strings.Join(matched, ",")
+	}
+	want := run()
+	for i := 1; i < 20; i++ {
+		if got := run(); got != want {
+			t.Fatalf("run %d: match order %q differs from first run %q", i, got, want)
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/similarity"
 )
@@ -190,10 +191,17 @@ func (m RuleMatcher) PrepareIndexIDs(d *data.Dataset, ids []string) {
 // batch instead of once per pair; wrap the matcher in NoIndex to opt
 // out.
 func MatchPairs(d *data.Dataset, candidates []data.Pair, m Matcher, workers int) []data.ScoredPair {
+	return MatchPairsObs(d, candidates, m, workers, nil)
+}
+
+// MatchPairsObs is MatchPairs with an attached metrics registry
+// recording "matching.comparisons" and "matching.matched". A nil
+// registry disables recording at no cost.
+func MatchPairsObs(d *data.Dataset, candidates []data.Pair, m Matcher, workers int, reg *obs.Registry) []data.ScoredPair {
 	if ip, ok := m.(IndexPreparer); ok {
 		ip.PrepareIndex(d, candidates)
 	}
-	return matchAt(d, len(candidates), func(i int) data.Pair { return candidates[i] }, m, workers)
+	return matchAt(d, len(candidates), func(i int) data.Pair { return candidates[i] }, m, workers, reg)
 }
 
 // MatchPairsFrom is MatchPairs over a packed candidate source: pairs
@@ -203,6 +211,12 @@ func MatchPairs(d *data.Dataset, candidates []data.Pair, m Matcher, workers int)
 // matchers fall back to a one-off pair materialisation. Output is
 // identical to MatchPairs over src's pairs.
 func MatchPairsFrom(d *data.Dataset, src PairSource, m Matcher, workers int) []data.ScoredPair {
+	return MatchPairsFromObs(d, src, m, workers, nil)
+}
+
+// MatchPairsFromObs is MatchPairsFrom with an attached metrics registry
+// (see MatchPairsObs).
+func MatchPairsFromObs(d *data.Dataset, src PairSource, m Matcher, workers int, reg *obs.Registry) []data.ScoredPair {
 	switch ip := m.(type) {
 	case IDIndexPreparer:
 		ip.PrepareIndexIDs(d, src.RecordIDs())
@@ -213,15 +227,18 @@ func MatchPairsFrom(d *data.Dataset, src PairSource, m Matcher, workers int) []d
 		}
 		ip.PrepareIndex(d, pairs)
 	}
-	return matchAt(d, src.Len(), src.Pair, m, workers)
+	return matchAt(d, src.Len(), src.Pair, m, workers, reg)
 }
 
 // matchAt scores n candidates supplied by at, in parallel, returning
-// accepted pairs sorted by descending score then pair order.
-func matchAt(d *data.Dataset, n int, at func(int) data.Pair, m Matcher, workers int) []data.ScoredPair {
+// accepted pairs sorted by descending score then pair order. Counters
+// are bumped once per batch, never per pair.
+func matchAt(d *data.Dataset, n int, at func(int) data.Pair, m Matcher, workers int, reg *obs.Registry) []data.ScoredPair {
+	reg = obs.OrDefault(reg)
+	reg.Counter("matching.comparisons").Add(int64(n))
 	results := make([]data.ScoredPair, n)
 	ok := make([]bool, n)
-	parallel.ForEach(parallel.Config{Workers: workers}, n, func(i int) {
+	parallel.ForEach(parallel.Config{Workers: workers, Obs: reg}, n, func(i int) {
 		p := at(i)
 		a, b := d.Record(p.A), d.Record(p.B)
 		if a == nil || b == nil {
@@ -239,6 +256,7 @@ func matchAt(d *data.Dataset, n int, at func(int) data.Pair, m Matcher, workers 
 			out = append(out, results[i])
 		}
 	}
+	reg.Counter("matching.matched").Add(int64(len(out)))
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
 			return out[i].Score > out[j].Score

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// expvarOnce guards the process-wide expvar publication: expvar.Publish
+// panics on duplicate names, and tests may start several debug servers.
+var expvarOnce sync.Once
+
+// ServeDebug starts an HTTP server on addr exposing:
+//
+//	/debug/vars         expvar (including "bdi_metrics", the live stable snapshot)
+//	/debug/pprof/...    net/http/pprof profiles
+//	/metrics            the registry's stable snapshot as text
+//	/metrics.json       the registry's stable snapshot as JSON
+//
+// It returns the server (so callers can Close it) and the bound
+// address (useful with addr ":0"). The registry may be nil, in which
+// case the metric endpoints follow the process-wide Default() registry
+// at request time (so a caller that swaps registries per run always
+// serves the current one). Serving uses a dedicated mux, not
+// http.DefaultServeMux, so tests can run several servers side by side.
+func ServeDebug(addr string, r *Registry) (*http.Server, net.Addr, error) {
+	expvarOnce.Do(func() {
+		expvar.Publish("bdi_metrics", expvar.Func(func() any {
+			return Default().Snapshot().Stable()
+		}))
+	})
+	reg := func() *Registry {
+		if r != nil {
+			return r
+		}
+		return Default()
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(reg().Snapshot().Stable().Text()))
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		b, err := reg().Snapshot().Stable().JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write(b)
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr(), nil
+}

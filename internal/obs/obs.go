@@ -1,0 +1,384 @@
+// Package obs is the pipeline's observability substrate: atomic
+// counters and gauges, duration timers with simple log₂ histograms,
+// float distributions, and hierarchical stage/sub-stage spans, exported
+// as a sorted text table or JSON (see snapshot.go) and optionally over
+// HTTP next to net/http/pprof and expvar (see debug.go).
+//
+// Two properties shape the design:
+//
+//   - A nil or absent registry costs ~zero. Every handle type is a
+//     pointer whose methods no-op on nil without touching the heap, so
+//     instrumented hot paths (pair matching, chunked ForEach, the
+//     fusion EM) pay one predictable branch when observability is off —
+//     asserted by zero-alloc regressions. "Disabled" is spelled by
+//     passing a nil *Registry, never by a boolean.
+//
+//   - Snapshots are deterministic. All metric listings are sorted by
+//     name, span children keep creation order, and Snapshot.Stable
+//     strips the two inherently run-dependent ingredients — wall-clock
+//     durations, and the "parallel." scheduling namespace whose counts
+//     depend on the worker count — leaving output that is byte-identical
+//     for any worker count, matching the determinism contract of every
+//     other subsystem.
+//
+// Metric names are dot-paths, "stage.metric" ("blocking.pairs_emitted",
+// "fusion.em_iterations"). The "parallel." prefix is reserved for
+// scheduling metrics that legitimately vary with the worker count;
+// everything else must be worker-count-invariant.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry holds named metrics and root spans. The zero value is not
+// used; construct with NewRegistry. All methods are safe on a nil
+// receiver (returning nil handles / empty snapshots), which is how a
+// disabled registry costs nothing at the call sites.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+	dists    map[string]*Dist
+	roots    []*Span
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		timers:   map[string]*Timer{},
+		dists:    map[string]*Dist{},
+	}
+}
+
+// defaultReg is the process-wide fallback registry consulted by
+// OrDefault. It exists for the CLIs (bdibench instruments experiment
+// code it does not own); libraries should thread explicit registries.
+var defaultReg atomic.Pointer[Registry]
+
+// SetDefault installs (or, with nil, clears) the process-wide default
+// registry returned by Default and OrDefault.
+func SetDefault(r *Registry) { defaultReg.Store(r) }
+
+// Default returns the process-wide default registry, or nil.
+func Default() *Registry { return defaultReg.Load() }
+
+// OrDefault returns r when non-nil, else the process default (which is
+// nil unless a CLI installed one). One atomic load; no allocation.
+func OrDefault(r *Registry) *Registry {
+	if r != nil {
+		return r
+	}
+	return defaultReg.Load()
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil — a valid no-op handle — when the registry is nil.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use (nil on a
+// nil registry).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the named duration timer, creating it on first use
+// (nil on a nil registry).
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.timers[name]
+	if t == nil {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Dist returns the named float distribution, creating it on first use
+// (nil on a nil registry).
+func (r *Registry) Dist(name string) *Dist {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := r.dists[name]
+	if d == nil {
+		d = &Dist{}
+		r.dists[name] = d
+	}
+	return d
+}
+
+// StartSpan starts a root span. On a nil registry the span is still
+// live (it times and accepts children) but detached — callers that
+// derive data from the span tree, like the pipeline's StageTime, work
+// identically whether or not a registry is attached.
+func (r *Registry) StartSpan(name string) *Span {
+	s := &Span{name: name, start: time.Now()}
+	if r != nil {
+		r.mu.Lock()
+		r.roots = append(r.roots, s)
+		r.mu.Unlock()
+	}
+	return s
+}
+
+// Counter is a monotonically increasing atomic counter. All methods
+// no-op (or return zero) on a nil receiver.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically settable float64. All methods no-op (or
+// return zero) on a nil receiver.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the stored value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Timer accumulates duration observations: count, sum, min, max and a
+// log₂-of-nanoseconds histogram. Observation frequency is per batch or
+// per worker, not per item, so a mutex is cheap enough and keeps the
+// min/max/histogram updates consistent. All methods no-op on nil.
+type Timer struct {
+	mu      sync.Mutex
+	count   int64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+	buckets [65]int64 // buckets[i] counts observations with bits.Len64(ns) == i
+}
+
+// Observe records one duration (negative observations clamp to 0).
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	t.mu.Lock()
+	if t.count == 0 || d < t.min {
+		t.min = d
+	}
+	if d > t.max {
+		t.max = d
+	}
+	t.count++
+	t.sum += d
+	t.buckets[bits.Len64(uint64(d))]++
+	t.mu.Unlock()
+}
+
+// Time runs f and records its duration.
+func (t *Timer) Time(f func()) {
+	if t == nil {
+		f()
+		return
+	}
+	t0 := time.Now()
+	f()
+	t.Observe(time.Since(t0))
+}
+
+// Count returns the number of observations (0 on nil).
+func (t *Timer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// Dist accumulates float64 observations: count, sum, min, max and the
+// last value. Unlike Timer it carries no histogram — its users record
+// small deterministic series (EM convergence deltas), where sum/extrema
+// plus the final value tell the story. Observations from a single
+// goroutine are bit-deterministic (the sum accumulates in observation
+// order); concurrent observers are safe but make the sum
+// order-dependent, so deterministic metrics must observe sequentially.
+// All methods no-op on nil.
+type Dist struct {
+	mu                   sync.Mutex
+	count                int64
+	sum, min, max, last_ float64
+}
+
+// Observe records one value.
+func (d *Dist) Observe(v float64) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	if d.count == 0 || v < d.min {
+		d.min = v
+	}
+	if d.count == 0 || v > d.max {
+		d.max = v
+	}
+	d.count++
+	d.sum += v
+	d.last_ = v
+	d.mu.Unlock()
+}
+
+// Count returns the number of observations (0 on nil).
+func (d *Dist) Count() int64 {
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.count
+}
+
+// Last returns the most recent observation (0 on nil).
+func (d *Dist) Last() float64 {
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.last_
+}
+
+// Span is one timed node in a stage/sub-stage hierarchy. Spans are
+// created by Registry.StartSpan (roots) and Span.Child (sub-stages),
+// and End stops the clock. Child and End no-op on nil, so optional
+// sub-stage instrumentation can hang off a span that may be absent.
+// Children keep creation order; creators are expected to start
+// sub-stages from one goroutine (the pipeline's stage driver), which
+// the mutex makes safe but not order-deterministic otherwise.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	children []*Span
+}
+
+// Child starts a sub-span (nil on a nil receiver).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End stops the span's clock (first call wins) and returns its
+// duration.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		s.dur = time.Since(s.start)
+		s.ended = true
+	}
+	return s.dur
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the recorded duration; an un-ended span reports the
+// time elapsed so far.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		return time.Since(s.start)
+	}
+	return s.dur
+}
+
+// Children returns a copy of the child spans in creation order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	return out
+}

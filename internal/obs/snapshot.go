@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Snapshot is a point-in-time copy of a registry's metrics, ready for
+// rendering. All listings are sorted by name; spans are flattened in
+// pre-order with slash-joined paths, preserving creation order inside
+// each parent.
+type Snapshot struct {
+	Counters []CounterStat `json:"counters,omitempty"`
+	Gauges   []GaugeStat   `json:"gauges,omitempty"`
+	Dists    []DistStat    `json:"dists,omitempty"`
+	Timers   []TimerStat   `json:"timers,omitempty"`
+	Spans    []SpanStat    `json:"spans,omitempty"`
+}
+
+// CounterStat is one counter's snapshot.
+type CounterStat struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeStat is one gauge's snapshot.
+type GaugeStat struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// DistStat is one float distribution's snapshot.
+type DistStat struct {
+	Name  string  `json:"name"`
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Last  float64 `json:"last"`
+}
+
+// TimerStat is one duration timer's snapshot. Durations are
+// nanoseconds in JSON.
+type TimerStat struct {
+	Name    string        `json:"name"`
+	Count   int64         `json:"count"`
+	Sum     time.Duration `json:"sum_ns"`
+	Min     time.Duration `json:"min_ns"`
+	Max     time.Duration `json:"max_ns"`
+	Buckets []TimerBucket `json:"buckets,omitempty"`
+}
+
+// TimerBucket is one non-empty histogram bucket: observations d with
+// Lo <= d < Hi.
+type TimerBucket struct {
+	Lo    time.Duration `json:"lo_ns"`
+	Hi    time.Duration `json:"hi_ns"`
+	Count int64         `json:"count"`
+}
+
+// SpanStat is one span in the flattened tree. Dur is zero in stable
+// snapshots (and omitted from their JSON).
+type SpanStat struct {
+	Path  string        `json:"path"`
+	Depth int           `json:"depth"`
+	Dur   time.Duration `json:"dur_ns,omitempty"`
+}
+
+// Snapshot copies the registry's current state. A nil registry yields
+// an empty (but usable) snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	dists := make(map[string]*Dist, len(r.dists))
+	for k, v := range r.dists {
+		dists[k] = v
+	}
+	timers := make(map[string]*Timer, len(r.timers))
+	for k, v := range r.timers {
+		timers[k] = v
+	}
+	roots := make([]*Span, len(r.roots))
+	copy(roots, r.roots)
+	r.mu.Unlock()
+
+	for _, name := range sortedKeys(counters) {
+		s.Counters = append(s.Counters, CounterStat{Name: name, Value: counters[name].Value()})
+	}
+	for _, name := range sortedKeys(gauges) {
+		s.Gauges = append(s.Gauges, GaugeStat{Name: name, Value: gauges[name].Value()})
+	}
+	for _, name := range sortedKeys(dists) {
+		d := dists[name]
+		d.mu.Lock()
+		s.Dists = append(s.Dists, DistStat{
+			Name: name, Count: d.count, Sum: d.sum, Min: d.min, Max: d.max, Last: d.last_,
+		})
+		d.mu.Unlock()
+	}
+	for _, name := range sortedKeys(timers) {
+		t := timers[name]
+		t.mu.Lock()
+		ts := TimerStat{Name: name, Count: t.count, Sum: t.sum, Min: t.min, Max: t.max}
+		for i, n := range t.buckets {
+			if n == 0 {
+				continue
+			}
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = time.Duration(1) << (i - 1)
+			}
+			ts.Buckets = append(ts.Buckets, TimerBucket{Lo: lo, Hi: time.Duration(1) << i, Count: n})
+		}
+		t.mu.Unlock()
+		s.Timers = append(s.Timers, ts)
+	}
+	for _, root := range roots {
+		flattenSpan(root, "", 0, &s.Spans)
+	}
+	return s
+}
+
+func flattenSpan(sp *Span, prefix string, depth int, out *[]SpanStat) {
+	path := sp.Name()
+	if prefix != "" {
+		path = prefix + "/" + path
+	}
+	*out = append(*out, SpanStat{Path: path, Depth: depth, Dur: sp.Duration()})
+	for _, c := range sp.Children() {
+		flattenSpan(c, path, depth+1, out)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// volatilePrefix is the metric namespace whose counts depend on the
+// worker count (chunk hand-outs, per-worker busy time, task fan-out).
+// Stable drops it along with every wall-clock duration.
+const volatilePrefix = "parallel."
+
+// Stable returns the deterministic subset of the snapshot: counters,
+// gauges and dists outside the "parallel." namespace, plus the span
+// tree with durations zeroed. For a deterministic pipeline the stable
+// snapshot is byte-identical for any worker count — it is what the
+// determinism regressions (and `bdirun -metrics`) compare.
+func (s *Snapshot) Stable() *Snapshot {
+	out := &Snapshot{}
+	for _, c := range s.Counters {
+		if !strings.HasPrefix(c.Name, volatilePrefix) {
+			out.Counters = append(out.Counters, c)
+		}
+	}
+	for _, g := range s.Gauges {
+		if !strings.HasPrefix(g.Name, volatilePrefix) {
+			out.Gauges = append(out.Gauges, g)
+		}
+	}
+	for _, d := range s.Dists {
+		if !strings.HasPrefix(d.Name, volatilePrefix) {
+			out.Dists = append(out.Dists, d)
+		}
+	}
+	for _, sp := range s.Spans {
+		sp.Dur = 0
+		out.Spans = append(out.Spans, sp)
+	}
+	return out
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s *Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Text renders the snapshot as a sorted, aligned text table. Zero span
+// durations (the stable view) render as "-".
+func (s *Snapshot) Text() string {
+	var b strings.Builder
+	width := 0
+	for _, c := range s.Counters {
+		width = maxInt(width, len(c.Name))
+	}
+	for _, g := range s.Gauges {
+		width = maxInt(width, len(g.Name))
+	}
+	for _, d := range s.Dists {
+		width = maxInt(width, len(d.Name))
+	}
+	for _, t := range s.Timers {
+		width = maxInt(width, len(t.Name))
+	}
+	if len(s.Counters) > 0 {
+		b.WriteString("counters:\n")
+		for _, c := range s.Counters {
+			fmt.Fprintf(&b, "  %-*s  %d\n", width, c.Name, c.Value)
+		}
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("gauges:\n")
+		for _, g := range s.Gauges {
+			fmt.Fprintf(&b, "  %-*s  %s\n", width, g.Name, ftoa(g.Value))
+		}
+	}
+	if len(s.Dists) > 0 {
+		b.WriteString("dists:\n")
+		for _, d := range s.Dists {
+			fmt.Fprintf(&b, "  %-*s  n=%d sum=%s min=%s max=%s last=%s\n",
+				width, d.Name, d.Count, ftoa(d.Sum), ftoa(d.Min), ftoa(d.Max), ftoa(d.Last))
+		}
+	}
+	if len(s.Timers) > 0 {
+		b.WriteString("timers:\n")
+		for _, t := range s.Timers {
+			fmt.Fprintf(&b, "  %-*s  n=%d sum=%v min=%v max=%v\n",
+				width, t.Name, t.Count, t.Sum, t.Min, t.Max)
+			if len(t.Buckets) > 0 {
+				fmt.Fprintf(&b, "  %-*s  hist:", width, "")
+				for _, bk := range t.Buckets {
+					fmt.Fprintf(&b, " [%v,%v):%d", bk.Lo, bk.Hi, bk.Count)
+				}
+				b.WriteByte('\n')
+			}
+		}
+	}
+	if len(s.Spans) > 0 {
+		b.WriteString("spans:\n")
+		for _, sp := range s.Spans {
+			name := sp.Path
+			if i := strings.LastIndexByte(name, '/'); i >= 0 {
+				name = name[i+1:]
+			}
+			dur := "-"
+			if sp.Dur != 0 {
+				dur = sp.Dur.String()
+			}
+			fmt.Fprintf(&b, "  %s%-*s  %s\n",
+				strings.Repeat("  ", sp.Depth), width-2*sp.Depth, name, dur)
+		}
+	}
+	return b.String()
+}
+
+// ftoa formats a float with full round-trip precision, so equal values
+// render to equal bytes.
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

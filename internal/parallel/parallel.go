@@ -19,11 +19,15 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Config controls a job run.
 type Config struct {
-	Workers int // default runtime.NumCPU()
+	Workers int           // default runtime.NumCPU()
+	Obs     *obs.Registry // optional scheduling metrics ("parallel." namespace); nil disables
 }
 
 func (c Config) workers() int {
@@ -116,6 +120,9 @@ func ForEach(cfg Config, n int, f func(i int)) {
 	if n <= 0 {
 		return
 	}
+	reg := obs.OrDefault(cfg.Obs)
+	reg.Counter("parallel.foreach_calls").Inc()
+	reg.Counter("parallel.tasks").Add(int64(n))
 	w := cfg.workers()
 	if w > n {
 		w = n
@@ -132,24 +139,39 @@ func ForEach(cfg Config, n int, f func(i int)) {
 	if chunk < 1 {
 		chunk = 1
 	}
+	chunks := reg.Counter("parallel.chunks")
+	busy := reg.Timer("parallel.worker_busy")
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for p := 0; p < w; p++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker accumulation: one counter Add and one timer
+			// Observe per worker, not per chunk, keeps the shared
+			// metric traffic off the hand-out loop.
+			var t0 time.Time
+			if busy != nil {
+				t0 = time.Now()
+			}
+			taken := int64(0)
 			for {
 				end := int(next.Add(int64(chunk)))
 				start := end - chunk
 				if start >= n {
-					return
+					break
 				}
+				taken++
 				if end > n {
 					end = n
 				}
 				for i := start; i < end; i++ {
 					f(i)
 				}
+			}
+			chunks.Add(taken)
+			if busy != nil {
+				busy.Observe(time.Since(t0))
 			}
 		}()
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/data"
+	"repro/internal/obs"
 )
 
 // Metric is a string similarity function in [0,1].
@@ -117,6 +118,11 @@ type FieldWeight struct {
 type RecordComparator struct {
 	fields []FieldWeight
 	idx    *FeatureIndex
+
+	// Resolved by AttachObs; nil handles no-op, so the untracked
+	// comparator pays one branch per Compare.
+	obsCached   *obs.Counter
+	obsUncached *obs.Counter
 }
 
 // NewRecordComparator builds a comparator over the given weighted
@@ -152,6 +158,15 @@ func (rc *RecordComparator) AttachIndex(idx *FeatureIndex) { rc.idx = idx }
 
 // Index returns the attached feature index, or nil.
 func (rc *RecordComparator) Index() *FeatureIndex { return rc.idx }
+
+// AttachObs resolves the comparator's cache-hit counters
+// ("matching.cached_compares" / "matching.uncached_compares") against
+// reg; nil detaches. Like AttachIndex, attach before sharing across
+// workers.
+func (rc *RecordComparator) AttachObs(reg *obs.Registry) {
+	rc.obsCached = reg.Counter("matching.cached_compares")
+	rc.obsUncached = reg.Counter("matching.uncached_compares")
+}
 
 // cachedFeatures returns both records' cached field features when the
 // attached index covers them.
@@ -191,6 +206,7 @@ func (rc *RecordComparator) fieldSim(i int, fa, fb []fieldFeature) float64 {
 // [0,1]. With no comparable fields it returns 0.
 func (rc *RecordComparator) Compare(a, b *data.Record) float64 {
 	if fa, fb, ok := rc.cachedFeatures(a, b); ok {
+		rc.obsCached.Inc()
 		var sum, wsum float64
 		for i, f := range rc.fields {
 			if fa[i].val.IsNull() && fb[i].val.IsNull() {
@@ -204,6 +220,7 @@ func (rc *RecordComparator) Compare(a, b *data.Record) float64 {
 		}
 		return sum / wsum
 	}
+	rc.obsUncached.Inc()
 	var sum, wsum float64
 	for _, f := range rc.fields {
 		va, vb := a.Get(f.Attr), b.Get(f.Attr)
@@ -232,6 +249,7 @@ func (rc *RecordComparator) FieldScores(a, b *data.Record) []float64 {
 // of length len(Fields()), letting hot loops reuse one buffer.
 func (rc *RecordComparator) FieldScoresInto(out []float64, a, b *data.Record) {
 	if fa, fb, ok := rc.cachedFeatures(a, b); ok {
+		rc.obsCached.Inc()
 		for i := range rc.fields {
 			if fa[i].val.IsNull() && fb[i].val.IsNull() {
 				out[i] = -1
@@ -241,6 +259,7 @@ func (rc *RecordComparator) FieldScoresInto(out []float64, a, b *data.Record) {
 		}
 		return
 	}
+	rc.obsUncached.Inc()
 	for i, f := range rc.fields {
 		va, vb := a.Get(f.Attr), b.Get(f.Attr)
 		if va.IsNull() && vb.IsNull() {
