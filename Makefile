@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-blocking race-fusion race-obs bench bench-blocking bench-fusion bench-obs check
+.PHONY: all build vet test race race-blocking race-fusion race-obs race-source bench bench-blocking bench-fusion bench-obs bench-source chaos check
 
 all: check
 
@@ -29,6 +29,11 @@ race-fusion:
 race-obs:
 	$(GO) test -race ./internal/obs/... ./internal/parallel/... ./internal/core/... ./internal/linkage/...
 
+# Race-checks the resilient ingestor, the fault injector and the
+# context plumbing through the pipeline (PR 5 gate).
+race-source:
+	$(GO) test -race ./internal/source/... ./internal/parallel/... ./internal/core/...
+
 # The cached-vs-uncached matching benchmarks (PR 1 acceptance numbers).
 bench:
 	$(GO) test -run xxx -bench 'MatchPairs(Cached|Uncached)$$' -benchmem .
@@ -46,6 +51,15 @@ bench-fusion:
 bench-obs:
 	$(GO) test -run xxx -bench 'MatchPairs(Cached|ObsDisabled|ObsEnabled)$$' -benchmem .
 	$(GO) test -run xxx -bench . -benchmem ./internal/obs/...
+
+# The ingestion benchmarks (PR 5 acceptance numbers): the no-fault
+# path must add ~zero allocations per record over direct construction.
+bench-source:
+	$(GO) test -run xxx -bench 'Ingest' -benchmem ./internal/source/...
+
+# Chaos gate: the fault-injection sweep (E23) under the race detector.
+chaos:
+	$(GO) run -race ./cmd/bdibench -exp E23
 
 # Everything the CI gate runs.
 check: build vet race

@@ -14,6 +14,12 @@
 //	web := bdi.BuildWeb(world, bdi.SourceConfig{Seed: 2, NumSources: 20})
 //	report, err := bdi.NewPipeline(bdi.PipelineConfig{}).Run(web.Dataset)
 //
+// RunCtx is the context-aware variant: cancellation and deadlines
+// (including PipelineConfig.StageTimeout) stop every stage at its next
+// chunk boundary. Datasets can also be ingested resiliently from a
+// fleet of sources — with retries, circuit breaking and optional
+// deterministic fault injection — via NewIngestor and WrapAllFaults.
+//
 // Individual stages are available through the re-exported constructors
 // below; the full machinery lives in the internal packages and is
 // exercised by the examples under examples/ and the experiment harness
@@ -21,12 +27,16 @@
 package bdi
 
 import (
+	"repro/internal/blocking"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/datagen"
 	"repro/internal/eval"
 	"repro/internal/fusion"
+	"repro/internal/linkage"
 	"repro/internal/obs"
+	"repro/internal/source"
+	"repro/internal/source/faults"
 )
 
 // Data model re-exports.
@@ -119,6 +129,71 @@ func NewPipeline(cfg PipelineConfig) *Pipeline { return core.New(cfg) }
 // BuildFuser resolves a fusion method by name: "vote", "truthfinder",
 // "accu", "popaccu" or "accucopy".
 var BuildFuser = core.BuildFuser
+
+// Resilient ingestion re-exports. Sources flow into the pipeline
+// through an Ingestor, which retries transient failures with jittered
+// backoff, circuit-breaks persistently failing sources and degrades
+// gracefully: the pipeline integrates whatever survived, and the
+// IngestReport says exactly what was dropped. The fault injector in
+// internal/source/faults wraps any fleet with a deterministic, seeded
+// fault schedule for chaos testing.
+type (
+	// IngestSource is one fetchable data source (data.Source is the
+	// static metadata; this is the live endpoint).
+	IngestSource = source.Source
+	// StaticSource adapts an in-memory record slice to IngestSource.
+	StaticSource = source.Static
+	// Ingestor fetches a fleet of sources resiliently.
+	Ingestor = source.Ingestor
+	// IngestConfig tunes retries, backoff, circuit breaking and the
+	// minimum surviving-source count.
+	IngestConfig = source.IngestConfig
+	// IngestReport summarises an ingestion run: per-source outcomes,
+	// dropped and degraded source IDs, attempt counts.
+	IngestReport = source.Report
+	// IngestOutcome is one source's final state after ingestion.
+	IngestOutcome = source.Outcome
+	// FaultConfig tunes the deterministic fault injector.
+	FaultConfig = faults.Config
+)
+
+var (
+	// NewIngestor builds an ingestor, resolving config defaults.
+	NewIngestor = source.NewIngestor
+	// SourcesFromDataset adapts a dataset's sources to a static fleet.
+	SourcesFromDataset = source.FromDataset
+	// SourcesFromWeb adapts a generated web to a static fleet.
+	SourcesFromWeb = source.FromWeb
+	// WrapFaults wraps one source with a seeded fault injector.
+	WrapFaults = faults.Wrap
+	// WrapAllFaults wraps a whole fleet with seeded fault injectors.
+	WrapAllFaults = faults.WrapAll
+)
+
+// Sentinel errors, re-exported so callers can classify failures with
+// errors.Is without importing internal packages.
+var (
+	// ErrUnknownOrder reports an unrecognised PipelineConfig.Order.
+	ErrUnknownOrder = core.ErrUnknownOrder
+	// ErrUnknownClusterer reports an unrecognised clusterer name.
+	ErrUnknownClusterer = core.ErrUnknownClusterer
+	// ErrUnknownFuser reports an unrecognised fusion method name.
+	ErrUnknownFuser = core.ErrUnknownFuser
+	// ErrNoMatcher reports clustering attempted with a nil matcher.
+	ErrNoMatcher = linkage.ErrNoMatcher
+	// ErrNilKey reports a blocking pass registered with a nil key func.
+	ErrNilKey = blocking.ErrNilKey
+	// ErrTransient marks a source failure worth retrying.
+	ErrTransient = source.ErrTransient
+	// ErrPermanent marks a source failure retries cannot fix.
+	ErrPermanent = source.ErrPermanent
+	// ErrBreakerOpen reports a fetch skipped by an open circuit breaker.
+	ErrBreakerOpen = source.ErrBreakerOpen
+	// ErrTooFewSources reports ingestion ending below
+	// IngestConfig.MinSources; the partial dataset and report are
+	// still returned alongside it.
+	ErrTooFewSources = source.ErrTooFewSources
+)
 
 // Fusion re-exports.
 type (

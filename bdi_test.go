@@ -2,6 +2,8 @@ package bdi
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"testing"
 )
 
@@ -106,6 +108,42 @@ func TestFacadeTemporal(t *testing.T) {
 	b := NewRecord("b", "s").Set("title", StringValue("same thing")).Set("epoch", NumberValue(3))
 	if _, ok := m.Match(a, b); !ok {
 		t.Error("identical titles must match across epochs")
+	}
+}
+
+func TestFacadeResilientIngestion(t *testing.T) {
+	world := NewWorld(WorldConfig{Seed: 5, NumEntities: 30})
+	web := BuildWeb(world, SourceConfig{Seed: 6, NumSources: 8})
+
+	// Every source dead: ingestion degrades to an empty fleet and says so.
+	fleet := WrapAllFaults(SourcesFromWeb(web), FaultConfig{Seed: 9, DeadRate: 1})
+	_, rep, err := NewIngestor(IngestConfig{MinSources: 1}).Ingest(context.Background(), fleet)
+	if !errors.Is(err, ErrTooFewSources) {
+		t.Fatalf("all-dead fleet: err = %v, want ErrTooFewSources", err)
+	}
+	if rep.Succeeded != 0 || len(rep.Dropped) != rep.Total {
+		t.Errorf("all-dead fleet: %d ok, %d/%d dropped", rep.Succeeded, len(rep.Dropped), rep.Total)
+	}
+
+	// Clean fleet: everything survives and the dataset feeds the pipeline.
+	d, rep, err := NewIngestor(IngestConfig{}).Ingest(context.Background(), SourcesFromWeb(web))
+	if err != nil || rep.Succeeded != rep.Total {
+		t.Fatalf("clean fleet: %d/%d ok, err = %v", rep.Succeeded, rep.Total, err)
+	}
+	if _, err := NewPipeline(PipelineConfig{}).RunCtx(context.Background(), d); err != nil {
+		t.Fatalf("pipeline over ingested dataset: %v", err)
+	}
+}
+
+func TestFacadeSentinelErrors(t *testing.T) {
+	if _, err := BuildFuser("no-such-fuser"); !errors.Is(err, ErrUnknownFuser) {
+		t.Errorf("BuildFuser err = %v", err)
+	}
+	if err := (PipelineConfig{Order: Order(99)}).Validate(); !errors.Is(err, ErrUnknownOrder) {
+		t.Errorf("Validate order err = %v", err)
+	}
+	if err := (PipelineConfig{Clusterer: "no-such"}).Validate(); !errors.Is(err, ErrUnknownClusterer) {
+		t.Errorf("Validate clusterer err = %v", err)
 	}
 }
 

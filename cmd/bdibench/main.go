@@ -1,14 +1,16 @@
 // Command bdibench regenerates the experiment tables indexed in
-// DESIGN.md (E1–E14): fusion under copying, EM convergence, blocking
+// DESIGN.md (E1–E23): fusion under copying, EM convergence, blocking
 // trade-offs, meta-blocking, matcher quality, clustering comparison,
 // incremental linkage, schema alignment, scale-out, source selection,
-// domain regimes, temporal linkage, the end-to-end pipeline and the
-// stage-ordering ablation.
+// domain regimes, temporal linkage, the end-to-end pipeline, the
+// stage-ordering ablation, the extension features and ingestion under
+// faults.
 //
 // Usage:
 //
 //	bdibench            # run every experiment
 //	bdibench -exp E1    # run one experiment
+//	bdibench -exp E23   # the fault-injection chaos sweep
 //	bdibench -seed 7    # change the workload seed
 package main
 
@@ -24,8 +26,17 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bdibench:", err)
+		os.Exit(1)
+	}
+}
+
+// run owns the whole lifecycle, so deferred cleanup (the debug server)
+// executes on error paths too.
+func run() error {
 	var (
-		exp       = flag.String("exp", "all", "experiment ID (E1..E14) or 'all'")
+		exp       = flag.String("exp", "all", "experiment ID (E1..E23) or 'all'")
 		seed      = flag.Int64("seed", 42, "workload seed")
 		metrics   = flag.Bool("metrics", false, "print a per-experiment metrics block")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
@@ -33,11 +44,11 @@ func main() {
 	flag.Parse()
 
 	if *debugAddr != "" {
-		_, addr, err := obs.ServeDebug(*debugAddr, nil)
+		srv, addr, err := obs.ServeDebug(*debugAddr, nil)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "bdibench:", err)
-			os.Exit(1)
+			return err
 		}
+		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "bdibench: debug server on http://%s\n", addr)
 	}
 
@@ -70,6 +81,7 @@ func main() {
 		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return fmt.Errorf("%d experiment(s) failed", failed)
 	}
+	return nil
 }

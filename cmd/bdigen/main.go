@@ -17,6 +17,15 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bdigen:", err)
+		os.Exit(1)
+	}
+}
+
+// run owns the whole lifecycle, so deferred cleanup (the output file,
+// the debug server) executes on error paths too.
+func run() error {
 	var (
 		seed       = flag.Int64("seed", 42, "generator seed")
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address")
@@ -33,10 +42,11 @@ func main() {
 	flag.Parse()
 
 	if *debugAddr != "" {
-		_, addr, err := obs.ServeDebug(*debugAddr, nil)
+		srv, addr, err := obs.ServeDebug(*debugAddr, nil)
 		if err != nil {
-			fatal(err)
+			return err
 		}
+		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "bdigen: debug server on http://%s\n", addr)
 	}
 
@@ -58,7 +68,7 @@ func main() {
 	if *out != "-" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		w = f
@@ -73,10 +83,11 @@ func main() {
 		err = fmt.Errorf("unknown format %q (want json or csv)", *format)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Fprintf(os.Stderr, "generated %d records from %d sources over %d entities\n",
 		web.Dataset.NumRecords(), web.Dataset.NumSources(), *entities)
+	return nil
 }
 
 func splitComma(s string) []string {
@@ -91,9 +102,4 @@ func splitComma(s string) []string {
 		}
 	}
 	return out
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "bdigen:", err)
-	os.Exit(1)
 }

@@ -4,25 +4,46 @@
 // schema, discovered unit transforms and fused values. When the dataset
 // carries ground truth, quality metrics are reported too.
 //
+// Input always flows through the resilient ingestor (retry, backoff,
+// circuit breaking), so a fault-injected run (-fault-rate) degrades
+// gracefully: dropped sources are reported and the pipeline integrates
+// whatever survived. -timeout bounds the whole run; cancellation stops
+// every stage at its next chunk boundary.
+//
 // Usage:
 //
 //	bdigen -out web.json && bdirun -in web.json -fuser accucopy
 //	bdirun -in web.json -search "nova camera"   # query integrated entities
+//	bdirun -in web.json -fault-rate 0.3 -fault-seed 7 -min-sources 5
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/eval"
 	"repro/internal/obs"
+	"repro/internal/source"
+	"repro/internal/source/faults"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bdirun:", err)
+		os.Exit(1)
+	}
+}
+
+// run owns the whole lifecycle, so deferred cleanup (input files, the
+// debug server) executes on error paths too — main's os.Exit would
+// skip it.
+func run() error {
 	var (
 		in          = flag.String("in", "-", "input dataset (JSON; - for stdin)")
 		csvIn       = flag.Bool("csv", false, "input is CSV instead of JSON")
@@ -32,6 +53,10 @@ func main() {
 		meta        = flag.Bool("metablock", false, "apply meta-blocking")
 		fs          = flag.Bool("fellegi-sunter", false, "use the probabilistic matcher")
 		workers     = flag.Int("workers", 0, "worker goroutines per stage (0 = NumCPU)")
+		timeout     = flag.Duration("timeout", 0, "overall deadline for ingestion + pipeline (0 = none)")
+		faultRate   = flag.Float64("fault-rate", 0, "inject transient faults at this per-fetch rate (plus rate/4 dead sources)")
+		faultSeed   = flag.Int64("fault-seed", 1, "fault injection seed (schedules are reproducible per seed)")
+		minSources  = flag.Int("min-sources", 1, "fail unless at least this many sources survive ingestion")
 		verbose     = flag.Bool("v", false, "print clusters and fused values")
 		search      = flag.String("search", "", "keyword query over the integrated entities")
 		metrics     = flag.Bool("metrics", false, "print the stable metrics snapshot (byte-deterministic)")
@@ -45,7 +70,7 @@ func main() {
 	if *in != "-" {
 		f, err := os.Open(*in)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		r = f
@@ -60,17 +85,54 @@ func main() {
 		d, err = data.ReadJSON(r)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	reg := obs.NewRegistry()
 	obs.SetDefault(reg)
 	if *debugAddr != "" {
-		_, addr, err := obs.ServeDebug(*debugAddr, reg)
+		srv, addr, err := obs.ServeDebug(*debugAddr, reg)
 		if err != nil {
-			fatal(err)
+			return err
 		}
+		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "bdirun: debug server on http://%s\n", addr)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	// Ingest: every run goes through the resilient ingestor, with the
+	// fault injector wrapped in when -fault-rate asks for chaos.
+	fleet := source.FromDataset(d)
+	if *faultRate > 0 {
+		fleet = faults.WrapAll(fleet, faults.Config{
+			Seed:          *faultSeed,
+			TransientRate: *faultRate,
+			DeadRate:      *faultRate / 4,
+			Obs:           reg,
+		})
+	}
+	ing := source.NewIngestor(source.IngestConfig{
+		Workers:    *workers,
+		MinSources: *minSources,
+		Obs:        reg,
+	})
+	d, irep, err := ing.Ingest(ctx, fleet)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ingested: %d/%d sources ok (%d records, %d attempts)\n",
+		irep.Succeeded, irep.Total, irep.Records, irep.Attempts)
+	if len(irep.Dropped) > 0 {
+		fmt.Printf("dropped sources: %s\n", strings.Join(irep.Dropped, " "))
+	}
+	if len(irep.Degraded) > 0 {
+		fmt.Printf("degraded sources (needed retries): %s\n", strings.Join(irep.Degraded, " "))
 	}
 
 	cfg := core.Config{
@@ -87,11 +149,11 @@ func main() {
 	case "schema-first":
 		cfg.Order = core.SchemaFirst
 	default:
-		fatal(fmt.Errorf("unknown -order %q (want linkage-first or schema-first)", *order))
+		return fmt.Errorf("unknown -order %q (want linkage-first or schema-first)", *order)
 	}
-	rep, err := core.New(cfg).Run(d)
+	rep, err := core.New(cfg).RunCtx(ctx, d)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	fmt.Printf("pipeline order: %s\n", cfg.Order)
@@ -112,7 +174,7 @@ func main() {
 	if *search != "" {
 		hits, err := rep.Search(*search, 5)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("\n-- top hits for %q --\n", *search)
 		for _, h := range hits {
@@ -156,18 +218,14 @@ func main() {
 		case *metricsJSON:
 			js, err := snap.JSON()
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			fmt.Printf("\n%s\n", js)
 		default:
 			fmt.Printf("\n-- metrics --\n%s", snap.Text())
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "bdirun:", err)
-	os.Exit(1)
+	return nil
 }
 
 func sortedKeys(m map[string]data.Value) []string {

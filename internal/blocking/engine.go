@@ -11,6 +11,9 @@ package blocking
 // list byte-identical to the seed path at any worker count.
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"slices"
 
@@ -18,6 +21,24 @@ import (
 	"repro/internal/obs"
 	"repro/internal/parallel"
 )
+
+// ErrNilKey reports a blocking pass configured without a key function.
+var ErrNilKey = errors.New("blocking: nil key function")
+
+// errSink collects the first error raised along an engine's chain of
+// derived operations (Blocks → Purge → CandidateSet → meta-blocking).
+// Those methods return values, not errors — bufio.Writer-style, the
+// chain keeps running as cheap no-ops once poisoned and the caller
+// reads the sticky error from Engine.Err at the end.
+type errSink struct{ err error }
+
+func (s *errSink) set(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+func (s *errSink) failed() bool { return s != nil && s.err != nil }
 
 // ranker maps record IDs to dense uint32 ranks in lexicographic order,
 // so rank comparisons agree with data.Pair's canonical ID ordering.
@@ -82,6 +103,7 @@ type Engine struct {
 	recs  []*data.Record
 	rk    *ranker
 	ranks []uint32 // record position → rank
+	sink  *errSink // nil on the legacy constructors: errors panic instead
 }
 
 // NewEngine interns the record IDs once (in parallel) and returns an
@@ -97,16 +119,55 @@ func NewEngine(records []*data.Record, workers int) *Engine {
 // obs.Default registry (usually unset, which disables recording at no
 // cost).
 func NewEngineObs(records []*data.Record, workers int, reg *obs.Registry) *Engine {
-	e := &Engine{cfg: parallel.Config{Workers: workers, Obs: obs.OrDefault(reg)}, recs: records}
+	return newEngine(parallel.Config{Workers: workers, Obs: obs.OrDefault(reg)}, nil, records)
+}
+
+// NewEngineCtx is NewEngineObs bound to a context: the parallel passes
+// observe ctx at chunk boundaries, and instead of panicking, any error
+// (cancellation, worker panic, nil key) sticks to the engine — derived
+// operations degrade to cheap no-ops and the caller reads the first
+// error from Err after the chain. This is the constructor the pipeline
+// uses for cancellable runs.
+func NewEngineCtx(ctx context.Context, records []*data.Record, workers int, reg *obs.Registry) *Engine {
+	return newEngine(parallel.Config{Workers: workers, Obs: obs.OrDefault(reg), Ctx: ctx}, &errSink{}, records)
+}
+
+func newEngine(cfg parallel.Config, sink *errSink, records []*data.Record) *Engine {
+	e := &Engine{cfg: cfg, recs: records, sink: sink}
 	ids := make([]string, len(records))
 	for i, r := range records {
 		ids[i] = r.ID
 	}
 	e.rk = newRanker(ids)
-	e.ranks = parallel.MapSlice(e.cfg, records, func(r *data.Record) uint32 {
+	var err error
+	e.ranks, err = parallel.MapSlice(e.cfg, records, func(r *data.Record) uint32 {
 		return e.rk.rank(r.ID)
 	})
+	e.check(err)
 	return e
+}
+
+// Err returns the first error recorded by this engine or anything
+// derived from it. Always nil for engines built without a context.
+func (e *Engine) Err() error {
+	if e.sink == nil {
+		return nil
+	}
+	return e.sink.err
+}
+
+// check records err on the sink; without a sink (legacy constructors)
+// a non-nil error is a programming fault and panics, preserving the
+// historical crash semantics.
+func (e *Engine) check(err error) bool {
+	if err == nil {
+		return false
+	}
+	if e.sink != nil {
+		e.sink.set(err)
+		return true
+	}
+	panic(err)
 }
 
 // Blocks applies key to every record — the expensive tokenisation runs
@@ -116,6 +177,13 @@ func NewEngineObs(records []*data.Record, workers int, reg *obs.Registry) *Engin
 // record input order within every block; keys are sorted, exactly
 // matching the sequential BuildBlocks semantics.
 func (e *Engine) Blocks(key KeyFunc) *Indexed {
+	if e.sink.failed() {
+		return &Indexed{cfg: e.cfg, sink: e.sink, ids: e.rk.ids}
+	}
+	if key == nil {
+		e.check(fmt.Errorf("blocking: engine pass: %w", ErrNilKey))
+		return &Indexed{cfg: e.cfg, sink: e.sink, ids: e.rk.ids}
+	}
 	n := len(e.recs)
 	w := e.cfg.Workers
 	if w <= 0 {
@@ -128,7 +196,7 @@ func (e *Engine) Blocks(key KeyFunc) *Indexed {
 		w = 1
 	}
 	shards := make([]map[string][]uint32, w)
-	parallel.ForEach(parallel.Config{Workers: w}, w, func(s int) {
+	err := parallel.ForEach(parallel.Config{Workers: w, Ctx: e.cfg.Ctx}, w, func(s int) {
 		lo, hi := n*s/w, n*(s+1)/w
 		m := make(map[string][]uint32)
 		var ks keySet
@@ -143,6 +211,9 @@ func (e *Engine) Blocks(key KeyFunc) *Indexed {
 		}
 		shards[s] = m
 	})
+	if e.check(err) {
+		return &Indexed{cfg: e.cfg, sink: e.sink, ids: e.rk.ids}
+	}
 	total := 0
 	for _, m := range shards {
 		total += len(m)
@@ -161,7 +232,7 @@ func (e *Engine) Blocks(key KeyFunc) *Indexed {
 			rows[i] = shards[0][k]
 		}
 	} else {
-		parallel.ForEach(e.cfg, len(keys), func(i int) {
+		err := parallel.ForEach(e.cfg, len(keys), func(i int) {
 			k := keys[i]
 			sz := 0
 			for _, m := range shards {
@@ -173,9 +244,12 @@ func (e *Engine) Blocks(key KeyFunc) *Indexed {
 			}
 			rows[i] = row
 		})
+		if e.check(err) {
+			return &Indexed{cfg: e.cfg, sink: e.sink, ids: e.rk.ids}
+		}
 	}
 	e.cfg.Obs.Counter("blocking.blocks_built").Add(int64(len(keys)))
-	return &Indexed{cfg: e.cfg, ids: e.rk.ids, keys: keys, rows: rows}
+	return &Indexed{cfg: e.cfg, sink: e.sink, ids: e.rk.ids, keys: keys, rows: rows}
 }
 
 // BuildIndexed is the one-shot form of NewEngine(...).Blocks(key): it
@@ -189,9 +263,22 @@ func BuildIndexed(cfg parallel.Config, records []*data.Record, key KeyFunc) *Ind
 // the member ranks in record input order.
 type Indexed struct {
 	cfg  parallel.Config
+	sink *errSink   // shared with the engine; nil on standalone indexes
 	ids  []string   // rank → record ID, sorted ascending
 	keys []string   // sorted block keys
 	rows [][]uint32 // rows[i] = member ranks of keys[i], input order
+}
+
+// check mirrors Engine.check for operations derived from the index.
+func (x *Indexed) check(err error) bool {
+	if err == nil {
+		return false
+	}
+	if x.sink != nil {
+		x.sink.set(err)
+		return true
+	}
+	panic(err)
 }
 
 // Index interns a map-form block collection. Within-block order is
@@ -243,7 +330,7 @@ func (x *Indexed) Purge(maxSize int) *Indexed {
 	if maxSize <= 0 {
 		return x
 	}
-	out := &Indexed{cfg: x.cfg, ids: x.ids}
+	out := &Indexed{cfg: x.cfg, sink: x.sink, ids: x.ids}
 	for i, row := range x.rows {
 		if len(row) <= maxSize {
 			out.keys = append(out.keys, x.keys[i])
@@ -277,7 +364,7 @@ func (x *Indexed) rawCodes() []uint64 {
 		offs[i+1] = offs[i] + len(row)*(len(row)-1)/2
 	}
 	codes := make([]uint64, offs[len(x.rows)])
-	parallel.ForEach(x.cfg, len(x.rows), func(i int) {
+	err := parallel.ForEach(x.cfg, len(x.rows), func(i int) {
 		row := x.rows[i]
 		w := offs[i]
 		for a := 0; a < len(row); a++ {
@@ -287,13 +374,22 @@ func (x *Indexed) rawCodes() []uint64 {
 			}
 		}
 	})
+	if x.check(err) {
+		return nil
+	}
 	return codes
 }
 
 // CandidateSet expands the blocks into the deduplicated packed
 // candidate collection, in the exact order Blocks.Pairs emits.
 func (x *Indexed) CandidateSet() *CandidateSet {
+	if x.sink.failed() {
+		return &CandidateSet{ids: x.ids}
+	}
 	raw := x.rawCodes()
+	if x.sink.failed() {
+		return &CandidateSet{ids: x.ids}
+	}
 	nraw := len(raw)
 	codes := dedupCodesStable(raw)
 	if reg := x.cfg.Obs; reg != nil {

@@ -79,8 +79,14 @@ func (mb MetaBlocker) Candidates(blocks Blocks) []data.Pair {
 
 // Pruned is Candidates on the interned representation, returning the
 // surviving pairs as a packed candidate set in pruning order.
+// Pruning inherits x's context and error sink: on an engine built with
+// NewEngineCtx a cancellation sticks to the engine and Pruned returns
+// an empty candidate set; the caller reads Engine.Err afterwards.
 func (mb MetaBlocker) Pruned(x *Indexed) *CandidateSet {
-	cfg := parallel.Config{Workers: mb.Workers, Obs: obs.OrDefault(mb.Obs)}
+	if x.sink.failed() {
+		return &CandidateSet{ids: x.ids}
+	}
+	cfg := parallel.Config{Workers: mb.Workers, Obs: obs.OrDefault(mb.Obs), Ctx: x.cfg.Ctx}
 	n := len(x.ids)
 
 	// Per-record sorted block-ID sets, filled from one flat buffer.
@@ -115,7 +121,7 @@ func (mb MetaBlocker) Pruned(x *Indexed) *CandidateSet {
 	// linear-merge intersection of the two sorted block-ID sets.
 	nBlocks := float64(len(x.keys))
 	perRec := make([][]iedge, n)
-	parallel.ForEach(cfg, n, func(ri int) {
+	err := parallel.ForEach(cfg, n, func(ri int) {
 		r := uint32(ri)
 		total := 0
 		for _, b := range recBlocks(r) {
@@ -150,6 +156,9 @@ func (mb MetaBlocker) Pruned(x *Indexed) *CandidateSet {
 		}
 		perRec[ri] = edges
 	})
+	if x.check(err) {
+		return &CandidateSet{ids: x.ids}
+	}
 	total := 0
 	for _, es := range perRec {
 		total += len(es)

@@ -86,9 +86,9 @@ func (m MinHashLSH) Candidates(records []*data.Record) []data.Pair {
 	attrs, bands, rows := m.params()
 	n := bands * rows
 	eng := NewEngine(records, m.Workers)
-	sigs := parallel.MapSlice(eng.cfg, records, func(r *data.Record) []uint64 {
+	sigs := parallel.Must(parallel.MapSlice(eng.cfg, records, func(r *data.Record) []uint64 {
 		return m.signature(r, attrs, n)
-	})
+	}))
 	buckets := map[uint64][]uint32{} // band-hash → record ranks, input order
 	for i := range records {
 		sig := sigs[i]

@@ -35,7 +35,7 @@ func (sn SortedNeighborhood) Candidates(records []*data.Record) []data.Pair {
 			k    string
 			rank uint32
 		}
-		keyed := parallel.MapSlice(cfg, records, func(r *data.Record) []string { return key(r) })
+		keyed := parallel.Must(parallel.MapSlice(cfg, records, func(r *data.Record) []string { return key(r) }))
 		entries := make([]entry, 0, len(records))
 		for i := range records {
 			ks := keyed[i]

@@ -6,6 +6,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -42,6 +44,18 @@ func (o Order) String() string {
 	}
 	return fmt.Sprintf("order(%d)", int(o))
 }
+
+// Sentinel errors for constructor-time misconfigurations. Validate and
+// the Build* helpers wrap these with the offending name, so callers can
+// branch with errors.Is while still seeing the typo in the message.
+var (
+	// ErrUnknownOrder is returned for stage orders outside the enum.
+	ErrUnknownOrder = errors.New("core: unknown stage order")
+	// ErrUnknownClusterer is returned for unrecognised clusterer names.
+	ErrUnknownClusterer = errors.New("core: unknown clusterer")
+	// ErrUnknownFuser is returned for unrecognised fuser names.
+	ErrUnknownFuser = errors.New("core: unknown fuser")
+)
 
 // ZeroThreshold is the sentinel meaning "explicitly zero" for the
 // threshold fields, whose literal zero value means "use the default"
@@ -83,6 +97,12 @@ type Config struct {
 	// default NumCPU via parallel pkg. Results are identical for any
 	// value.
 	Workers int
+
+	// StageTimeout, when positive, bounds each top-level stage (linkage,
+	// alignment, fusion) with its own deadline. A stage that overruns is
+	// cancelled at the next chunk boundary and RunCtx returns an error
+	// satisfying errors.Is(err, context.DeadlineExceeded).
+	StageTimeout time.Duration
 
 	// NoFeatureIndex disables the per-record feature cache in matching
 	// (each pair re-tokenises its records). Matching output is identical
@@ -172,12 +192,12 @@ func (c Config) Validate() error {
 	switch c.Order {
 	case LinkageFirst, SchemaFirst:
 	default:
-		return fmt.Errorf("core: unknown stage order %v (want linkage-first or schema-first)", c.Order)
+		return fmt.Errorf("%w %v (want linkage-first or schema-first)", ErrUnknownOrder, c.Order)
 	}
 	switch c.Clusterer {
 	case "", "components", "center", "merge", "correlation", "swoosh":
 	default:
-		return fmt.Errorf("core: unknown clusterer %q (want components, center, merge, correlation or swoosh)", c.Clusterer)
+		return fmt.Errorf("%w %q (want components, center, merge, correlation or swoosh)", ErrUnknownClusterer, c.Clusterer)
 	}
 	if _, err := BuildFuser(c.Fuser); err != nil {
 		return err
@@ -195,16 +215,28 @@ func (c Config) Validate() error {
 // the process default; nil disables).
 func (p *Pipeline) reg() *obs.Registry { return obs.OrDefault(p.cfg.Obs) }
 
-// Run executes the pipeline over a dataset. Stage timings are recorded
-// as a span tree rooted at "pipeline" (visible in metric snapshots when
-// a registry is attached); Report.StageTime is derived from that tree,
-// so its keys and values match the historical ad-hoc bookkeeping.
+// Run executes the pipeline over a dataset with no cancellation. Stage
+// timings are recorded as a span tree rooted at "pipeline" (visible in
+// metric snapshots when a registry is attached); Report.StageTime is
+// derived from that tree, so its keys and values match the historical
+// ad-hoc bookkeeping.
 func (p *Pipeline) Run(d *data.Dataset) (*Report, error) {
+	return p.RunCtx(context.Background(), d)
+}
+
+// RunCtx is Run under a context: cancelling ctx stops the pipeline at
+// the next parallel chunk boundary and returns an error satisfying
+// errors.Is(err, ctx.Err()). Config.StageTimeout additionally bounds
+// each top-level stage with its own deadline.
+func (p *Pipeline) RunCtx(ctx context.Context, d *data.Dataset) (*Report, error) {
 	if err := p.cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if d == nil || d.NumRecords() == 0 {
 		return nil, fmt.Errorf("core: empty dataset")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	rep := &Report{StageTime: map[string]time.Duration{}}
 	// StartSpan returns a live span even on a nil registry, so the
@@ -213,9 +245,9 @@ func (p *Pipeline) Run(d *data.Dataset) (*Report, error) {
 	var err error
 	switch p.cfg.Order {
 	case SchemaFirst:
-		rep, err = p.runSchemaFirst(d, rep, root)
+		rep, err = p.runSchemaFirst(ctx, d, rep, root)
 	default:
-		rep, err = p.runLinkageFirst(d, rep, root)
+		rep, err = p.runLinkageFirst(ctx, d, rep, root)
 	}
 	root.End()
 	if err != nil {
@@ -227,30 +259,67 @@ func (p *Pipeline) Run(d *data.Dataset) (*Report, error) {
 	return rep, nil
 }
 
-func (p *Pipeline) runLinkageFirst(d *data.Dataset, rep *Report, root *obs.Span) (*Report, error) {
-	if err := p.linkStage(d, rep, root); err != nil {
+// stageCtx derives the per-stage context: the run context, further
+// bounded by StageTimeout when configured. The returned cancel must be
+// called when the stage ends to release the timer.
+func (p *Pipeline) stageCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if p.cfg.StageTimeout > 0 {
+		return context.WithTimeout(ctx, p.cfg.StageTimeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// runStage runs one top-level stage under its derived context, mapping
+// a stage-deadline overrun back to context.DeadlineExceeded even when
+// the stage surfaced it through a wrapped parallel error.
+func (p *Pipeline) runStage(ctx context.Context, name string, f func(context.Context) error) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: %s stage: %w", name, err)
+	}
+	sctx, cancel := p.stageCtx(ctx)
+	defer cancel()
+	if err := f(sctx); err != nil {
+		return fmt.Errorf("core: %s stage: %w", name, err)
+	}
+	return nil
+}
+
+func (p *Pipeline) runLinkageFirst(ctx context.Context, d *data.Dataset, rep *Report, root *obs.Span) (*Report, error) {
+	if err := p.runStage(ctx, "linkage", func(sctx context.Context) error {
+		return p.linkStage(sctx, d, rep, root)
+	}); err != nil {
 		return nil, err
 	}
-	if err := p.alignStage(d, rep, rep.Clusters, root); err != nil {
+	if err := p.runStage(ctx, "alignment", func(sctx context.Context) error {
+		return p.alignStage(sctx, d, rep, rep.Clusters, root)
+	}); err != nil {
 		return nil, err
 	}
-	if err := p.fuseStage(rep, root); err != nil {
+	if err := p.runStage(ctx, "fusion", func(sctx context.Context) error {
+		return p.fuseStage(sctx, rep, root)
+	}); err != nil {
 		return nil, err
 	}
 	return rep, nil
 }
 
-func (p *Pipeline) runSchemaFirst(d *data.Dataset, rep *Report, root *obs.Span) (*Report, error) {
+func (p *Pipeline) runSchemaFirst(ctx context.Context, d *data.Dataset, rep *Report, root *obs.Span) (*Report, error) {
 	// Align with name+instance evidence only (no clusters yet).
-	if err := p.alignStage(d, rep, nil, root); err != nil {
+	if err := p.runStage(ctx, "alignment", func(sctx context.Context) error {
+		return p.alignStage(sctx, d, rep, nil, root)
+	}); err != nil {
 		return nil, err
 	}
 	// Link over the normalised dataset.
-	if err := p.linkStage(rep.Normalized, rep, root); err != nil {
+	if err := p.runStage(ctx, "linkage", func(sctx context.Context) error {
+		return p.linkStage(sctx, rep.Normalized, rep, root)
+	}); err != nil {
 		return nil, err
 	}
 	// Rebuild claims with the final clusters.
-	if err := p.fuseStage(rep, root); err != nil {
+	if err := p.runStage(ctx, "fusion", func(sctx context.Context) error {
+		return p.fuseStage(sctx, rep, root)
+	}); err != nil {
 		return nil, err
 	}
 	return rep, nil
@@ -260,7 +329,7 @@ func (p *Pipeline) runSchemaFirst(d *data.Dataset, rep *Report, root *obs.Span) 
 // candidates packed inside the blocking engine's CandidateSet all the
 // way to the matcher; MaterializeCandidates restores the historical
 // pair-slice path for ablations.
-func (p *Pipeline) linkStage(d *data.Dataset, rep *Report, root *obs.Span) error {
+func (p *Pipeline) linkStage(ctx context.Context, d *data.Dataset, rep *Report, root *obs.Span) error {
 	reg := p.reg()
 	records := d.Records()
 
@@ -271,6 +340,10 @@ func (p *Pipeline) linkStage(d *data.Dataset, rep *Report, root *obs.Span) error
 		cs         *blocking.CandidateSet // streaming path
 	)
 	if p.cfg.MaterializeCandidates {
+		if err := ctx.Err(); err != nil {
+			sp.End()
+			return err
+		}
 		blocks := blocking.BuildBlocks(records, keyFn).Purge(p.cfg.MaxBlock)
 		if p.cfg.MetaBlock {
 			candidates = blocking.MetaBlocker{
@@ -288,7 +361,7 @@ func (p *Pipeline) linkStage(d *data.Dataset, rep *Report, root *obs.Span) error
 		candidates = dedupePairs(candidates)
 		rep.Candidates = len(candidates)
 	} else {
-		eng := blocking.NewEngineObs(records, p.cfg.Workers, reg)
+		eng := blocking.NewEngineCtx(ctx, records, p.cfg.Workers, reg)
 		idx := eng.Blocks(keyFn).Purge(p.cfg.MaxBlock)
 		var base *blocking.CandidateSet
 		if p.cfg.MetaBlock {
@@ -303,6 +376,12 @@ func (p *Pipeline) linkStage(d *data.Dataset, rep *Report, root *obs.Span) error
 		sets := []*blocking.CandidateSet{base}
 		for _, attr := range p.cfg.IdentifierAttrs {
 			sets = append(sets, eng.Blocks(blocking.AttrExactKey(attr)).CandidateSet())
+		}
+		// Err surfaces any cancellation or worker panic the engine's sink
+		// recorded; the recorded error already names the failing pass.
+		if err := eng.Err(); err != nil {
+			sp.End()
+			return err
 		}
 		cs = blocking.UnionCandidates(sets...)
 		rep.Candidates = cs.Len()
@@ -320,6 +399,7 @@ func (p *Pipeline) linkStage(d *data.Dataset, rep *Report, root *obs.Span) error
 		return cs.Pairs()
 	}, sp)
 	if err != nil {
+		sp.End()
 		return err
 	}
 	scorer := matcher
@@ -327,16 +407,21 @@ func (p *Pipeline) linkStage(d *data.Dataset, rep *Report, root *obs.Span) error
 		scorer = linkage.NoIndex(matcher)
 	}
 	if p.cfg.MaterializeCandidates {
-		rep.Matched = linkage.MatchPairsObs(d, candidates, scorer, p.cfg.Workers, reg)
+		rep.Matched, err = linkage.MatchPairsCtx(ctx, d, candidates, scorer, p.cfg.Workers, reg)
 	} else {
-		rep.Matched = linkage.MatchPairsFromObs(d, cs, scorer, p.cfg.Workers, reg)
+		rep.Matched, err = linkage.MatchPairsFromCtx(ctx, d, cs, scorer, p.cfg.Workers, reg)
+	}
+	if err != nil {
+		sp.End()
+		return fmt.Errorf("matching: %w", err)
 	}
 	sp.End()
 
 	sp = root.Child("clustering")
 	if p.cfg.Clusterer == "swoosh" {
-		clusters, err := p.swooshCluster(d, records, rep.Matched, matcher)
+		clusters, err := p.swooshCluster(ctx, d, records, rep.Matched, matcher)
 		if err != nil {
+			sp.End()
 			return err
 		}
 		rep.Clusters = clusters
@@ -363,7 +448,7 @@ func (p *Pipeline) linkStage(d *data.Dataset, rep *Report, root *obs.Span) error
 // match graph (the candidate groups), so merged evidence can recruit
 // records the pairwise matcher missed, without paying O(n²) over the
 // whole corpus.
-func (p *Pipeline) swooshCluster(d *data.Dataset, records []*data.Record,
+func (p *Pipeline) swooshCluster(ctx context.Context, d *data.Dataset, records []*data.Record,
 	matched []data.ScoredPair, matcher linkage.Matcher) (data.Clustering, error) {
 	var ids []string
 	for _, r := range records {
@@ -379,6 +464,11 @@ func (p *Pipeline) swooshCluster(d *data.Dataset, records []*data.Record,
 		if len(group) < 2 {
 			continue
 		}
+		// Groups resolve sequentially, so the group boundary is the
+		// cancellation granularity for this clusterer.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("swoosh clustering: %w", err)
+		}
 		recs := make([]*data.Record, 0, len(group))
 		for _, id := range group {
 			if r := d.Record(id); r != nil {
@@ -387,7 +477,7 @@ func (p *Pipeline) swooshCluster(d *data.Dataset, records []*data.Record,
 		}
 		resolved, _, err := sw.Resolve(recs)
 		if err != nil {
-			return nil, fmt.Errorf("core: swoosh clustering: %w", err)
+			return nil, fmt.Errorf("swoosh clustering: %w", err)
 		}
 		for _, cl := range resolved {
 			for i := 1; i < len(cl); i++ {
@@ -487,12 +577,19 @@ func (p *Pipeline) buildClusterer() linkage.Clusterer {
 
 // alignStage: profiling → (optional linkage evidence) → mediated schema
 // → transforms → normalisation.
-func (p *Pipeline) alignStage(d *data.Dataset, rep *Report, clusters data.Clustering, root *obs.Span) error {
+func (p *Pipeline) alignStage(ctx context.Context, d *data.Dataset, rep *Report, clusters data.Clustering, root *obs.Span) error {
 	reg := p.reg()
 	sp := root.Child("alignment")
+	defer sp.End()
+	// Alignment's phases are sequential and cheap relative to linkage and
+	// fusion, so cancellation is checked at phase boundaries rather than
+	// threaded into the profiler.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	sub := sp.Child("align")
 	profiles := schema.Profiler{}.Build(d)
-	aligner := schema.Aligner{Threshold: p.cfg.AlignThreshold}
+	aligner := schema.Aligner{Threshold: p.cfg.AlignThreshold, Ctx: ctx}
 	if clusters != nil {
 		le := schema.NewLinkageEvidence(d, clusters)
 		aligner.Evidence = le.Blend
@@ -500,28 +597,36 @@ func (p *Pipeline) alignStage(d *data.Dataset, rep *Report, clusters data.Cluste
 	ms, err := aligner.Align(profiles)
 	sub.End()
 	if err != nil {
-		return fmt.Errorf("core: schema alignment: %w", err)
+		return fmt.Errorf("schema alignment: %w", err)
 	}
 	rep.Schema = ms
 	if clusters != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		sub = sp.Child("transforms")
-		rep.Transforms = schema.DiscoverTransforms(d, clusters, ms, 3)
+		rep.Transforms, err = schema.DiscoverTransformsCtx(ctx, d, clusters, ms, 3)
 		sub.End()
+		if err != nil {
+			return fmt.Errorf("transform discovery: %w", err)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	sub = sp.Child("normalize")
 	norm := schema.NewNormalizer(ms, rep.Transforms)
 	rep.Normalized = norm.ApplyAll(d)
 	sub.End()
-	sp.End()
 	reg.Counter("alignment.mediated_attrs").Add(int64(len(ms.Attrs)))
 	reg.Counter("alignment.transforms").Add(int64(len(rep.Transforms)))
 	return nil
 }
 
 // fuseStage: claims over (cluster, mediated attribute) → fusion.
-func (p *Pipeline) fuseStage(rep *Report, root *obs.Span) error {
+func (p *Pipeline) fuseStage(ctx context.Context, rep *Report, root *obs.Span) error {
 	if rep.Normalized == nil || rep.Clusters == nil {
-		return fmt.Errorf("core: fusion requires alignment and linkage results")
+		return fmt.Errorf("fusion requires alignment and linkage results")
 	}
 	sp := root.Child("fusion")
 	defer sp.End()
@@ -533,13 +638,13 @@ func (p *Pipeline) fuseStage(rep *Report, root *obs.Span) error {
 	attrs = dedupeStrings(attrs)
 	rep.Claims = data.ClaimsFromClusters(rep.Normalized, rep.Clusters, attrs)
 	sub.End()
-	fuser, err := BuildFuserObs(p.cfg.Fuser, p.cfg.Workers, p.reg())
+	fuser, err := BuildFuserCtx(ctx, p.cfg.Fuser, p.cfg.Workers, p.reg())
 	if err != nil {
 		return err
 	}
 	res, err := fuser.Fuse(rep.Claims)
 	if err != nil {
-		return fmt.Errorf("core: fusion: %w", err)
+		return fmt.Errorf("fusion: %w", err)
 	}
 	rep.Fusion = res
 	return nil
@@ -559,21 +664,28 @@ func BuildFuserWith(name string, workers int) (fusion.Fuser, error) {
 // BuildFuserObs is BuildFuserWith with an attached metrics registry:
 // the fuser records "fusion." index sizes and EM convergence metrics.
 func BuildFuserObs(name string, workers int, reg *obs.Registry) (fusion.Fuser, error) {
+	return BuildFuserCtx(nil, name, workers, reg)
+}
+
+// BuildFuserCtx is BuildFuserObs with a cancellation context wired into
+// the fuser's parallel passes (nil never cancels). Unknown names return
+// an error wrapping ErrUnknownFuser.
+func BuildFuserCtx(ctx context.Context, name string, workers int, reg *obs.Registry) (fusion.Fuser, error) {
 	switch name {
 	case "", "vote":
-		return fusion.MajorityVote{Workers: workers, Obs: reg}, nil
+		return fusion.MajorityVote{Workers: workers, Obs: reg, Ctx: ctx}, nil
 	case "truthfinder":
-		return fusion.TruthFinder{Workers: workers, Obs: reg}, nil
+		return fusion.TruthFinder{Workers: workers, Obs: reg, Ctx: ctx}, nil
 	case "accu":
-		return fusion.ACCU{Workers: workers, Obs: reg}, nil
+		return fusion.ACCU{Workers: workers, Obs: reg, Ctx: ctx}, nil
 	case "popaccu":
-		return fusion.ACCU{Popularity: true, Workers: workers, Obs: reg}, nil
+		return fusion.ACCU{Popularity: true, Workers: workers, Obs: reg, Ctx: ctx}, nil
 	case "accucopy":
-		return fusion.ACCUCOPY{Accu: fusion.ACCU{Workers: workers, Obs: reg}}, nil
+		return fusion.ACCUCOPY{Accu: fusion.ACCU{Workers: workers, Obs: reg, Ctx: ctx}}, nil
 	case "numeric":
 		return fusion.NumericFusion{}, nil
 	default:
-		return nil, fmt.Errorf("core: unknown fuser %q", name)
+		return nil, fmt.Errorf("%w %q", ErrUnknownFuser, name)
 	}
 }
 

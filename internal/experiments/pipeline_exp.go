@@ -414,6 +414,8 @@ func (r Runner) Run(id string) (*Table, error) {
 		tab, _, err = E21(seed)
 	case "E22":
 		tab, _, err = E22(seed)
+	case "E23":
+		tab, _, err = E23(seed)
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 	}
@@ -421,10 +423,11 @@ func (r Runner) Run(id string) (*Table, error) {
 }
 
 // All lists the experiment IDs in order. E1–E14 reproduce the surveyed
-// result shapes; E15–E18 cover the extension features and ablations.
+// result shapes; E15–E23 cover the extension features, ablations and
+// the fault-injection chaos sweep.
 func All() []string {
 	return []string{
 		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
-		"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22",
+		"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23",
 	}
 }

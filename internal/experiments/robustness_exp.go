@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/eval"
+	"repro/internal/source"
+	"repro/internal/source/faults"
+)
+
+// E23Result is the structured output of E23: per fault rate, how the
+// ingestion degraded and what linkage quality survived.
+type E23Result struct {
+	Rates []float64
+	// Survived[rate] = sources ingested out of Total.
+	Survived map[float64]int
+	Total    int
+	// Dropped[rate] lists the dropped source IDs (sorted).
+	Dropped map[float64][]string
+	// Attempts[rate] = total fetch attempts the ingestor issued.
+	Attempts map[float64]int
+	// LinkF1[rate] = linkage F1 over the ingested dataset's own ground
+	// truth (so quality is judged on the data that actually arrived).
+	LinkF1 map[float64]float64
+}
+
+// E23 — ingestion under faults (Veracity): a fleet of sources is
+// wrapped in a seeded fault injector (transient errors, dead sources,
+// truncated payloads) at increasing rates, ingested through the
+// resilient Ingestor (retry/backoff/circuit breaking), and the
+// survivors run through the full integration pipeline. The pipeline
+// completes at every rate; the report names exactly what was dropped,
+// and linkage quality over the surviving data stays high — graceful
+// degradation rather than collapse.
+func E23(seed int64) (*Table, *E23Result, error) {
+	w := datagen.NewWorld(datagen.WorldConfig{Seed: seed, NumEntities: 40})
+	web := datagen.BuildWeb(w, datagen.SourceConfig{
+		Seed: seed + 1, NumSources: 12, DirtLevel: 1,
+		IdentifierRate: 0.9, Heterogeneity: 0.6,
+		HeadFraction: 0.4, TailCoverage: 0.3,
+	})
+	base := source.FromWeb(web)
+
+	res := &E23Result{
+		Rates:    []float64{0, 0.15, 0.3, 0.45, 0.6},
+		Survived: map[float64]int{},
+		Dropped:  map[float64][]string{},
+		Attempts: map[float64]int{},
+		LinkF1:   map[float64]float64{},
+		Total:    len(base),
+	}
+	tab := &Table{
+		ID: "E23", Title: "ingestion under faults (Veracity)",
+		Columns: []string{"fault rate", "sources ok", "dropped", "records", "attempts", "link F1", "elapsed"},
+	}
+
+	ctx := context.Background()
+	for _, rate := range res.Rates {
+		// Re-wrap per rate: the injector's RNG state advances with each
+		// fetch, so a fresh wrap anchors the schedule to the seed.
+		fleet := base
+		if rate > 0 {
+			fleet = faults.WrapAll(base, faults.Config{
+				Seed:          seed + 7,
+				TransientRate: rate,
+				DeadRate:      rate / 4,
+				TruncateRate:  rate / 3,
+			})
+		}
+		ing := source.NewIngestor(source.IngestConfig{
+			Retries:     3,
+			BaseBackoff: 50 * time.Microsecond,
+			MaxBackoff:  500 * time.Microsecond,
+		})
+		start := time.Now()
+		d, rep, err := ing.Ingest(ctx, fleet)
+		if err != nil && !errors.Is(err, source.ErrTooFewSources) {
+			return nil, nil, err
+		}
+		res.Survived[rate] = rep.Succeeded
+		res.Dropped[rate] = rep.Dropped
+		res.Attempts[rate] = rep.Attempts
+
+		f1 := 0.0
+		if rep.Succeeded > 0 {
+			prep, err := core.New(core.Config{}).RunCtx(ctx, d)
+			if err != nil {
+				return nil, nil, fmt.Errorf("experiments: E23 pipeline at rate %.2f: %w", rate, err)
+			}
+			f1 = eval.Clusters(prep.Clusters, d.GroundTruthClusters()).F1
+		}
+		res.LinkF1[rate] = f1
+		elapsed := time.Since(start)
+
+		dropped := "-"
+		if len(rep.Dropped) > 0 {
+			dropped = strings.Join(rep.Dropped, " ")
+		}
+		tab.Rows = append(tab.Rows, []string{
+			f3(rate),
+			fmt.Sprintf("%d/%d", rep.Succeeded, rep.Total),
+			dropped,
+			d1(rep.Records),
+			d1(rep.Attempts),
+			f4(f1),
+			elapsed.Round(time.Millisecond).String(),
+		})
+	}
+	tab.Notes = "the pipeline completes at every fault rate; drops are named exactly and linkage quality over the surviving data degrades gracefully"
+	return tab, res, nil
+}

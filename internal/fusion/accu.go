@@ -1,6 +1,7 @@
 package fusion
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -39,6 +40,8 @@ type ACCU struct {
 	// Obs records "fusion." metrics (index sizes, EM iterations and
 	// per-iteration convergence deltas) when set.
 	Obs *obs.Registry
+	// Ctx cancels the EM at chunk boundaries; nil never cancels.
+	Ctx context.Context
 
 	// Similarity, when set, enables the AccuSim variant: a value's vote
 	// score is boosted by the scores of *similar* values, so "2999" and
@@ -87,7 +90,10 @@ func (a ACCU) params() (n, acc0 float64, maxIter int, eps float64) {
 
 // Fuse implements Fuser.
 func (a ACCU) Fuse(cs *data.ClaimSet) (*Result, error) {
-	ci := buildIndex(cs, parallel.Config{Workers: a.Workers, Obs: a.Obs})
+	ci, err := buildIndex(cs, parallel.Config{Workers: a.Workers, Obs: a.Obs, Ctx: a.Ctx})
+	if err != nil {
+		return nil, err
+	}
 	return a.fuseOn(ci, nil)
 }
 
@@ -110,13 +116,15 @@ func (a ACCU) fuseOn(ci *claimIndex, snap func(*Result)) (*Result, error) {
 	var disc []float64
 	if a.copyDiscount != nil {
 		disc = make([]float64, len(ci.supSrc))
-		parallel.ForEach(cfg, ci.numValues(), func(v int) {
+		if err := parallel.ForEach(cfg, ci.numValues(), func(v int) {
 			it := ci.items[ci.valItem[v]]
 			k := ci.valKeys[v]
 			for e := ci.supOff[v]; e < ci.supOff[v+1]; e++ {
 				disc[e] = a.copyDiscount(it, k, ci.sources[ci.supSrc[e]])
 			}
-		})
+		}); err != nil {
+			return nil, err
+		}
 	}
 
 	rho := a.SimInfluence
@@ -143,7 +151,7 @@ func (a ACCU) fuseOn(ci *claimIndex, snap func(*Result)) (*Result, error) {
 		for s := range acc {
 			clamped[s] = clampF(acc[s], minAcc, maxAcc)
 		}
-		parallel.ForEach(cfg, len(ci.items), func(i int) {
+		if err := parallel.ForEach(cfg, len(ci.items), func(i int) {
 			lo, hi := ci.valOff[i], ci.valOff[i+1]
 			effN := n
 			if a.Popularity {
@@ -185,11 +193,13 @@ func (a ACCU) fuseOn(ci *claimIndex, snap func(*Result)) (*Result, error) {
 				src = adj
 			}
 			softmaxRange(src, post, lo, hi)
-		})
+		}); err != nil {
+			return nil, err
+		}
 		// M: accuracies from posteriors. Sources are independent; each
 		// writes only its own slot, summing its claims' posteriors in
 		// claim insertion order.
-		parallel.ForEach(cfg, len(ci.sources), func(s int) {
+		if err := parallel.ForEach(cfg, len(ci.sources), func(s int) {
 			lo, hi := ci.srcOff[s], ci.srcOff[s+1]
 			if lo == hi {
 				delta[s] = 0
@@ -202,7 +212,9 @@ func (a ACCU) fuseOn(ci *claimIndex, snap func(*Result)) (*Result, error) {
 			next := clampF(sum/float64(hi-lo), minAcc, maxAcc)
 			delta[s] = math.Abs(next - acc[s])
 			acc[s] = next
-		})
+		}); err != nil {
+			return nil, err
+		}
 		maxDelta := 0.0
 		for _, d := range delta {
 			if d > maxDelta {
@@ -232,7 +244,10 @@ func (a ACCU) fuseOn(ci *claimIndex, snap func(*Result)) (*Result, error) {
 // O(items) per iteration — not the quadratic re-run-per-prefix the
 // first implementation paid.
 func (a ACCU) FuseTrace(cs *data.ClaimSet) ([]*Result, error) {
-	ci := buildIndex(cs, parallel.Config{Workers: a.Workers, Obs: a.Obs})
+	ci, err := buildIndex(cs, parallel.Config{Workers: a.Workers, Obs: a.Obs, Ctx: a.Ctx})
+	if err != nil {
+		return nil, err
+	}
 	var trace []*Result
 	if _, err := a.fuseOn(ci, func(r *Result) { trace = append(trace, r) }); err != nil {
 		return nil, err

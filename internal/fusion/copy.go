@@ -80,14 +80,15 @@ const (
 // interned index; per-pair agreement counts are integers, so the
 // posteriors are deterministic for any worker count.
 func (cd CopyDetector) Detect(cs *data.ClaimSet, truth *Result, accuracy map[string]float64) map[SourcePair]float64 {
-	return cd.detectOn(buildIndex(cs, parallel.Config{Workers: cd.Workers}), truth, accuracy)
+	ci := parallel.Must(buildIndex(cs, parallel.Config{Workers: cd.Workers}))
+	return parallel.Must(cd.detectOn(ci, truth, accuracy))
 }
 
 // srcClaim is one deduplicated claim of a source: the item rank and the
 // global value index claimed.
 type srcClaim struct{ item, val uint32 }
 
-func (cd CopyDetector) detectOn(ci *claimIndex, truth *Result, accuracy map[string]float64) map[SourcePair]float64 {
+func (cd CopyDetector) detectOn(ci *claimIndex, truth *Result, accuracy map[string]float64) (map[SourcePair]float64, error) {
 	alpha, c, n, minOv := cd.params()
 	cfg := ci.cfg
 	nSrc := len(ci.sources)
@@ -96,7 +97,7 @@ func (cd CopyDetector) detectOn(ci *claimIndex, truth *Result, accuracy map[stri
 	// last claim a source made about an item; the sorted lists below
 	// preserve that by keeping the last entry of each item run.
 	truthIdx := make([]uint32, len(ci.items))
-	parallel.ForEach(cfg, len(ci.items), func(i int) {
+	if err := parallel.ForEach(cfg, len(ci.items), func(i int) {
 		truthIdx[i] = noTruth
 		if cd.IgnoreTruth || truth == nil {
 			return
@@ -110,11 +111,13 @@ func (cd CopyDetector) detectOn(ci *claimIndex, truth *Result, accuracy map[stri
 		} else {
 			truthIdx[i] = truthUnclaimed
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 
 	// Per-source claim lists sorted by item, last claim wins.
 	lists := make([][]srcClaim, nSrc)
-	parallel.ForEach(cfg, nSrc, func(s int) {
+	if err := parallel.ForEach(cfg, nSrc, func(s int) {
 		lo, hi := ci.srcOff[s], ci.srcOff[s+1]
 		lst := make([]srcClaim, 0, hi-lo)
 		for c := lo; c < hi; c++ {
@@ -130,13 +133,15 @@ func (cd CopyDetector) detectOn(ci *claimIndex, truth *Result, accuracy map[stri
 			ded = append(ded, sc)
 		}
 		lists[s] = ded
-	})
+	}); err != nil {
+		return nil, err
+	}
 
 	// Score every pair; each writes only its own slot.
 	nPairs := nSrc * (nSrc - 1) / 2
 	post := make([]float64, nPairs)
 	scored := make([]bool, nPairs)
-	parallel.ForEachPair(cfg, nSrc, func(k, i, j int) {
+	if err := parallel.ForEachPair(cfg, nSrc, func(k, i, j int) {
 		kt, kf, kd := 0, 0, 0
 		li, lj := lists[i], lists[j]
 		for a, b := 0, 0; a < len(li) && b < len(lj); {
@@ -190,7 +195,9 @@ func (cd CopyDetector) detectOn(ci *claimIndex, truth *Result, accuracy map[stri
 		m := math.Max(lc, li2)
 		post[k] = math.Exp(lc-m) / (math.Exp(lc-m) + math.Exp(li2-m))
 		scored[k] = true
-	})
+	}); err != nil {
+		return nil, err
+	}
 
 	out := map[SourcePair]float64{}
 	k := 0
@@ -202,7 +209,7 @@ func (cd CopyDetector) detectOn(ci *claimIndex, truth *Result, accuracy map[stri
 			k++
 		}
 	}
-	return out
+	return out, nil
 }
 
 func defaultAcc(accuracy map[string]float64, s string) float64 {
@@ -234,7 +241,11 @@ func (ACCUCOPY) Name() string { return "accucopy" }
 
 // Fuse implements Fuser.
 func (ac ACCUCOPY) Fuse(cs *data.ClaimSet) (*Result, error) {
-	res, _, err := ac.fuse(buildIndex(cs, parallel.Config{Workers: ac.Accu.Workers, Obs: ac.Accu.Obs}))
+	ci, err := buildIndex(cs, parallel.Config{Workers: ac.Accu.Workers, Obs: ac.Accu.Obs, Ctx: ac.Accu.Ctx})
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := ac.fuse(ci)
 	return res, err
 }
 
@@ -267,8 +278,14 @@ func (ac ACCUCOPY) fuse(ci *claimIndex) (*Result, map[SourcePair]float64, error)
 			}
 			det.IgnoreTruth = true
 		}
-		copies = det.detectOn(ci, res, accIn)
-		discounts := buildDiscounts(ci, copies, res.SourceAccuracy, c)
+		copies, err = det.detectOn(ci, res, accIn)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fusion: accucopy detect pass %d: %w", iter+1, err)
+		}
+		discounts, err := buildDiscounts(ci, copies, res.SourceAccuracy, c)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fusion: accucopy discount pass %d: %w", iter+1, err)
+		}
 		withDiscount := accu
 		withDiscount.copyDiscount = func(it data.Item, valueKey, source string) float64 {
 			if d, ok := discounts[discountKey{it, valueKey, source}]; ok {
@@ -288,12 +305,18 @@ func (ac ACCUCOPY) fuse(ci *claimIndex) (*Result, map[SourcePair]float64, error)
 // CopyProbabilities runs the full loop and returns the final pairwise
 // copy posteriors alongside the fused result.
 func (ac ACCUCOPY) CopyProbabilities(cs *data.ClaimSet) (*Result, map[SourcePair]float64, error) {
-	ci := buildIndex(cs, parallel.Config{Workers: ac.Accu.Workers, Obs: ac.Accu.Obs})
+	ci, err := buildIndex(cs, parallel.Config{Workers: ac.Accu.Workers, Obs: ac.Accu.Obs, Ctx: ac.Accu.Ctx})
+	if err != nil {
+		return nil, nil, err
+	}
 	res, _, err := ac.fuse(ci)
 	if err != nil {
 		return nil, nil, err
 	}
-	copies := ac.Detector.detectOn(ci, res, res.SourceAccuracy)
+	copies, err := ac.Detector.detectOn(ci, res, res.SourceAccuracy)
+	if err != nil {
+		return nil, nil, err
+	}
 	return res, copies, nil
 }
 
@@ -310,13 +333,13 @@ type discountKey struct {
 // it copied from any preceding claimant. Per-item entries compute in
 // parallel; the map assembles sequentially in item order.
 func buildDiscounts(ci *claimIndex, copies map[SourcePair]float64,
-	accuracy map[string]float64, copyRate float64) map[discountKey]float64 {
+	accuracy map[string]float64, copyRate float64) (map[discountKey]float64, error) {
 	type entry struct {
 		key discountKey
 		d   float64
 	}
 	perItem := make([][]entry, len(ci.items))
-	parallel.ForEach(ci.cfg, len(ci.items), func(i int) {
+	if err := parallel.ForEach(ci.cfg, len(ci.items), func(i int) {
 		var ents []entry
 		it := ci.items[i]
 		for v := ci.valOff[i]; v < ci.valOff[i+1]; v++ {
@@ -342,12 +365,14 @@ func buildDiscounts(ci *claimIndex, copies map[SourcePair]float64,
 			}
 		}
 		perItem[i] = ents
-	})
+	}); err != nil {
+		return nil, err
+	}
 	out := map[discountKey]float64{}
 	for _, ents := range perItem {
 		for _, e := range ents {
 			out[e.key] = e.d
 		}
 	}
-	return out
+	return out, nil
 }

@@ -48,8 +48,9 @@ type claimIndex struct {
 
 // buildIndex interns a claim set. The per-item value tallies build in
 // parallel (each item is independent); the flat layout is concatenated
-// sequentially so offsets are identical for any worker count.
-func buildIndex(cs *data.ClaimSet, cfg parallel.Config) *claimIndex {
+// sequentially so offsets are identical for any worker count. The error
+// is a cfg.Ctx cancellation or a recovered worker panic.
+func buildIndex(cs *data.ClaimSet, cfg parallel.Config) (*claimIndex, error) {
 	ci := &claimIndex{cfg: cfg, items: cs.Items(), sources: cs.Sources()}
 
 	srcRank := make(map[string]uint32, len(ci.sources))
@@ -68,7 +69,7 @@ func buildIndex(cs *data.ClaimSet, cfg parallel.Config) *claimIndex {
 		sup  [][]uint32
 	}
 	cols := make([]itemCols, len(ci.items))
-	parallel.ForEach(cfg, len(ci.items), func(i int) {
+	err := parallel.ForEach(cfg, len(ci.items), func(i int) {
 		claims := cs.ItemClaims(ci.items[i])
 		canon := make(map[string]data.Value, 4)
 		keys := make([]string, 0, 4)
@@ -93,6 +94,9 @@ func buildIndex(cs *data.ClaimSet, cfg parallel.Config) *claimIndex {
 		}
 		cols[i] = itemCols{keys: keys, vals: vals, sup: sup}
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	nVals, nSup := 0, 0
 	for i := range cols {
@@ -124,14 +128,16 @@ func buildIndex(cs *data.ClaimSet, cfg parallel.Config) *claimIndex {
 	// Per-source claim lists: resolve each claim's global value index by
 	// binary search inside its item's sorted key range.
 	srcCols := make([][]uint32, len(ci.sources))
-	parallel.ForEach(cfg, len(ci.sources), func(s int) {
+	if err := parallel.ForEach(cfg, len(ci.sources), func(s int) {
 		claims := cs.SourceClaims(ci.sources[s])
 		lst := make([]uint32, 0, len(claims))
 		for _, cl := range claims {
 			lst = append(lst, ci.valIdx(itemRank[cl.Item], cl.Value.Key()))
 		}
 		srcCols[s] = lst
-	})
+	}); err != nil {
+		return nil, err
+	}
 	ci.srcOff = make([]int, len(ci.sources)+1)
 	ci.srcVal = make([]uint32, 0, nSup)
 	for s := range srcCols {
@@ -144,7 +150,7 @@ func buildIndex(cs *data.ClaimSet, cfg parallel.Config) *claimIndex {
 		reg.Counter("fusion.sources").Add(int64(len(ci.sources)))
 		reg.Counter("fusion.values").Add(int64(ci.numValues()))
 	}
-	return ci
+	return ci, nil
 }
 
 // valIdx locates the global value index of (item rank, value key); the

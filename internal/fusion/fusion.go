@@ -13,6 +13,8 @@
 package fusion
 
 import (
+	"context"
+
 	"repro/internal/data"
 	"repro/internal/obs"
 	"repro/internal/parallel"
@@ -68,6 +70,8 @@ type MajorityVote struct {
 	Workers int
 	// Obs records "fusion." index metrics when set.
 	Obs *obs.Registry
+	// Ctx cancels the fuse at chunk boundaries; nil never cancels.
+	Ctx context.Context
 }
 
 // Name implements Fuser.
@@ -75,7 +79,7 @@ func (MajorityVote) Name() string { return "vote" }
 
 // Fuse implements Fuser.
 func (mv MajorityVote) Fuse(cs *data.ClaimSet) (*Result, error) {
-	return weightedVote(cs, parallel.Config{Workers: mv.Workers, Obs: mv.Obs}, func(string) float64 { return 1 })
+	return weightedVote(cs, parallel.Config{Workers: mv.Workers, Obs: mv.Obs, Ctx: mv.Ctx}, func(string) float64 { return 1 })
 }
 
 // WeightedVote votes with per-source weights (e.g. externally known
@@ -88,6 +92,8 @@ type WeightedVote struct {
 	Workers int
 	// Obs records "fusion." index metrics when set.
 	Obs *obs.Registry
+	// Ctx cancels the fuse at chunk boundaries; nil never cancels.
+	Ctx context.Context
 }
 
 // Name implements Fuser.
@@ -99,7 +105,7 @@ func (wv WeightedVote) Fuse(cs *data.ClaimSet) (*Result, error) {
 	if def == 0 {
 		def = 1
 	}
-	return weightedVote(cs, parallel.Config{Workers: wv.Workers, Obs: wv.Obs}, func(s string) float64 {
+	return weightedVote(cs, parallel.Config{Workers: wv.Workers, Obs: wv.Obs, Ctx: wv.Ctx}, func(s string) float64 {
 		if w, ok := wv.Weights[s]; ok {
 			return w
 		}
@@ -112,7 +118,10 @@ func (wv WeightedVote) Fuse(cs *data.ClaimSet) (*Result, error) {
 // in claim insertion order, totals in sorted-key order), and each item
 // writes only its own slots — identical output for any worker count.
 func weightedVote(cs *data.ClaimSet, cfg parallel.Config, weight func(string) float64) (*Result, error) {
-	ci := buildIndex(cs, cfg)
+	ci, err := buildIndex(cs, cfg)
+	if err != nil {
+		return nil, err
+	}
 	w := make([]float64, len(ci.sources))
 	for s, src := range ci.sources {
 		w[s] = weight(src)
@@ -121,7 +130,7 @@ func weightedVote(cs *data.ClaimSet, cfg parallel.Config, weight func(string) fl
 	bestV := make([]int, len(ci.items))
 	bestW := make([]float64, len(ci.items))
 	totalW := make([]float64, len(ci.items))
-	parallel.ForEach(cfg, len(ci.items), func(i int) {
+	if err := parallel.ForEach(cfg, len(ci.items), func(i int) {
 		best, bw, tw := -1, 0.0, 0.0
 		for v := ci.valOff[i]; v < ci.valOff[i+1]; v++ {
 			var vw float64
@@ -134,7 +143,9 @@ func weightedVote(cs *data.ClaimSet, cfg parallel.Config, weight func(string) fl
 			}
 		}
 		bestV[i], bestW[i], totalW[i] = best, bw, tw
-	})
+	}); err != nil {
+		return nil, err
+	}
 
 	res := &Result{
 		Values:     make(map[data.Item]data.Value, len(ci.items)),

@@ -1,6 +1,7 @@
 package fusion
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -25,6 +26,9 @@ type Online struct {
 	// Workers bounds the per-item probing worker pool (0 = NumCPU);
 	// output is identical for any value.
 	Workers int
+	// Ctx cancels the probing fan-out at chunk boundaries; nil never
+	// cancels.
+	Ctx context.Context
 }
 
 // OnlineResult extends Result with probing statistics.
@@ -114,7 +118,7 @@ func (o Online) FuseOnline(cs *data.ClaimSet) (*OnlineResult, error) {
 		found  bool
 	}
 	outs := make([]probed, len(items))
-	parallel.ForEach(parallel.Config{Workers: o.Workers}, len(items), func(idx int) {
+	if err := parallel.ForEach(parallel.Config{Workers: o.Workers, Ctx: o.Ctx}, len(items), func(idx int) {
 		it := items[idx]
 		scores := map[string]float64{}
 		values := map[string]data.Value{}
@@ -138,7 +142,9 @@ func (o Online) FuseOnline(cs *data.ClaimSet) (*OnlineResult, error) {
 		if lead, _ := topTwo(scores); lead != "" {
 			outs[idx] = probed{value: values[lead], conf: confidenceOf(scores, lead), probes: probes, found: true}
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for idx, it := range items {
 		if !outs[idx].found {
 			continue

@@ -1,6 +1,7 @@
 package fusion
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/data"
@@ -28,6 +29,9 @@ type TruthFinder struct {
 	Workers int
 	// Obs records "fusion." metrics when set.
 	Obs *obs.Registry
+	// Ctx cancels the fixpoint loop at chunk boundaries; nil never
+	// cancels.
+	Ctx context.Context
 }
 
 // Name implements Fuser.
@@ -52,7 +56,10 @@ func (tf TruthFinder) Fuse(cs *data.ClaimSet) (*Result, error) {
 		eps = 1e-4
 	}
 
-	ci := buildIndex(cs, parallel.Config{Workers: tf.Workers, Obs: tf.Obs})
+	ci, err := buildIndex(cs, parallel.Config{Workers: tf.Workers, Obs: tf.Obs, Ctx: tf.Ctx})
+	if err != nil {
+		return nil, err
+	}
 	cfg := ci.cfg
 	reg := obs.OrDefault(tf.Obs)
 
@@ -69,7 +76,7 @@ func (tf TruthFinder) Fuse(cs *data.ClaimSet) (*Result, error) {
 		iters = iter + 1
 		// Value confidences from source trust: each value sums its
 		// claimants' tau in claim insertion order.
-		parallel.ForEach(cfg, ci.numValues(), func(v int) {
+		if err := parallel.ForEach(cfg, ci.numValues(), func(v int) {
 			var sigma float64
 			for e := ci.supOff[v]; e < ci.supOff[v+1]; e++ {
 				t := trust[ci.supSrc[e]]
@@ -79,9 +86,11 @@ func (tf TruthFinder) Fuse(cs *data.ClaimSet) (*Result, error) {
 				sigma += -math.Log(1 - t) // tau(s)
 			}
 			conf[v] = 1 / (1 + math.Exp(-gamma*sigma))
-		})
+		}); err != nil {
+			return nil, err
+		}
 		// Source trust from value confidences.
-		parallel.ForEach(cfg, len(ci.sources), func(s int) {
+		if err := parallel.ForEach(cfg, len(ci.sources), func(s int) {
 			lo, hi := ci.srcOff[s], ci.srcOff[s+1]
 			if lo == hi {
 				delta[s] = 0
@@ -94,7 +103,9 @@ func (tf TruthFinder) Fuse(cs *data.ClaimSet) (*Result, error) {
 			next := sum / float64(hi-lo)
 			delta[s] = math.Abs(next - trust[s])
 			trust[s] = next
-		})
+		}); err != nil {
+			return nil, err
+		}
 		maxDelta := 0.0
 		for _, d := range delta {
 			if d > maxDelta {

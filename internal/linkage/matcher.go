@@ -1,6 +1,7 @@
 package linkage
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/data"
@@ -198,10 +199,18 @@ func MatchPairs(d *data.Dataset, candidates []data.Pair, m Matcher, workers int)
 // recording "matching.comparisons" and "matching.matched". A nil
 // registry disables recording at no cost.
 func MatchPairsObs(d *data.Dataset, candidates []data.Pair, m Matcher, workers int, reg *obs.Registry) []data.ScoredPair {
+	return parallel.Must(MatchPairsCtx(nil, d, candidates, m, workers, reg))
+}
+
+// MatchPairsCtx is MatchPairsObs bound to a context: the parallel
+// scoring pass observes ctx at chunk boundaries and a cancellation (or
+// a recovered matcher panic) is returned as an error instead of
+// crashing or running to completion. A nil ctx never cancels.
+func MatchPairsCtx(ctx context.Context, d *data.Dataset, candidates []data.Pair, m Matcher, workers int, reg *obs.Registry) ([]data.ScoredPair, error) {
 	if ip, ok := m.(IndexPreparer); ok {
 		ip.PrepareIndex(d, candidates)
 	}
-	return matchAt(d, len(candidates), func(i int) data.Pair { return candidates[i] }, m, workers, reg)
+	return matchAt(ctx, d, len(candidates), func(i int) data.Pair { return candidates[i] }, m, workers, reg)
 }
 
 // MatchPairsFrom is MatchPairs over a packed candidate source: pairs
@@ -217,6 +226,12 @@ func MatchPairsFrom(d *data.Dataset, src PairSource, m Matcher, workers int) []d
 // MatchPairsFromObs is MatchPairsFrom with an attached metrics registry
 // (see MatchPairsObs).
 func MatchPairsFromObs(d *data.Dataset, src PairSource, m Matcher, workers int, reg *obs.Registry) []data.ScoredPair {
+	return parallel.Must(MatchPairsFromCtx(nil, d, src, m, workers, reg))
+}
+
+// MatchPairsFromCtx is MatchPairsFromObs bound to a context (see
+// MatchPairsCtx). A nil ctx never cancels.
+func MatchPairsFromCtx(ctx context.Context, d *data.Dataset, src PairSource, m Matcher, workers int, reg *obs.Registry) ([]data.ScoredPair, error) {
 	switch ip := m.(type) {
 	case IDIndexPreparer:
 		ip.PrepareIndexIDs(d, src.RecordIDs())
@@ -227,18 +242,18 @@ func MatchPairsFromObs(d *data.Dataset, src PairSource, m Matcher, workers int, 
 		}
 		ip.PrepareIndex(d, pairs)
 	}
-	return matchAt(d, src.Len(), src.Pair, m, workers, reg)
+	return matchAt(ctx, d, src.Len(), src.Pair, m, workers, reg)
 }
 
 // matchAt scores n candidates supplied by at, in parallel, returning
 // accepted pairs sorted by descending score then pair order. Counters
 // are bumped once per batch, never per pair.
-func matchAt(d *data.Dataset, n int, at func(int) data.Pair, m Matcher, workers int, reg *obs.Registry) []data.ScoredPair {
+func matchAt(ctx context.Context, d *data.Dataset, n int, at func(int) data.Pair, m Matcher, workers int, reg *obs.Registry) ([]data.ScoredPair, error) {
 	reg = obs.OrDefault(reg)
 	reg.Counter("matching.comparisons").Add(int64(n))
 	results := make([]data.ScoredPair, n)
 	ok := make([]bool, n)
-	parallel.ForEach(parallel.Config{Workers: workers, Obs: reg}, n, func(i int) {
+	if err := parallel.ForEach(parallel.Config{Workers: workers, Obs: reg, Ctx: ctx}, n, func(i int) {
 		p := at(i)
 		a, b := d.Record(p.A), d.Record(p.B)
 		if a == nil || b == nil {
@@ -249,7 +264,9 @@ func matchAt(d *data.Dataset, n int, at func(int) data.Pair, m Matcher, workers 
 			results[i] = data.ScoredPair{Pair: p, Score: s}
 			ok[i] = true
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	out := make([]data.ScoredPair, 0, n)
 	for i, keep := range ok {
 		if keep {
@@ -266,5 +283,5 @@ func matchAt(d *data.Dataset, n int, at func(int) data.Pair, m Matcher, workers 
 		}
 		return out[i].B < out[j].B
 	})
-	return out
+	return out, nil
 }

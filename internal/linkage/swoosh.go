@@ -1,11 +1,17 @@
 package linkage
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/data"
 )
+
+// ErrNoMatcher reports a Swoosh configured without a matcher. It is a
+// wrapped sentinel: errors.Is(err, ErrNoMatcher) identifies the
+// misconfiguration through the facade.
+var ErrNoMatcher = errors.New("linkage: matcher is nil")
 
 // Swoosh implements R-Swoosh generic entity resolution (Benjelloun et
 // al., surveyed by the tutorial's linkage discussion): records are
@@ -50,7 +56,7 @@ type resolved struct {
 // cluster, with synthetic IDs "merged-<i>").
 func (s Swoosh) Resolve(records []*data.Record) (data.Clustering, []*data.Record, error) {
 	if s.Matcher == nil {
-		return nil, nil, fmt.Errorf("linkage: swoosh requires a matcher")
+		return nil, nil, fmt.Errorf("linkage: swoosh requires a matcher: %w", ErrNoMatcher)
 	}
 	merge := s.Merge
 	if merge == nil {

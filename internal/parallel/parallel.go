@@ -9,13 +9,20 @@
 // skewed item costs cannot strand a worker, and the reduce phase runs
 // on a bounded pool (never one goroutine per key). All results are
 // deterministic: identical output for any worker count.
+//
+// Entry points return an error instead of crashing: a panic inside a
+// worker function is recovered into a *PanicError, and a Config.Ctx
+// cancellation is observed at chunk boundaries, so a stuck or poisoned
+// stage unwinds cleanly instead of taking the process down.
 package parallel
 
 import (
 	"cmp"
+	"context"
 	"fmt"
 	"hash/fnv"
 	"runtime"
+	"runtime/debug"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -26,8 +33,9 @@ import (
 
 // Config controls a job run.
 type Config struct {
-	Workers int           // default runtime.NumCPU()
-	Obs     *obs.Registry // optional scheduling metrics ("parallel." namespace); nil disables
+	Workers int             // default runtime.NumCPU()
+	Obs     *obs.Registry   // optional scheduling metrics ("parallel." namespace); nil disables
+	Ctx     context.Context // optional cancellation; nil means never cancelled
 }
 
 func (c Config) workers() int {
@@ -37,6 +45,61 @@ func (c Config) workers() int {
 	return runtime.NumCPU()
 }
 
+// PanicError is the error returned when a worker function panics. The
+// panic is recovered at the chunk boundary and surfaced to the caller,
+// so one poisoned record cannot crash the whole process. Value holds
+// the recovered panic value and Stack the worker stack captured at
+// recovery time.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: worker panic: %v", e.Value)
+}
+
+// ctxErr reports the cancellation state of an optional context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// runChunk applies f to [start, end) with panic recovery — one
+// defer/recover per chunk, never per item, so the hot loop stays free
+// of per-index overhead.
+func runChunk(f func(i int), start, end int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	for i := start; i < end; i++ {
+		f(i)
+	}
+	return nil
+}
+
+// Must unwraps a (value, error) result from Run or MapSlice on
+// infallible paths: callers that configure no Ctx and trust f not to
+// panic keep their value-only call chains, and an unexpected error
+// escalates to a panic instead of being silently dropped.
+func Must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Must0 is Must for the error-only entry points (ForEach, ForEachPair).
+func Must0(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
 // Run executes a full map→shuffle→reduce job over items and returns the
 // reducer outputs. The map function emits (key, value) pairs; the
 // reduce function sees one key with all its values. Output order is
@@ -44,9 +107,14 @@ func (c Config) workers() int {
 // in sorted order, outputs are concatenated in that order, and within a
 // key, values appear in input order (stable shuffle). The reduce phase
 // runs on the same bounded worker pool as the map phase — key
-// cardinality never translates into goroutine count.
-func Run[I any, K cmp.Ordered, V, O any](cfg Config, items []I, m func(item I, emit func(K, V)), r func(key K, values []V, emit func(O))) []O {
-	grouped := mapAndShuffle(cfg, items, m)
+// cardinality never translates into goroutine count. A worker panic or
+// a Config.Ctx cancellation aborts the job and is returned as the
+// error; the partial output is discarded.
+func Run[I any, K cmp.Ordered, V, O any](cfg Config, items []I, m func(item I, emit func(K, V)), r func(key K, values []V, emit func(O))) ([]O, error) {
+	grouped, err := mapAndShuffle(cfg, items, m)
+	if err != nil {
+		return nil, err
+	}
 
 	keys := make([]K, 0, len(grouped))
 	for k := range grouped {
@@ -57,10 +125,12 @@ func Run[I any, K cmp.Ordered, V, O any](cfg Config, items []I, m func(item I, e
 	// Reduce on the bounded pool, preserving key order in the output.
 	// Dynamic chunking absorbs reduce skew (hot keys with many values).
 	outs := make([][]O, len(keys))
-	ForEach(cfg, len(keys), func(i int) {
+	if err := ForEach(cfg, len(keys), func(i int) {
 		k := keys[i]
 		r(k, grouped[k], func(o O) { outs[i] = append(outs[i], o) })
-	})
+	}); err != nil {
+		return nil, err
+	}
 
 	total := 0
 	for _, o := range outs {
@@ -70,24 +140,26 @@ func Run[I any, K cmp.Ordered, V, O any](cfg Config, items []I, m func(item I, e
 	for _, o := range outs {
 		flat = append(flat, o...)
 	}
-	return flat
+	return flat, nil
 }
 
 // mapAndShuffle runs the map phase over items with the configured
 // worker count and groups emissions by key. Emissions are buffered per
 // input index, so grouping order depends only on input order, never on
 // worker scheduling.
-func mapAndShuffle[I any, K cmp.Ordered, V any](cfg Config, items []I, m func(item I, emit func(K, V))) map[K][]V {
+func mapAndShuffle[I any, K cmp.Ordered, V any](cfg Config, items []I, m func(item I, emit func(K, V))) (map[K][]V, error) {
 	type emission struct {
 		k K
 		v V
 	}
 	emissionsPer := make([][]emission, len(items))
-	ForEach(cfg, len(items), func(i int) {
+	if err := ForEach(cfg, len(items), func(i int) {
 		m(items[i], func(k K, v V) {
 			emissionsPer[i] = append(emissionsPer[i], emission{k: k, v: v})
 		})
-	})
+	}); err != nil {
+		return nil, err
+	}
 
 	grouped := map[K][]V{}
 	for _, ems := range emissionsPer {
@@ -95,7 +167,7 @@ func mapAndShuffle[I any, K cmp.Ordered, V any](cfg Config, items []I, m func(it
 			grouped[e.k] = append(grouped[e.k], e.v)
 		}
 	}
-	return grouped
+	return grouped, nil
 }
 
 // Partition assigns a key to one of n buckets by FNV hash — the
@@ -116,32 +188,62 @@ func Partition(key string, n int) int {
 // stranding one on a static range. Each index is visited exactly once;
 // callers writing results by index get deterministic output for any
 // worker count.
-func ForEach(cfg Config, n int, f func(i int)) {
+//
+// A nil return means every index ran. When Config.Ctx is cancelled the
+// workers stop at the next chunk boundary and the context error is
+// returned; when f panics the panic is recovered into a *PanicError,
+// the remaining workers drain, and the error is returned. In both
+// cases some indexes may not have run — callers must discard partial
+// results on error.
+func ForEach(cfg Config, n int, f func(i int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	reg := obs.OrDefault(cfg.Obs)
 	reg.Counter("parallel.foreach_calls").Inc()
 	reg.Counter("parallel.tasks").Add(int64(n))
+	ctx := cfg.Ctx
 	w := cfg.workers()
 	if w > n {
 		w = n
 	}
-	if w <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
 	// ~8 hand-outs per worker: tail imbalance bounded by ~1/(8w) of the
-	// work while keeping shared-counter traffic negligible.
+	// work while keeping shared-counter traffic negligible. The chunk is
+	// also the cancellation granularity.
 	chunk := n / (8 * w)
 	if chunk < 1 {
 		chunk = 1
 	}
+	if w <= 1 {
+		for start := 0; start < n; start += chunk {
+			if err := ctxErr(ctx); err != nil {
+				reg.Counter("parallel.cancelled").Inc()
+				return err
+			}
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			if err := runChunk(f, start, end); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	chunks := reg.Counter("parallel.chunks")
 	busy := reg.Timer("parallel.worker_busy")
 	var next atomic.Int64
+	var stop atomic.Bool
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
 	var wg sync.WaitGroup
 	for p := 0; p < w; p++ {
 		wg.Add(1)
@@ -155,7 +257,11 @@ func ForEach(cfg Config, n int, f func(i int)) {
 				t0 = time.Now()
 			}
 			taken := int64(0)
-			for {
+			for !stop.Load() {
+				if err := ctxErr(ctx); err != nil {
+					fail(err)
+					break
+				}
 				end := int(next.Add(int64(chunk)))
 				start := end - chunk
 				if start >= n {
@@ -165,8 +271,9 @@ func ForEach(cfg Config, n int, f func(i int)) {
 				if end > n {
 					end = n
 				}
-				for i := start; i < end; i++ {
-					f(i)
+				if err := runChunk(f, start, end); err != nil {
+					fail(err)
+					break
 				}
 			}
 			chunks.Add(taken)
@@ -176,6 +283,12 @@ func ForEach(cfg Config, n int, f func(i int)) {
 		}()
 	}
 	wg.Wait()
+	if firstErr != nil {
+		if _, ok := firstErr.(*PanicError); !ok {
+			reg.Counter("parallel.cancelled").Inc()
+		}
+	}
+	return firstErr
 }
 
 // ForEachPair applies f to every unordered pair (i, j), i < j, drawn
@@ -183,15 +296,16 @@ func ForEach(cfg Config, n int, f func(i int)) {
 // order — callers write results to slot k for deterministic assembly.
 // The triangular flat index is decoded per pair by binary search on the
 // row-start offsets, so work is handed out with the same dynamic
-// chunking as ForEach and a skewed row cannot strand a worker.
-func ForEachPair(cfg Config, n int, f func(k, i, j int)) {
+// chunking as ForEach and a skewed row cannot strand a worker. Errors
+// propagate exactly as in ForEach.
+func ForEachPair(cfg Config, n int, f func(k, i, j int)) error {
 	if n < 2 {
-		return
+		return nil
 	}
 	// rowStart(i) = number of pairs whose first element precedes i.
 	rowStart := func(i int) int { return i*(2*n-i-1) / 2 }
 	total := rowStart(n - 1)
-	ForEach(cfg, total, func(k int) {
+	return ForEach(cfg, total, func(k int) {
 		lo, hi := 0, n-2
 		for lo < hi {
 			mid := int(uint(lo+hi+1) >> 1)
@@ -206,14 +320,19 @@ func ForEachPair(cfg Config, n int, f func(k, i, j int)) {
 }
 
 // MapSlice applies f to every element of a slice in parallel and
-// returns outputs in input order.
-func MapSlice[I, O any](cfg Config, in []I, f func(item I) O) []O {
+// returns outputs in input order. On error the partial output is
+// discarded.
+func MapSlice[I, O any](cfg Config, in []I, f func(item I) O) ([]O, error) {
 	out := make([]O, len(in))
-	ForEach(cfg, len(in), func(i int) { out[i] = f(in[i]) })
-	return out
+	if err := ForEach(cfg, len(in), func(i int) { out[i] = f(in[i]) }); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
-// Errgroup runs fns concurrently and returns the first error.
+// Errgroup runs fns concurrently and returns the first error. A panic
+// inside a task is recovered into a *PanicError rather than crashing
+// the process.
 func Errgroup(fns ...func() error) error {
 	errs := make([]error, len(fns))
 	var wg sync.WaitGroup
@@ -221,6 +340,11 @@ func Errgroup(fns ...func() error) error {
 		wg.Add(1)
 		go func(i int, fn func() error) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = &PanicError{Value: r, Stack: debug.Stack()}
+				}
+			}()
 			errs[i] = fn()
 		}(i, fn)
 	}

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -10,10 +11,11 @@ import (
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func wordCount(docs []string, workers int) map[string]int {
-	out := Run(Config{Workers: workers}, docs,
+	out := Must(Run(Config{Workers: workers}, docs,
 		func(doc string, emit func(string, int)) {
 			for _, w := range strings.Fields(doc) {
 				emit(w, 1)
@@ -21,7 +23,7 @@ func wordCount(docs []string, workers int) map[string]int {
 		},
 		func(key string, values []int, emit func([2]any)) {
 			emit([2]any{key, len(values)})
-		})
+		}))
 	counts := map[string]int{}
 	for _, o := range out {
 		counts[o[0].(string)] = o[1].(int)
@@ -63,7 +65,7 @@ func TestRunByteIdenticalOnSeededCorpus(t *testing.T) {
 		docs[i] = b.String()
 	}
 	render := func(workers int) string {
-		out := Run(Config{Workers: workers}, docs,
+		out := Must(Run(Config{Workers: workers}, docs,
 			func(doc string, emit func(string, int)) {
 				for _, w := range strings.Fields(doc) {
 					emit(w, len(w))
@@ -75,7 +77,7 @@ func TestRunByteIdenticalOnSeededCorpus(t *testing.T) {
 					sum += v
 				}
 				emit(fmt.Sprintf("%s=%d/%d", key, len(values), sum))
-			})
+			}))
 		return strings.Join(out, ";")
 	}
 	base := render(1)
@@ -93,9 +95,9 @@ func TestRunValuesInInputOrder(t *testing.T) {
 	for i := range items {
 		items[i] = i
 	}
-	out := Run(Config{Workers: 8}, items,
+	out := Must(Run(Config{Workers: 8}, items,
 		func(i int, emit func(string, int)) { emit("k", i) },
-		func(key string, values []int, emit func([]int)) { emit(values) })
+		func(key string, values []int, emit func([]int)) { emit(values) }))
 	if len(out) != 1 {
 		t.Fatalf("want 1 output, got %d", len(out))
 	}
@@ -105,27 +107,30 @@ func TestRunValuesInInputOrder(t *testing.T) {
 }
 
 func TestRunOutputOrderSorted(t *testing.T) {
-	out := Run(Config{Workers: 4}, []string{"b", "a", "c"},
+	out := Must(Run(Config{Workers: 4}, []string{"b", "a", "c"},
 		func(item string, emit func(string, string)) { emit(item, item) },
-		func(key string, values []string, emit func(string)) { emit(key) })
+		func(key string, values []string, emit func(string)) { emit(key) }))
 	if !reflect.DeepEqual(out, []string{"a", "b", "c"}) {
 		t.Errorf("reduce output order = %v, want sorted keys", out)
 	}
 }
 
 func TestRunIntKeys(t *testing.T) {
-	out := Run(Config{Workers: 4}, []int{5, 3, 5, 1},
+	out := Must(Run(Config{Workers: 4}, []int{5, 3, 5, 1},
 		func(item int, emit func(int, int)) { emit(item, 1) },
-		func(key int, values []int, emit func(int)) { emit(key * len(values)) })
+		func(key int, values []int, emit func(int)) { emit(key * len(values)) }))
 	if !reflect.DeepEqual(out, []int{1, 3, 10}) {
 		t.Errorf("int-keyed run = %v, want [1 3 10]", out)
 	}
 }
 
 func TestRunEmptyInput(t *testing.T) {
-	out := Run(Config{}, nil,
+	out, err := Run(Config{}, nil,
 		func(item string, emit func(string, int)) { t.Fatal("map called on empty input") },
 		func(key string, values []int, emit func(int)) { t.Fatal("reduce called") })
+	if err != nil {
+		t.Fatalf("empty input errored: %v", err)
+	}
 	if len(out) != 0 {
 		t.Errorf("want empty output, got %v", out)
 	}
@@ -140,14 +145,14 @@ func TestRunBoundedReduceGoroutines(t *testing.T) {
 	}
 	before := runtime.NumGoroutine()
 	var peak atomic.Int64
-	Run(Config{Workers: 4}, items,
+	Must(Run(Config{Workers: 4}, items,
 		func(i int, emit func(int, int)) { emit(i, i) }, // 20k distinct keys
 		func(key int, values []int, emit func(int)) {
 			if g := int64(runtime.NumGoroutine()); g > peak.Load() {
 				peak.Store(g)
 			}
 			emit(key)
-		})
+		}))
 	if p := peak.Load(); p > int64(before+16) {
 		t.Errorf("reduce phase reached %d goroutines (started at %d); want a bounded pool", p, before)
 	}
@@ -180,10 +185,12 @@ func TestPartitionSpreads(t *testing.T) {
 func TestForEachCoversAll(t *testing.T) {
 	var n int64
 	hits := make([]int64, 1000)
-	ForEach(Config{Workers: 7}, 1000, func(i int) {
+	if err := ForEach(Config{Workers: 7}, 1000, func(i int) {
 		atomic.AddInt64(&hits[i], 1)
 		atomic.AddInt64(&n, 1)
-	})
+	}); err != nil {
+		t.Fatal(err)
+	}
 	if n != 1000 {
 		t.Fatalf("ran %d of 1000", n)
 	}
@@ -210,13 +217,13 @@ func TestForEachDeterministicByIndex(t *testing.T) {
 	}
 	run := func(workers int) []int {
 		out := make([]int, n)
-		ForEach(Config{Workers: workers}, n, func(i int) {
+		Must0(ForEach(Config{Workers: workers}, n, func(i int) {
 			acc := i
 			for j := 0; j < cost[i]; j++ {
 				acc = acc*31 + j
 			}
 			out[i] = acc
-		})
+		}))
 		return out
 	}
 	base := run(1)
@@ -229,7 +236,7 @@ func TestForEachDeterministicByIndex(t *testing.T) {
 
 func TestForEachSingleWorker(t *testing.T) {
 	order := []int{}
-	ForEach(Config{Workers: 1}, 5, func(i int) { order = append(order, i) })
+	Must0(ForEach(Config{Workers: 1}, 5, func(i int) { order = append(order, i) }))
 	if !reflect.DeepEqual(order, []int{0, 1, 2, 3, 4}) {
 		t.Errorf("single worker must run in order, got %v", order)
 	}
@@ -237,11 +244,11 @@ func TestForEachSingleWorker(t *testing.T) {
 
 func TestMapSlice(t *testing.T) {
 	in := []string{"a", "bb", "ccc"}
-	out := MapSlice(Config{Workers: 3}, in, func(s string) int { return len(s) })
+	out := Must(MapSlice(Config{Workers: 3}, in, func(s string) int { return len(s) }))
 	if !reflect.DeepEqual(out, []int{1, 2, 3}) {
 		t.Errorf("MapSlice = %v", out)
 	}
-	doubled := MapSlice(Config{Workers: 2}, []int{1, 2, 3}, func(i int) int { return 2 * i })
+	doubled := Must(MapSlice(Config{Workers: 2}, []int{1, 2, 3}, func(i int) int { return 2 * i }))
 	if !reflect.DeepEqual(doubled, []int{2, 4, 6}) {
 		t.Errorf("MapSlice over ints = %v", doubled)
 	}
@@ -261,6 +268,22 @@ func TestErrgroup(t *testing.T) {
 	}
 }
 
+// TestErrgroupPanic pins that a panicking task surfaces as a
+// *PanicError instead of crashing the process.
+func TestErrgroupPanic(t *testing.T) {
+	err := Errgroup(
+		func() error { return nil },
+		func() error { panic("task exploded") },
+	)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %v", err)
+	}
+	if pe.Value != "task exploded" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+}
+
 // TestForEachPair checks the triangular decode: every unordered pair
 // (i, j), i < j, is visited exactly once, k is its lexicographic rank,
 // and the visit set is identical for any worker count.
@@ -273,13 +296,13 @@ func TestForEachPair(t *testing.T) {
 			}
 			got := make([][2]int, total)
 			seen := make([]bool, total)
-			ForEachPair(Config{Workers: w}, n, func(k, i, j int) {
+			Must0(ForEachPair(Config{Workers: w}, n, func(k, i, j int) {
 				if seen[k] {
 					t.Fatalf("n=%d workers=%d: slot %d visited twice", n, w, k)
 				}
 				seen[k] = true
 				got[k] = [2]int{i, j}
-			})
+			}))
 			k := 0
 			for i := 0; i < n; i++ {
 				for j := i + 1; j < n; j++ {
@@ -292,4 +315,123 @@ func TestForEachPair(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestForEachPanicReturnsError is the crash-safety test: a panicking
+// body must come back as a *PanicError from ForEach, for both the
+// sequential and the parallel scheduler, with the panic value and a
+// captured stack attached.
+func TestForEachPanicReturnsError(t *testing.T) {
+	for _, w := range []int{1, 8} {
+		err := ForEach(Config{Workers: w}, 1000, func(i int) {
+			if i == 437 {
+				panic("poisoned record")
+			}
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: want *PanicError, got %v", w, err)
+		}
+		if pe.Value != "poisoned record" {
+			t.Errorf("workers=%d: panic value = %v", w, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: no stack captured", w)
+		}
+		if !strings.Contains(pe.Error(), "poisoned record") {
+			t.Errorf("workers=%d: Error() = %q", w, pe.Error())
+		}
+	}
+}
+
+// TestRunPanicReturnsError pins crash safety through the full
+// map/shuffle/reduce job: panics in either phase become errors.
+func TestRunPanicReturnsError(t *testing.T) {
+	_, err := Run(Config{Workers: 4}, []int{1, 2, 3},
+		func(i int, emit func(int, int)) {
+			if i == 2 {
+				panic("map panic")
+			}
+			emit(i, i)
+		},
+		func(k int, vs []int, emit func(int)) { emit(k) })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("map-phase panic: want *PanicError, got %v", err)
+	}
+	_, err = Run(Config{Workers: 4}, []int{1, 2, 3},
+		func(i int, emit func(int, int)) { emit(i, i) },
+		func(k int, vs []int, emit func(int)) { panic("reduce panic") })
+	if !errors.As(err, &pe) {
+		t.Fatalf("reduce-phase panic: want *PanicError, got %v", err)
+	}
+}
+
+// TestForEachCancelledBeforeStart pins the fast path: an already
+// cancelled context returns immediately without running any index.
+func TestForEachCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, w := range []int{1, 8} {
+		var ran atomic.Int64
+		err := ForEach(Config{Workers: w, Ctx: ctx}, 10000, func(i int) { ran.Add(1) })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: want context.Canceled, got %v", w, err)
+		}
+		if ran.Load() != 0 {
+			t.Errorf("workers=%d: %d indexes ran under a pre-cancelled context", w, ran.Load())
+		}
+	}
+}
+
+// TestForEachCancelledMidRun cancels from inside the body and asserts
+// the workers stop at the next chunk boundary: the context error comes
+// back and a large tail of the index space never runs.
+func TestForEachCancelledMidRun(t *testing.T) {
+	const n = 1 << 20
+	for _, w := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := ForEach(Config{Workers: w, Ctx: ctx}, n, func(i int) {
+			if ran.Add(1) == 1 {
+				cancel()
+			}
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: want context.Canceled, got %v", w, err)
+		}
+		if got := ran.Load(); got > n/2 {
+			t.Errorf("workers=%d: %d of %d indexes ran after cancellation", w, got, n)
+		}
+	}
+}
+
+// TestMapSliceDeadline pins that a context deadline aborts MapSlice
+// with DeadlineExceeded rather than running to completion.
+func TestMapSliceDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	in := make([]int, 1<<14)
+	_, err := MapSlice(Config{Workers: 4, Ctx: ctx}, in, func(i int) int {
+		time.Sleep(20 * time.Microsecond)
+		return i
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}
+
+// TestMust pins the bridge semantics used by the value-only legacy
+// call chains: nil error passes the value through, non-nil panics.
+func TestMust(t *testing.T) {
+	if got := Must(42, nil); got != 42 {
+		t.Errorf("Must(42, nil) = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Must with an error must panic")
+		}
+	}()
+	Must(0, errors.New("boom"))
 }

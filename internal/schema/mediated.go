@@ -1,6 +1,7 @@
 package schema
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -54,12 +55,19 @@ type Aligner struct {
 	// Threshold: minimum evidence to merge two clusters (average
 	// linkage). Default 0.5.
 	Threshold float64
+	// Ctx cancels the alignment between matrix rows and agglomeration
+	// rounds; nil never cancels.
+	Ctx context.Context
 }
 
 // Align builds the mediated schema from profiles.
 func (al Aligner) Align(profiles []*Profile) (*MediatedSchema, error) {
 	if err := validateProfiles(profiles); err != nil {
 		return nil, err
+	}
+	ctx := al.Ctx
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	evidence := al.Evidence
 	if evidence == nil {
@@ -77,6 +85,12 @@ func (al Aligner) Align(profiles []*Profile) (*MediatedSchema, error) {
 		sim[i] = make([]float64, n)
 	}
 	for i := 0; i < n; i++ {
+		// The evidence matrix and the agglomeration below dominate
+		// alignment wall time, so the row and the round are the
+		// cancellation granularity for this stage.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for j := i + 1; j < n; j++ {
 			s := evidence(profiles[i], profiles[j])
 			sim[i][j], sim[j][i] = s, s
@@ -111,6 +125,9 @@ func (al Aligner) Align(profiles []*Profile) (*MediatedSchema, error) {
 		return sum / float64(cnt)
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bestI, bestJ, bestS := -1, -1, threshold
 		for i := 0; i < n; i++ {
 			if !active[i] {

@@ -1,6 +1,7 @@
 package schema
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -21,6 +22,14 @@ type Transform struct {
 // value ratio. Pairs with a stable ratio far from 1 are unit
 // conversions; ratio ≈ 1 confirms same units. minSupport defaults to 3.
 func DiscoverTransforms(d *data.Dataset, clusters data.Clustering, ms *MediatedSchema, minSupport int) []Transform {
+	// A background context never cancels, so the error is impossible.
+	out, _ := DiscoverTransformsCtx(context.Background(), d, clusters, ms, minSupport)
+	return out
+}
+
+// DiscoverTransformsCtx is DiscoverTransforms under a context:
+// cancellation is observed between entity clusters.
+func DiscoverTransformsCtx(ctx context.Context, d *data.Dataset, clusters data.Clustering, ms *MediatedSchema, minSupport int) ([]Transform, error) {
 	if minSupport <= 0 {
 		minSupport = 3
 	}
@@ -28,6 +37,9 @@ func DiscoverTransforms(d *data.Dataset, clusters data.Clustering, ms *MediatedS
 	// why per-record-pair samples would overweight popular entities.
 	ratios := map[[2]SourceAttr]map[int]float64{}
 	for ci, cl := range clusters {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for i := 0; i < len(cl); i++ {
 			for j := 0; j < len(cl); j++ {
 				if i == j {
@@ -93,7 +105,7 @@ func DiscoverTransforms(d *data.Dataset, clusters data.Clustering, ms *MediatedS
 		}
 		return out[i].To.String() < out[j].To.String()
 	})
-	return out
+	return out, nil
 }
 
 func medianAbsDev(rs []float64, med float64) float64 {

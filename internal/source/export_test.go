@@ -1,0 +1,18 @@
+package source
+
+import (
+	"context"
+	"time"
+)
+
+// SetClock replaces the ingestor's clock — the circuit-breaker tests
+// drive cooldowns with a fake time source.
+func (ing *Ingestor) SetClock(now func() time.Time) { ing.now = now }
+
+// SetSleep replaces the backoff sleeper.
+func (ing *Ingestor) SetSleep(f func(ctx context.Context, d time.Duration) error) { ing.sleep = f }
+
+// BackoffDelay exposes the retry schedule for determinism tests.
+func BackoffDelay(id string, attempt int, base, max time.Duration) time.Duration {
+	return backoffDelay(id, attempt, base, max)
+}

@@ -1,0 +1,128 @@
+package faults_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/source"
+	"repro/internal/source/faults"
+)
+
+func staticSource(id string, n int) source.Source {
+	s := &data.Source{ID: id}
+	recs := make([]*data.Record, 0, n)
+	for i := 0; i < n; i++ {
+		recs = append(recs, data.NewRecord(
+			id+"-r"+string(rune('a'+i)), id).Set("title", data.String("value")))
+	}
+	return &source.Static{Src: s, Recs: recs}
+}
+
+func TestDeadSourceIsPermanent(t *testing.T) {
+	// DeadRate 1 kills every source regardless of seed.
+	f := faults.Wrap(staticSource("s1", 3), faults.Config{Seed: 1, DeadRate: 1})
+	for i := 0; i < 3; i++ {
+		if _, err := f.Fetch(context.Background()); !errors.Is(err, source.ErrPermanent) {
+			t.Fatalf("fetch %d: want ErrPermanent, got %v", i, err)
+		}
+	}
+}
+
+func TestTransientWrapsSentinel(t *testing.T) {
+	f := faults.Wrap(staticSource("s1", 3), faults.Config{Seed: 1, TransientRate: 1})
+	if _, err := f.Fetch(context.Background()); !errors.Is(err, source.ErrTransient) {
+		t.Fatalf("want ErrTransient, got %v", err)
+	}
+}
+
+func TestCorruptionClonesRecords(t *testing.T) {
+	inner := staticSource("s1", 4)
+	orig, _ := inner.Fetch(context.Background())
+	snapshot := make([]string, len(orig))
+	for i, r := range orig {
+		snapshot[i] = r.String()
+	}
+	f := faults.Wrap(inner, faults.Config{Seed: 1, CorruptRate: 1})
+	recs, err := f.Fetch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangled := 0
+	for i, r := range recs {
+		if r.String() != snapshot[i] {
+			mangled++
+		}
+	}
+	if mangled != len(recs) {
+		t.Fatalf("CorruptRate 1 mangled %d/%d records", mangled, len(recs))
+	}
+	// The wrapped source's own records are untouched.
+	for i, r := range orig {
+		if r.String() != snapshot[i] {
+			t.Fatalf("corruption mutated the original record %d: %s", i, r)
+		}
+	}
+}
+
+func TestTruncationKeepsPrefix(t *testing.T) {
+	f := faults.Wrap(staticSource("s1", 4), faults.Config{
+		Seed: 1, TruncateRate: 1, TruncateFraction: 0.5,
+	})
+	recs, err := f.Fetch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("truncated to %d records, want 2", len(recs))
+	}
+}
+
+func TestLatencySpikeHonoursContext(t *testing.T) {
+	f := faults.Wrap(staticSource("s1", 1), faults.Config{
+		Seed: 1, LatencyRate: 1, Latency: time.Hour,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := f.Fetch(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("latency spike ignored the context deadline")
+	}
+}
+
+// TestScheduleDeterminism: two wraps with the same seed produce the
+// same fault schedule; a different seed produces a different one.
+func TestScheduleDeterminism(t *testing.T) {
+	trace := func(seed int64) []bool {
+		f := faults.Wrap(staticSource("s1", 4), faults.Config{Seed: seed, TransientRate: 0.5})
+		var out []bool
+		for i := 0; i < 32; i++ {
+			_, err := f.Fetch(context.Background())
+			out = append(out, err == nil)
+		}
+		return out
+	}
+	a, b := trace(42), trace(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at fetch %d", i)
+		}
+	}
+	c := trace(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 32-fetch schedules")
+	}
+}
