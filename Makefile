@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-blocking race-fusion race-obs race-source bench bench-blocking bench-fusion bench-obs bench-source chaos check
+.PHONY: all build vet test race race-blocking race-fusion race-obs race-source race-shard bench bench-blocking bench-fusion bench-obs bench-source bench-json chaos check
 
 all: check
 
@@ -56,6 +56,18 @@ bench-obs:
 # path must add ~zero allocations per record over direct construction.
 bench-source:
 	$(GO) test -run xxx -bench 'Ingest' -benchmem ./internal/source/...
+
+# Race-checks the sharded/spilled blocking engine end to end (PR 6
+# gate): shard merge, external pair generation and the streaming
+# matcher under concurrent workers.
+race-shard:
+	$(GO) test -race -run 'Shard|Spill|Scale|SortedNeighborhood|UnionCandidates' ./internal/blocking/... ./internal/parallel/... ./internal/core/... ./internal/experiments/...
+
+# The sharded-blocking perf baseline (PR 6 acceptance numbers):
+# pair-generation throughput and heap high-water at 1M records under a
+# 25% memory budget, written to BENCH_blocking.json.
+bench-json:
+	$(GO) run ./cmd/bdibench -exp E24 -e24-sizes 1000000 -e24-workers 1,2,8 -bench-json BENCH_blocking.json
 
 # Chaos gate: the fault-injection sweep (E23) under the race detector.
 chaos:

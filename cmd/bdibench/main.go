@@ -1,10 +1,10 @@
 // Command bdibench regenerates the experiment tables indexed in
-// DESIGN.md (E1–E23): fusion under copying, EM convergence, blocking
+// DESIGN.md (E1–E24): fusion under copying, EM convergence, blocking
 // trade-offs, meta-blocking, matcher quality, clustering comparison,
 // incremental linkage, schema alignment, scale-out, source selection,
 // domain regimes, temporal linkage, the end-to-end pipeline, the
-// stage-ordering ablation, the extension features and ingestion under
-// faults.
+// stage-ordering ablation, the extension features, ingestion under
+// faults and memory-budgeted pair generation at scale.
 //
 // Usage:
 //
@@ -12,15 +12,23 @@
 //	bdibench -exp E1    # run one experiment
 //	bdibench -exp E23   # the fault-injection chaos sweep
 //	bdibench -seed 7    # change the workload seed
+//
+// E24 (the sharded-blocking scale sweep) takes extra knobs:
+//
+//	bdibench -exp E24 -e24-sizes 1000000,3000000,10000000 \
+//	    -e24-workers 1,2,8 -shards 16 -bench-json BENCH_blocking.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 )
@@ -36,12 +44,30 @@ func main() {
 // executes on error paths too.
 func run() error {
 	var (
-		exp       = flag.String("exp", "all", "experiment ID (E1..E23) or 'all'")
-		seed      = flag.Int64("seed", 42, "workload seed")
-		metrics   = flag.Bool("metrics", false, "print a per-experiment metrics block")
-		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+		exp        = flag.String("exp", "all", "experiment ID (E1..E24) or 'all'")
+		seed       = flag.Int64("seed", 42, "workload seed")
+		metrics    = flag.Bool("metrics", false, "print a per-experiment metrics block")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+		shards     = flag.Int("shards", 0, "E24: blocking data shards (0 = default 8)")
+		pairBudget = flag.String("pair-mem-budget", "", "E24: explicit pair-memory budget, e.g. 256mb (empty = 25% of the unsharded peak)")
+		spillDir   = flag.String("spill-dir", "", "E24: directory for blocking spill runs (empty = system temp)")
+		e24Sizes   = flag.String("e24-sizes", "", "E24: comma-separated record counts, e.g. 1000000,3000000,10000000")
+		e24Workers = flag.String("e24-workers", "", "E24: comma-separated worker counts (default 1,2,8)")
+		benchJSON  = flag.String("bench-json", "", "E24: write the blocking perf baseline JSON to this path")
 	)
 	flag.Parse()
+
+	e24opts := experiments.E24Opts{Shards: *shards, SpillDir: *spillDir}
+	var err error
+	if e24opts.Sizes, err = parseInts(*e24Sizes); err != nil {
+		return fmt.Errorf("-e24-sizes: %w", err)
+	}
+	if e24opts.Workers, err = parseInts(*e24Workers); err != nil {
+		return fmt.Errorf("-e24-workers: %w", err)
+	}
+	if e24opts.PairMemBudget, err = core.ParseByteSize(*pairBudget); err != nil {
+		return fmt.Errorf("-pair-mem-budget: %w", err)
+	}
 
 	if *debugAddr != "" {
 		srv, addr, err := obs.ServeDebug(*debugAddr, nil)
@@ -68,7 +94,21 @@ func run() error {
 			reg = obs.NewRegistry()
 			obs.SetDefault(reg)
 		}
-		tab, err := runner.Run(id)
+		var tab *experiments.Table
+		if id == "E24" {
+			// E24 goes through the options-aware entry point so the
+			// scale flags and the bench-json baseline apply.
+			var res *experiments.E24Result
+			tab, res, err = experiments.E24Scale(*seed, e24opts)
+			if err == nil && *benchJSON != "" {
+				if werr := writeBenchJSON(*benchJSON, *seed, res); werr != nil {
+					return werr
+				}
+				fmt.Fprintf(os.Stderr, "bdibench: wrote %s\n", *benchJSON)
+			}
+		} else {
+			tab, err = runner.Run(id)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bdibench: %s: %v\n", id, err)
 			failed++
@@ -84,4 +124,37 @@ func run() error {
 		return fmt.Errorf("%d experiment(s) failed", failed)
 	}
 	return nil
+}
+
+// parseInts parses a comma-separated list of integers; "" means unset.
+func parseInts(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// writeBenchJSON persists the E24 result as the blocking perf baseline
+// (BENCH_blocking.json) future runs diff against.
+func writeBenchJSON(path string, seed int64, res *experiments.E24Result) error {
+	doc := struct {
+		Experiment string `json:"experiment"`
+		Seed       int64  `json:"seed"`
+		*experiments.E24Result
+	}{Experiment: "E24", Seed: seed, E24Result: res}
+	js, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(js, '\n'), 0o644)
 }

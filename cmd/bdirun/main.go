@@ -53,6 +53,9 @@ func run() error {
 		meta        = flag.Bool("metablock", false, "apply meta-blocking")
 		fs          = flag.Bool("fellegi-sunter", false, "use the probabilistic matcher")
 		workers     = flag.Int("workers", 0, "worker goroutines per stage (0 = NumCPU)")
+		shards      = flag.Int("shards", 0, "blocking data shards (0 = one per worker)")
+		pairBudget  = flag.String("pair-mem-budget", "", "blocking pair-memory budget, e.g. 256mb (empty = unlimited; excess spills to disk)")
+		spillDir    = flag.String("spill-dir", "", "directory for blocking spill runs (empty = system temp)")
 		timeout     = flag.Duration("timeout", 0, "overall deadline for ingestion + pipeline (0 = none)")
 		faultRate   = flag.Float64("fault-rate", 0, "inject transient faults at this per-fetch rate (plus rate/4 dead sources)")
 		faultSeed   = flag.Int64("fault-seed", 1, "fault injection seed (schedules are reproducible per seed)")
@@ -135,12 +138,19 @@ func run() error {
 		fmt.Printf("degraded sources (needed retries): %s\n", strings.Join(irep.Degraded, " "))
 	}
 
+	budget, err := core.ParseByteSize(*pairBudget)
+	if err != nil {
+		return fmt.Errorf("-pair-mem-budget: %w", err)
+	}
 	cfg := core.Config{
 		Fuser:         *fuser,
 		Clusterer:     *clusterer,
 		MetaBlock:     *meta,
 		FellegiSunter: *fs,
 		Workers:       *workers,
+		Shards:        *shards,
+		PairMemBudget: budget,
+		SpillDir:      *spillDir,
 		Obs:           reg,
 	}
 	switch *order {

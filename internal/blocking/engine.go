@@ -72,7 +72,10 @@ func pairCode(a, b uint32) uint64 {
 // order: it sorts a copy to learn the distinct code set, then sweeps
 // the original once, keeping each code the first time its slot in the
 // sorted set is hit. One clone, one uint64 sort, one bool slice — the
-// inner loop never touches the heap per pair.
+// inner loop never touches the heap per pair. When deduplication
+// shrinks the slice past 2× its backing array, the result is
+// right-sized: long-lived candidate sets and spilled runs must not pin
+// an oversized raw-code array for their whole lifetime.
 func dedupCodesStable(codes []uint64) []uint64 {
 	if len(codes) < 2 {
 		return codes
@@ -92,24 +95,75 @@ func dedupCodesStable(codes []uint64) []uint64 {
 			out = append(out, c)
 		}
 	}
+	if cap(out) >= 2*len(out) {
+		out = slices.Clone(out)
+	}
 	return out
+}
+
+// Opts configures an engine beyond the worker count: the shard count
+// for block building and pair generation, and the pair-memory budget
+// past which pair generation spills sorted runs to temp files. Every
+// combination produces byte-identical candidate output; the knobs only
+// trade memory and parallelism.
+type Opts struct {
+	// Workers bounds the parallel passes (0 = NumCPU).
+	Workers int
+	// Shards splits block building and pair generation into this many
+	// data shards (<= 1 means one shard per worker for block building
+	// and unsharded pair generation). The shard plan depends only on
+	// the data and this count, never on Workers.
+	Shards int
+	// PairMemBudget, when > 0, bounds the bytes of packed pair codes
+	// held in RAM during candidate generation. A pass whose raw pair
+	// codes would exceed it spills sorted runs of (code, position)
+	// entries to temp files and streams the deduplicated result back
+	// through a k-way loser-tree merge.
+	PairMemBudget int64
+	// SpillDir is the directory for spill runs ("" = os.TempDir()).
+	SpillDir string
+	// Obs records "blocking." metrics (nil falls back to obs.Default).
+	Obs *obs.Registry
+	// Ctx, when set, makes errors stick to the engine instead of
+	// panicking (see NewEngineCtx).
+	Ctx context.Context
 }
 
 // Engine shares one record-ID interning across several blocking passes
 // over the same records, so the resulting candidate sets live in one
 // rank space and can be unioned on packed codes.
 type Engine struct {
-	cfg   parallel.Config
-	recs  []*data.Record
-	rk    *ranker
-	ranks []uint32 // record position → rank
-	sink  *errSink // nil on the legacy constructors: errors panic instead
+	cfg    parallel.Config
+	recs   []*data.Record
+	rk     *ranker
+	ranks  []uint32 // record position → rank
+	sink   *errSink // nil on the legacy constructors: errors panic instead
+	shards int      // pair-generation shard count (<=1 = unsharded)
+	budget int64    // pair-memory budget in bytes (0 = unlimited)
+	dir    string   // spill directory ("" = os.TempDir())
 }
 
 // NewEngine interns the record IDs once (in parallel) and returns an
 // engine bound to the records. workers <= 0 means NumCPU.
 func NewEngine(records []*data.Record, workers int) *Engine {
 	return NewEngineObs(records, workers, nil)
+}
+
+// NewEngineOpts is the fully-configurable constructor: sharded block
+// building and pair generation, an optional pair-memory budget with
+// disk spill, metrics and cancellation. With Opts.Ctx set, errors stick
+// to the engine (read Err after the chain); without it they panic,
+// matching NewEngine.
+func NewEngineOpts(records []*data.Record, o Opts) *Engine {
+	var sink *errSink
+	if o.Ctx != nil {
+		sink = &errSink{}
+	}
+	e := newEngine(parallel.Config{Workers: o.Workers, Obs: obs.OrDefault(o.Obs), Ctx: o.Ctx}, sink, records)
+	e.shards = o.Shards
+	e.budget = o.PairMemBudget
+	e.dir = o.SpillDir
+	return e
 }
 
 // NewEngineObs is NewEngine with an attached metrics registry: the
@@ -170,34 +224,46 @@ func (e *Engine) check(err error) bool {
 	panic(err)
 }
 
+// empty returns the poisoned/empty index carrying the engine's
+// configuration, the return value of every failed derivation.
+func (e *Engine) empty() *Indexed {
+	return &Indexed{cfg: e.cfg, sink: e.sink, ids: e.rk.ids, shards: e.shards, budget: e.budget, dir: e.dir}
+}
+
 // Blocks applies key to every record — the expensive tokenisation runs
-// sharded across workers — and merges the shard maps deterministically
-// into an interned block collection. Shards are contiguous input
-// ranges, so concatenating a key's shard rows in shard order preserves
-// record input order within every block; keys are sorted, exactly
-// matching the sequential BuildBlocks semantics.
+// sharded over contiguous input ranges — and merges the shard maps
+// deterministically into an interned block collection. Concatenating a
+// key's shard rows in shard order preserves record input order within
+// every block; keys are sorted, exactly matching the sequential
+// BuildBlocks semantics, so the result is byte-identical for any
+// worker or shard count. The shard count defaults to the worker count;
+// Opts.Shards fixes it independently of the pool size.
 func (e *Engine) Blocks(key KeyFunc) *Indexed {
 	if e.sink.failed() {
-		return &Indexed{cfg: e.cfg, sink: e.sink, ids: e.rk.ids}
+		return e.empty()
 	}
 	if key == nil {
 		e.check(fmt.Errorf("blocking: engine pass: %w", ErrNilKey))
-		return &Indexed{cfg: e.cfg, sink: e.sink, ids: e.rk.ids}
+		return e.empty()
 	}
 	n := len(e.recs)
 	w := e.cfg.Workers
 	if w <= 0 {
 		w = runtime.NumCPU()
 	}
-	if w > n {
-		w = n
+	s := e.shards
+	if s <= 1 {
+		s = w
 	}
-	if w < 1 {
-		w = 1
+	if s > n {
+		s = n
 	}
-	shards := make([]map[string][]uint32, w)
-	err := parallel.ForEach(parallel.Config{Workers: w, Ctx: e.cfg.Ctx}, w, func(s int) {
-		lo, hi := n*s/w, n*(s+1)/w
+	if s < 1 {
+		s = 1
+	}
+	shards := make([]map[string][]uint32, s)
+	err := parallel.ForEach(parallel.Config{Workers: w, Ctx: e.cfg.Ctx}, s, func(si int) {
+		lo, hi := n*si/s, n*(si+1)/s
 		m := make(map[string][]uint32)
 		var ks keySet
 		for i := lo; i < hi; i++ {
@@ -209,10 +275,10 @@ func (e *Engine) Blocks(key KeyFunc) *Indexed {
 				m[k] = append(m[k], e.ranks[i])
 			}
 		}
-		shards[s] = m
+		shards[si] = m
 	})
 	if e.check(err) {
-		return &Indexed{cfg: e.cfg, sink: e.sink, ids: e.rk.ids}
+		return e.empty()
 	}
 	total := 0
 	for _, m := range shards {
@@ -227,7 +293,7 @@ func (e *Engine) Blocks(key KeyFunc) *Indexed {
 	slices.Sort(keys)
 	keys = slices.Compact(keys)
 	rows := make([][]uint32, len(keys))
-	if w == 1 {
+	if s == 1 {
 		for i, k := range keys {
 			rows[i] = shards[0][k]
 		}
@@ -245,11 +311,13 @@ func (e *Engine) Blocks(key KeyFunc) *Indexed {
 			rows[i] = row
 		})
 		if e.check(err) {
-			return &Indexed{cfg: e.cfg, sink: e.sink, ids: e.rk.ids}
+			return e.empty()
 		}
 	}
 	e.cfg.Obs.Counter("blocking.blocks_built").Add(int64(len(keys)))
-	return &Indexed{cfg: e.cfg, sink: e.sink, ids: e.rk.ids, keys: keys, rows: rows}
+	x := e.empty()
+	x.keys, x.rows = keys, rows
+	return x
 }
 
 // BuildIndexed is the one-shot form of NewEngine(...).Blocks(key): it
@@ -262,11 +330,14 @@ func BuildIndexed(cfg parallel.Config, records []*data.Record, key KeyFunc) *Ind
 // dense lexicographic ranks, block keys are sorted, and each row holds
 // the member ranks in record input order.
 type Indexed struct {
-	cfg  parallel.Config
-	sink *errSink   // shared with the engine; nil on standalone indexes
-	ids  []string   // rank → record ID, sorted ascending
-	keys []string   // sorted block keys
-	rows [][]uint32 // rows[i] = member ranks of keys[i], input order
+	cfg    parallel.Config
+	sink   *errSink   // shared with the engine; nil on standalone indexes
+	ids    []string   // rank → record ID, sorted ascending
+	keys   []string   // sorted block keys
+	rows   [][]uint32 // rows[i] = member ranks of keys[i], input order
+	shards int        // pair-generation shard count (<=1 = unsharded)
+	budget int64      // pair-memory budget in bytes (0 = unlimited)
+	dir    string     // spill directory ("" = os.TempDir())
 }
 
 // check mirrors Engine.check for operations derived from the index.
@@ -330,7 +401,7 @@ func (x *Indexed) Purge(maxSize int) *Indexed {
 	if maxSize <= 0 {
 		return x
 	}
-	out := &Indexed{cfg: x.cfg, sink: x.sink, ids: x.ids}
+	out := &Indexed{cfg: x.cfg, sink: x.sink, ids: x.ids, shards: x.shards, budget: x.budget, dir: x.dir}
 	for i, row := range x.rows {
 		if len(row) <= maxSize {
 			out.keys = append(out.keys, x.keys[i])
@@ -354,15 +425,25 @@ func (x *Indexed) Blocks() Blocks {
 	return b
 }
 
+// pairOffsets prefix-sums the per-block pair counts: offs[i] is the
+// raw emission position of block i's first pair in the sequential
+// order (sorted keys, in-block input order). The offsets are the shard
+// plan for pair generation and the position tags that keep sharded and
+// spilled dedup byte-identical to the in-memory sweep.
+func (x *Indexed) pairOffsets() []int {
+	offs := make([]int, len(x.rows)+1)
+	for i, row := range x.rows {
+		offs[i+1] = offs[i] + len(row)*(len(row)-1)/2
+	}
+	return offs
+}
+
 // rawCodes packs every in-block pair into one flat code slice in the
 // sequential emission order (sorted keys, in-block input order),
 // duplicates across blocks retained. Per-block offsets are prefix-
 // summed so the fill parallelises with deterministic placement.
 func (x *Indexed) rawCodes() []uint64 {
-	offs := make([]int, len(x.rows)+1)
-	for i, row := range x.rows {
-		offs[i+1] = offs[i] + len(row)*(len(row)-1)/2
-	}
+	offs := x.pairOffsets()
 	codes := make([]uint64, offs[len(x.rows)])
 	err := parallel.ForEach(x.cfg, len(x.rows), func(i int) {
 		row := x.rows[i]
@@ -381,29 +462,47 @@ func (x *Indexed) rawCodes() []uint64 {
 }
 
 // CandidateSet expands the blocks into the deduplicated packed
-// candidate collection, in the exact order Blocks.Pairs emits.
+// candidate collection, in the exact order Blocks.Pairs emits. Three
+// execution strategies produce that byte-identical order: the plain
+// in-memory sweep, the sharded in-memory path (Opts.Shards > 1), and —
+// when the raw pair codes would exceed Opts.PairMemBudget — external
+// generation that spills sorted runs to temp files and streams the
+// deduplicated result through k-way loser-tree merges. Spill-backed
+// sets must be released with Close.
 func (x *Indexed) CandidateSet() *CandidateSet {
 	if x.sink.failed() {
 		return &CandidateSet{ids: x.ids}
 	}
-	raw := x.rawCodes()
+	offs := x.pairOffsets()
+	nraw := offs[len(x.rows)]
+	var cs *CandidateSet
+	switch {
+	case x.budget > 0 && int64(nraw)*8 > x.budget:
+		cs = x.spillCandidates(offs)
+	case x.shards > 1:
+		cs = &CandidateSet{ids: x.ids, codes: x.shardedCodes(offs)}
+	default:
+		raw := x.rawCodes()
+		if x.sink.failed() {
+			return &CandidateSet{ids: x.ids}
+		}
+		cs = &CandidateSet{ids: x.ids, codes: dedupCodesStable(raw)}
+	}
 	if x.sink.failed() {
 		return &CandidateSet{ids: x.ids}
 	}
-	nraw := len(raw)
-	codes := dedupCodesStable(raw)
 	if reg := x.cfg.Obs; reg != nil {
 		rawC := reg.Counter("blocking.pairs_raw")
 		rawC.Add(int64(nraw))
 		emitC := reg.Counter("blocking.pairs_emitted")
-		emitC.Add(int64(len(codes)))
+		emitC.Add(int64(cs.Len()))
 		// Cumulative ratio across all passes on this registry, so the
 		// gauge stays meaningful when a pipeline unions several blockers.
 		if tot := rawC.Value(); tot > 0 {
 			reg.Gauge("blocking.dedup_ratio").Set(float64(emitC.Value()) / float64(tot))
 		}
 	}
-	return &CandidateSet{ids: x.ids, codes: codes}
+	return cs
 }
 
 // Pairs expands the blocks into deduplicated candidate pairs,
@@ -418,51 +517,123 @@ func (x *Indexed) EmitPairs(emit func(data.Pair) bool) { x.CandidateSet().EmitPa
 // uint64 rank codes over a shared ID table. It supports random access
 // (for the parallel matcher) and streaming emission without ever
 // materialising a []data.Pair.
+//
+// A set built under a pair-memory budget is spill-backed: its codes
+// live in sorted run files on disk (ext != nil) and only stream
+// through EmitPairs/emitCodes; random access via Pair is unavailable
+// and Close must be called to release the run files. The codes slice
+// then holds the in-memory tail a union appended after the spilled
+// stream.
 type CandidateSet struct {
 	ids   []string
-	codes []uint64 // deduplicated pair codes, first-emission order
+	codes []uint64  // deduplicated pair codes, first-emission order
+	ext   *spillSet // non-nil: codes stream from disk, c.codes is the union tail
+	sink  *errSink  // error sink for streaming reads; nil panics (legacy semantics)
 }
 
 // Len returns the number of candidate pairs.
-func (c *CandidateSet) Len() int { return len(c.codes) }
+func (c *CandidateSet) Len() int {
+	if c.ext != nil {
+		return c.ext.n + len(c.codes)
+	}
+	return len(c.codes)
+}
 
-// Pair decodes the i-th candidate. The high word holds the smaller
+// Spilled reports whether the set streams from disk. Spilled sets do
+// not support random access via Pair; consume them with EmitPairs (or
+// a streaming matcher) and release them with Close.
+func (c *CandidateSet) Spilled() bool { return c.ext != nil }
+
+// Close releases the spill run files of a spill-backed set (shared
+// files are reference-counted across unions). In-memory sets need no
+// Close; calling it is a no-op.
+func (c *CandidateSet) Close() error {
+	if c.ext == nil {
+		return nil
+	}
+	return c.ext.release()
+}
+
+// decode unpacks a code into its pair. The high word holds the smaller
 // rank, so A < B lexicographically without a comparison.
-func (c *CandidateSet) Pair(i int) data.Pair {
-	code := c.codes[i]
+func (c *CandidateSet) decode(code uint64) data.Pair {
 	return data.Pair{A: c.ids[code>>32], B: c.ids[code&0xffffffff]}
+}
+
+// Pair decodes the i-th candidate. Spilled sets have no random access:
+// Pair panics on them — use EmitPairs.
+func (c *CandidateSet) Pair(i int) data.Pair {
+	if c.ext != nil {
+		panic("blocking: random access on a spilled candidate set (use EmitPairs)")
+	}
+	return c.decode(c.codes[i])
+}
+
+// check records a streaming error on the engine's sink, panicking when
+// the set has none (the legacy crash semantics).
+func (c *CandidateSet) check(err error) bool {
+	if err == nil {
+		return false
+	}
+	if c.sink != nil {
+		c.sink.set(err)
+		return true
+	}
+	panic(err)
+}
+
+// emitCodes streams the packed codes in emission order: the spilled
+// stream (when present) followed by the in-memory tail.
+func (c *CandidateSet) emitCodes(emit func(code uint64) bool) {
+	if c.ext != nil {
+		stop := false
+		err := c.ext.emit(func(code uint64) bool {
+			if !emit(code) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if c.check(err) || stop {
+			return
+		}
+	}
+	for _, code := range c.codes {
+		if !emit(code) {
+			return
+		}
+	}
 }
 
 // Pairs materialises the full pair slice (nil when empty).
 func (c *CandidateSet) Pairs() []data.Pair {
-	if len(c.codes) == 0 {
+	n := c.Len()
+	if n == 0 {
 		return nil
 	}
-	out := make([]data.Pair, len(c.codes))
-	for i := range c.codes {
-		out[i] = c.Pair(i)
-	}
+	out := make([]data.Pair, 0, n)
+	c.emitCodes(func(code uint64) bool {
+		out = append(out, c.decode(code))
+		return true
+	})
 	return out
 }
 
 // EmitPairs streams the candidates to emit in order, stopping early
 // when emit returns false.
 func (c *CandidateSet) EmitPairs(emit func(data.Pair) bool) {
-	for i := range c.codes {
-		if !emit(c.Pair(i)) {
-			return
-		}
-	}
+	c.emitCodes(func(code uint64) bool { return emit(c.decode(code)) })
 }
 
 // RecordIDs returns the distinct record IDs referenced by the
 // candidates, ascending.
 func (c *CandidateSet) RecordIDs() []string {
 	seen := make([]bool, len(c.ids))
-	for _, code := range c.codes {
+	c.emitCodes(func(code uint64) bool {
 		seen[code>>32] = true
 		seen[code&0xffffffff] = true
-	}
+		return true
+	})
 	var out []string
 	for rank, ok := range seen {
 		if ok {
@@ -477,10 +648,17 @@ func (c *CandidateSet) RecordIDs() []string {
 // equivalent of appending pair slices and deduplicating through a
 // map[data.Pair]bool. Sets built over the same Engine share an ID
 // table and merge on codes; mixed tables fall back to re-ranking.
+//
+// A spilled set in the first position stays on disk: the union keeps
+// its streamed prefix and appends only the genuinely new codes of the
+// later (in-memory) sets as a tail, so unioning identifier blocking
+// into a budgeted token-blocking pass never materialises the spilled
+// stream. A spilled set in any later position must be materialised to
+// preserve first-seen order and loses its disk backing.
 func UnionCandidates(sets ...*CandidateSet) *CandidateSet {
 	var nonEmpty []*CandidateSet
 	for _, s := range sets {
-		if s != nil && len(s.codes) > 0 {
+		if s != nil && s.Len() > 0 {
 			nonEmpty = append(nonEmpty, s)
 		}
 	}
@@ -500,15 +678,59 @@ func UnionCandidates(sets ...*CandidateSet) *CandidateSet {
 	if !shared {
 		return rerankUnion(nonEmpty)
 	}
+	if base := nonEmpty[0]; base.ext != nil {
+		return unionOntoSpilled(base, nonEmpty[1:])
+	}
 	total := 0
 	for _, s := range nonEmpty {
-		total += len(s.codes)
+		total += s.Len()
 	}
 	codes := make([]uint64, 0, total)
 	for _, s := range nonEmpty {
-		codes = append(codes, s.codes...)
+		s.emitCodes(func(code uint64) bool {
+			codes = append(codes, code)
+			return true
+		})
 	}
 	return &CandidateSet{ids: nonEmpty[0].ids, codes: dedupCodesStable(codes)}
+}
+
+// unionOntoSpilled unions in-memory sets onto a spill-backed base that
+// leads the concatenation: every base code precedes every later code,
+// so the result is the untouched spilled stream plus a deduplicated
+// in-memory tail of the codes the base does not already contain.
+// Membership is decided by one sorted-merge sweep over the base's
+// by-code spill stream — the tail never needs the spilled codes in RAM.
+func unionOntoSpilled(base *CandidateSet, rest []*CandidateSet) *CandidateSet {
+	total := len(base.codes)
+	for _, s := range rest {
+		total += s.Len()
+	}
+	tail := make([]uint64, 0, total)
+	tail = append(tail, base.codes...)
+	for _, s := range rest {
+		s.emitCodes(func(code uint64) bool {
+			tail = append(tail, code)
+			return true
+		})
+	}
+	tail = dedupCodesStable(tail)
+	sorted := slices.Clone(tail)
+	slices.Sort(sorted)
+	inBase := make(map[uint64]bool, len(sorted))
+	if err := base.ext.filterSorted(sorted, func(code uint64) { inBase[code] = true }); err != nil {
+		out := &CandidateSet{ids: base.ids}
+		out.sink = base.sink
+		out.check(err)
+		return out
+	}
+	kept := tail[:0]
+	for _, code := range tail {
+		if !inBase[code] {
+			kept = append(kept, code)
+		}
+	}
+	return &CandidateSet{ids: base.ids, codes: kept, ext: base.ext.retain(), sink: base.sink}
 }
 
 // sameIDs reports whether two ID tables are the same slice (the common
@@ -527,14 +749,14 @@ func rerankUnion(sets []*CandidateSet) *CandidateSet {
 	rk := newRanker(all)
 	total := 0
 	for _, s := range sets {
-		total += len(s.codes)
+		total += s.Len()
 	}
 	codes := make([]uint64, 0, total)
 	for _, s := range sets {
-		for i := range s.codes {
-			p := s.Pair(i)
+		s.EmitPairs(func(p data.Pair) bool {
 			codes = append(codes, pairCode(rk.rank(p.A), rk.rank(p.B)))
-		}
+			return true
+		})
 	}
 	return &CandidateSet{ids: rk.ids, codes: dedupCodesStable(codes)}
 }

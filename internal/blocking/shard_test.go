@@ -1,0 +1,265 @@
+package blocking
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/obs"
+)
+
+var shardCounts = []int{1, 4, 16}
+
+// pinKeys is the blocker matrix for the sharded/spilled identity pins.
+func pinKeys() map[string]KeyFunc {
+	return map[string]KeyFunc{
+		"token":  TokenKey("title"),
+		"prefix": AttrPrefixKey("title", 4),
+		"exact":  AttrExactKey("pid"),
+		"qgram":  QGramKey("title", 3),
+		"all":    AllTokensKey(),
+	}
+}
+
+// TestShardedMatchesUnsharded pins the acceptance criterion: sharded
+// engine output is byte-identical to the unsharded engine for every
+// blocker key at workers ∈ {1,2,8} × shards ∈ {1,4,16}, purged and
+// unpurged.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	recs := detRecords(300)
+	for name, key := range pinKeys() {
+		for _, max := range []int{0, 40} {
+			want := NewEngine(recs, 1).Blocks(key).Purge(max).Pairs()
+			for _, w := range workerCounts {
+				for _, s := range shardCounts {
+					e := NewEngineOpts(recs, Opts{Workers: w, Shards: s})
+					got := e.Blocks(key).Purge(max).Pairs()
+					samePairs(t, fmt.Sprintf("%s max=%d workers=%d shards=%d", name, max, w, s), want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestSpilledMatchesInMemory pins the external path: a budget far below
+// the raw pair bytes forces run spilling, and the streamed result must
+// be byte-identical to the in-memory sweep at every worker and shard
+// count.
+func TestSpilledMatchesInMemory(t *testing.T) {
+	recs := detRecords(300)
+	const budget = 1 << 6 // 64 bytes ≪ raw pair bytes for every key
+	for name, key := range pinKeys() {
+		want := NewEngine(recs, 1).Blocks(key).Pairs()
+		for _, w := range workerCounts {
+			for _, s := range shardCounts {
+				e := NewEngineOpts(recs, Opts{
+					Workers:       w,
+					Shards:        s,
+					PairMemBudget: budget,
+					SpillDir:      t.TempDir(),
+				})
+				cs := e.Blocks(key).CandidateSet()
+				// Raw pairs ≥ emitted pairs, so past this threshold the
+				// budget must have engaged the external path.
+				if int64(len(want))*8 > budget && !cs.Spilled() {
+					t.Fatalf("%s workers=%d shards=%d: budget did not trigger spill", name, w, s)
+				}
+				samePairs(t, fmt.Sprintf("%s workers=%d shards=%d spilled", name, w, s), want, cs.Pairs())
+				if got := cs.Len(); got != len(want) {
+					t.Fatalf("%s: spilled Len = %d, want %d", name, got, len(want))
+				}
+				if err := cs.Close(); err != nil {
+					t.Fatalf("%s: Close: %v", name, err)
+				}
+			}
+		}
+	}
+}
+
+// TestSpilledEmitReplaysAndStopsEarly: a spilled set is re-emittable
+// (the runs persist until Close) and honours early stop.
+func TestSpilledEmitReplaysAndStopsEarly(t *testing.T) {
+	recs := detRecords(200)
+	e := NewEngineOpts(recs, Opts{Shards: 4, PairMemBudget: 1 << 12, SpillDir: t.TempDir()})
+	cs := e.Blocks(TokenKey("title")).CandidateSet()
+	defer cs.Close()
+	if !cs.Spilled() {
+		t.Fatal("budget did not trigger spill")
+	}
+	first := cs.Pairs()
+	second := cs.Pairs()
+	samePairs(t, "replay", first, second)
+	var head []data.Pair
+	cs.EmitPairs(func(p data.Pair) bool {
+		head = append(head, p)
+		return len(head) < 5
+	})
+	if len(head) != 5 {
+		t.Fatalf("early stop emitted %d pairs, want 5", len(head))
+	}
+	samePairs(t, "early-stop prefix", first[:5], head)
+}
+
+// TestSpilledRandomAccessPanics pins the documented contract: Pair on a
+// spilled set panics rather than silently misbehaving.
+func TestSpilledRandomAccessPanics(t *testing.T) {
+	recs := detRecords(120)
+	e := NewEngineOpts(recs, Opts{PairMemBudget: 1 << 10, SpillDir: t.TempDir()})
+	cs := e.Blocks(TokenKey("title")).CandidateSet()
+	defer cs.Close()
+	if !cs.Spilled() {
+		t.Fatal("budget did not trigger spill")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pair on a spilled set did not panic")
+		}
+	}()
+	cs.Pair(0)
+}
+
+// TestSpilledUnionStaysExternal: unioning in-memory sets onto a spilled
+// base keeps the disk backing, matches the all-in-memory union exactly,
+// and reference-counts the run directory across Closes.
+func TestSpilledUnionStaysExternal(t *testing.T) {
+	recs := detRecords(250)
+	dir := t.TempDir()
+
+	mem := NewEngine(recs, 2)
+	memBase := mem.Blocks(TokenKey("title")).CandidateSet()
+	memID := mem.Blocks(AttrExactKey("pid")).CandidateSet()
+	want := UnionCandidates(memBase, memID).Pairs()
+
+	e := NewEngineOpts(recs, Opts{Workers: 2, Shards: 4, PairMemBudget: 1 << 12, SpillDir: dir})
+	base := e.Blocks(TokenKey("title")).CandidateSet()
+	id := e.Blocks(AttrExactKey("pid")).CandidateSet()
+	if !base.Spilled() {
+		t.Fatal("base did not spill")
+	}
+	u := UnionCandidates(base, id)
+	if !u.Spilled() {
+		t.Fatal("union of spilled base lost its disk backing")
+	}
+	samePairs(t, "spilled union", want, u.Pairs())
+
+	// The union retained the base's runs: closing the base must not
+	// break the union, and closing both releases the directory.
+	if err := base.Close(); err != nil {
+		t.Fatal(err)
+	}
+	samePairs(t, "after base close", want, u.Pairs())
+	if err := u.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(base.ext.dir); !os.IsNotExist(err) {
+		t.Fatalf("run directory survived the last Close: %v", err)
+	}
+}
+
+// TestSpilledUnionLaterPosition: a spilled set that is not the first
+// non-empty operand is materialised through its stream — order still
+// matches the in-memory union.
+func TestSpilledUnionLaterPosition(t *testing.T) {
+	recs := detRecords(250)
+	mem := NewEngine(recs, 2)
+	want := UnionCandidates(
+		mem.Blocks(AttrExactKey("pid")).CandidateSet(),
+		mem.Blocks(TokenKey("title")).CandidateSet(),
+	).Pairs()
+
+	e := NewEngineOpts(recs, Opts{Shards: 4, PairMemBudget: 1 << 12, SpillDir: t.TempDir()})
+	spilled := e.Blocks(TokenKey("title")).CandidateSet()
+	defer spilled.Close()
+	id := e.Blocks(AttrExactKey("pid")).CandidateSet()
+	u := UnionCandidates(id, spilled)
+	if u.Spilled() {
+		t.Fatal("union with a later spilled operand should be in-memory")
+	}
+	samePairs(t, "later-position spilled union", want, u.Pairs())
+}
+
+// TestSpillObsCounters: spill-run and merge counters are visible in an
+// obs snapshot, per the acceptance criteria.
+func TestSpillObsCounters(t *testing.T) {
+	recs := detRecords(200)
+	reg := obs.NewRegistry()
+	e := NewEngineOpts(recs, Opts{Shards: 4, PairMemBudget: 1 << 12, SpillDir: t.TempDir(), Obs: reg})
+	cs := e.Blocks(TokenKey("title")).CandidateSet()
+	defer cs.Close()
+	cs.Pairs() // one emission merge
+	snap := reg.Snapshot()
+	vals := map[string]int64{}
+	for _, c := range snap.Counters {
+		vals[c.Name] = c.Value
+	}
+	for _, name := range []string{
+		"blocking.spill_runs", "blocking.spill_bytes", "blocking.pairs_spilled",
+		"blocking.spill_merge_runs", "blocking.spill_merges",
+	} {
+		if vals[name] <= 0 {
+			t.Fatalf("counter %s = %d, want > 0 (snapshot: %v)", name, vals[name], vals)
+		}
+	}
+}
+
+// TestSpilledRecordIDs: RecordIDs streams from disk and matches the
+// in-memory set.
+func TestSpilledRecordIDs(t *testing.T) {
+	recs := detRecords(150)
+	want := NewEngine(recs, 1).Blocks(TokenKey("title")).CandidateSet().RecordIDs()
+	e := NewEngineOpts(recs, Opts{PairMemBudget: 1 << 10, SpillDir: t.TempDir()})
+	cs := e.Blocks(TokenKey("title")).CandidateSet()
+	defer cs.Close()
+	got := cs.RecordIDs()
+	if len(got) != len(want) {
+		t.Fatalf("got %d ids, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("id %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestShardedMetaBlockingMatchesSeed: meta-blocking over a sharded
+// engine's index is unchanged — the shard knobs only affect pair
+// generation, never the block collection it sees.
+func TestShardedMetaBlockingMatchesSeed(t *testing.T) {
+	recs := detRecords(300)
+	blocks := refBuildBlocks(recs, TokenKey("title"))
+	for _, weight := range []WeightScheme{CBS, ECBS, JS} {
+		mb := MetaBlocker{Weight: weight, Prune: WEP}
+		want := refMetaCandidates(mb, blocks)
+		for _, s := range shardCounts {
+			e := NewEngineOpts(recs, Opts{Workers: 2, Shards: s})
+			got := mb.Pruned(e.Blocks(TokenKey("title"))).Pairs()
+			samePairs(t, fmt.Sprintf("meta weight=%d shards=%d", weight, s), want, got)
+		}
+	}
+}
+
+// TestSpillCancellation: a cancelled context poisons the engine instead
+// of panicking, and the spill directory is cleaned up.
+func TestSpillCancellation(t *testing.T) {
+	recs := detRecords(200)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dir := t.TempDir()
+	e := NewEngineOpts(recs, Opts{Shards: 4, PairMemBudget: 1 << 12, SpillDir: dir, Ctx: ctx})
+	cs := e.Blocks(TokenKey("title")).CandidateSet()
+	if e.Err() == nil {
+		t.Fatal("cancelled engine reported no error")
+	}
+	if cs.Len() != 0 {
+		t.Fatalf("poisoned engine produced %d pairs", cs.Len())
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("cancelled spill left %d entries in the spill dir", len(ents))
+	}
+}

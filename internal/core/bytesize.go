@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseByteSize parses a human-friendly byte count for the pair-memory
+// budget flags: a plain integer is bytes, and a k/m/g (or kb/mb/gb)
+// suffix scales by binary units, case-insensitively — "256mb", "1G",
+// "65536". The empty string is 0 (no budget).
+func ParseByteSize(s string) (int64, error) {
+	t := strings.ToLower(strings.TrimSpace(s))
+	if t == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(t, "kb"), strings.HasSuffix(t, "k"):
+		mult = 1 << 10
+	case strings.HasSuffix(t, "mb"), strings.HasSuffix(t, "m"):
+		mult = 1 << 20
+	case strings.HasSuffix(t, "gb"), strings.HasSuffix(t, "g"):
+		mult = 1 << 30
+	}
+	if mult > 1 {
+		t = strings.TrimRight(t, "kmgb")
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("core: byte size %q: %w", s, err)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("core: negative byte size %q", s)
+	}
+	if mult > 1 && n > (1<<62)/mult {
+		return 0, fmt.Errorf("core: byte size %q overflows", s)
+	}
+	return n * mult, nil
+}

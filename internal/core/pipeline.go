@@ -98,6 +98,23 @@ type Config struct {
 	// value.
 	Workers int
 
+	// Shards splits blocking's block building and pair generation into
+	// this many data shards (0 or 1 = one shard per worker for block
+	// building, unsharded pair generation). The shard plan depends only
+	// on the data and this count, so output is identical for any value.
+	Shards int
+
+	// PairMemBudget, when > 0, bounds the bytes of packed pair codes
+	// blocking holds in RAM. A pass whose raw pair codes exceed it
+	// spills sorted runs to SpillDir and streams the deduplicated
+	// candidates into matching through bounded batches instead of
+	// materialising them. Output is identical either way.
+	PairMemBudget int64
+
+	// SpillDir is the directory for blocking spill runs ("" =
+	// os.TempDir()).
+	SpillDir string
+
 	// StageTimeout, when positive, bounds each top-level stage (linkage,
 	// alignment, fusion) with its own deadline. A stage that overruns is
 	// cancelled at the next chunk boundary and RunCtx returns an error
@@ -207,6 +224,12 @@ func (c Config) Validate() error {
 	}
 	if t := c.AlignThreshold; t != ZeroThreshold && (t < 0 || t > 1) {
 		return fmt.Errorf("core: align threshold %f out of [0,1]", t)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("core: negative shard count %d", c.Shards)
+	}
+	if c.PairMemBudget < 0 {
+		return fmt.Errorf("core: negative pair-memory budget %d", c.PairMemBudget)
 	}
 	return nil
 }
@@ -361,7 +384,14 @@ func (p *Pipeline) linkStage(ctx context.Context, d *data.Dataset, rep *Report, 
 		candidates = dedupePairs(candidates)
 		rep.Candidates = len(candidates)
 	} else {
-		eng := blocking.NewEngineCtx(ctx, records, p.cfg.Workers, reg)
+		eng := blocking.NewEngineOpts(records, blocking.Opts{
+			Workers:       p.cfg.Workers,
+			Shards:        p.cfg.Shards,
+			PairMemBudget: p.cfg.PairMemBudget,
+			SpillDir:      p.cfg.SpillDir,
+			Obs:           reg,
+			Ctx:           ctx,
+		})
 		idx := eng.Blocks(keyFn).Purge(p.cfg.MaxBlock)
 		var base *blocking.CandidateSet
 		if p.cfg.MetaBlock {
@@ -384,6 +414,17 @@ func (p *Pipeline) linkStage(ctx context.Context, d *data.Dataset, rep *Report, 
 			return err
 		}
 		cs = blocking.UnionCandidates(sets...)
+		// The union retains any spill runs it shares with its inputs, so
+		// the inputs release their references now and the union's Close
+		// (deferred to stage end) drops the last one. Close is a no-op on
+		// in-memory sets, and UnionCandidates may return an input
+		// unchanged — that one keeps its reference.
+		for _, s := range sets {
+			if s != cs {
+				s.Close()
+			}
+		}
+		defer cs.Close()
 		rep.Candidates = cs.Len()
 	}
 	reg.Counter("blocking.candidates").Add(int64(rep.Candidates))
@@ -406,9 +447,14 @@ func (p *Pipeline) linkStage(ctx context.Context, d *data.Dataset, rep *Report, 
 	if p.cfg.NoFeatureIndex {
 		scorer = linkage.NoIndex(matcher)
 	}
-	if p.cfg.MaterializeCandidates {
+	switch {
+	case p.cfg.MaterializeCandidates:
 		rep.Matched, err = linkage.MatchPairsCtx(ctx, d, candidates, scorer, p.cfg.Workers, reg)
-	} else {
+	case cs.Spilled():
+		// Spill-backed sets have no random access: stream them through
+		// the batched matcher (identical output, bounded pair memory).
+		rep.Matched, err = linkage.MatchStreamCtx(ctx, d, cs, scorer, p.cfg.Workers, reg)
+	default:
 		rep.Matched, err = linkage.MatchPairsFromCtx(ctx, d, cs, scorer, p.cfg.Workers, reg)
 	}
 	if err != nil {

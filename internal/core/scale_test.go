@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestPipelineShardedSpilledIdentical: the scale-out knobs (Shards,
+// PairMemBudget) must not change a single byte of the pipeline output —
+// they only trade memory and parallelism.
+func TestPipelineShardedSpilledIdentical(t *testing.T) {
+	web := testWeb(t, 1, 0.9)
+	base, err := New(Config{Workers: 2}).Run(web.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{
+		{Workers: 2, Shards: 4},
+		{Workers: 2, Shards: 16},
+		{Workers: 2, Shards: 4, PairMemBudget: 1 << 10, SpillDir: t.TempDir()},
+		{Workers: 8, Shards: 16, PairMemBudget: 1 << 10, SpillDir: t.TempDir()},
+	} {
+		rep, err := New(cfg).Run(web.Dataset)
+		if err != nil {
+			t.Fatalf("shards=%d budget=%d: %v", cfg.Shards, cfg.PairMemBudget, err)
+		}
+		if rep.Candidates != base.Candidates {
+			t.Fatalf("shards=%d budget=%d: candidates %d, want %d",
+				cfg.Shards, cfg.PairMemBudget, rep.Candidates, base.Candidates)
+		}
+		if len(rep.Matched) != len(base.Matched) {
+			t.Fatalf("shards=%d budget=%d: %d matches, want %d",
+				cfg.Shards, cfg.PairMemBudget, len(rep.Matched), len(base.Matched))
+		}
+		for i := range base.Matched {
+			if rep.Matched[i] != base.Matched[i] {
+				t.Fatalf("shards=%d budget=%d: match %d = %v, want %v",
+					cfg.Shards, cfg.PairMemBudget, i, rep.Matched[i], base.Matched[i])
+			}
+		}
+		if len(rep.Clusters) != len(base.Clusters) {
+			t.Fatalf("shards=%d budget=%d: %d clusters, want %d",
+				cfg.Shards, cfg.PairMemBudget, len(rep.Clusters), len(base.Clusters))
+		}
+	}
+}
+
+// TestPipelineSpilledFellegiSunter: the FS training path materialises
+// candidates from the spilled stream; the run must still complete and
+// match the unbudgeted run.
+func TestPipelineSpilledFellegiSunter(t *testing.T) {
+	web := testWeb(t, 1, 0.9)
+	base, err := New(Config{Workers: 2, FellegiSunter: true}).Run(web.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := New(Config{
+		Workers: 2, FellegiSunter: true,
+		Shards: 4, PairMemBudget: 1 << 10, SpillDir: t.TempDir(),
+	}).Run(web.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Matched) != len(base.Matched) {
+		t.Fatalf("spilled FS run: %d matches, want %d", len(rep.Matched), len(base.Matched))
+	}
+}
+
+func TestConfigValidateScaleKnobs(t *testing.T) {
+	if err := (Config{Shards: -1}).Validate(); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+	if err := (Config{PairMemBudget: -1}).Validate(); err == nil {
+		t.Fatal("negative pair-memory budget accepted")
+	}
+	if err := (Config{Shards: 8, PairMemBudget: 1 << 20}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseByteSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"", 0, false},
+		{"0", 0, false},
+		{"4096", 4096, false},
+		{"64k", 64 << 10, false},
+		{"64kb", 64 << 10, false},
+		{"256mb", 256 << 20, false},
+		{"256M", 256 << 20, false},
+		{"2g", 2 << 30, false},
+		{"1GB", 1 << 30, false},
+		{" 8 mb ", 8 << 20, false},
+		{"-1", 0, true},
+		{"12q", 0, true},
+		{"mb", 0, true},
+		{"9999999999g", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseByteSize(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseByteSize(%q) = %d, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("ParseByteSize(%q) = %d, %v; want %d", c.in, got, err, c.want)
+		}
+	}
+}

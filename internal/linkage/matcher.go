@@ -245,6 +245,109 @@ func MatchPairsFromCtx(ctx context.Context, d *data.Dataset, src PairSource, m M
 	return matchAt(ctx, d, src.Len(), src.Pair, m, workers, reg)
 }
 
+// PairStream is the emission-order streaming form of PairSource: a
+// deduplicated candidate collection that may live on disk (the
+// blocking engine's spilled CandidateSet) and therefore offers no
+// random access. The engine's in-memory CandidateSet implements both.
+type PairStream interface {
+	// Len returns the number of candidate pairs.
+	Len() int
+	// EmitPairs streams the candidates in emission order, stopping
+	// early when emit returns false.
+	EmitPairs(emit func(data.Pair) bool)
+	// RecordIDs returns the distinct record IDs the candidates
+	// reference (a superset is permitted).
+	RecordIDs() []string
+}
+
+// matchBatch is the streaming matcher's scoring-window size: pairs in
+// flight are bounded by it, so a spilled candidate stream reaches the
+// matcher without ever existing as a slice.
+const matchBatch = 1 << 16
+
+// MatchStreamCtx scores a streamed candidate source in bounded
+// batches: at most matchBatch decoded pairs exist at once, each batch
+// runs through the parallel scoring pass, and one final sort yields
+// output identical to MatchPairsFromCtx over the same candidates (the
+// ordering is total, so batching cannot reorder it). This is the
+// matching entry point for spill-backed candidate sets.
+//
+// Matchers implementing IDIndexPreparer warm their feature cache from
+// the stream's record IDs — the same global index the random-access
+// path builds, so scores are identical. A legacy IndexPreparer matcher
+// forces a one-off materialisation of the stream, surrendering the
+// memory bound but never correctness.
+func MatchStreamCtx(ctx context.Context, d *data.Dataset, src PairStream, m Matcher, workers int, reg *obs.Registry) ([]data.ScoredPair, error) {
+	switch ip := m.(type) {
+	case IDIndexPreparer:
+		ip.PrepareIndexIDs(d, src.RecordIDs())
+	case IndexPreparer:
+		pairs := make([]data.Pair, 0, src.Len())
+		src.EmitPairs(func(p data.Pair) bool {
+			pairs = append(pairs, p)
+			return true
+		})
+		ip.PrepareIndex(d, pairs)
+	}
+	reg = obs.OrDefault(reg)
+	n := src.Len()
+	reg.Counter("matching.comparisons").Add(int64(n))
+	var out []data.ScoredPair
+	var err error
+	batch := make([]data.Pair, 0, min(max(n, 1), matchBatch))
+	flush := func() bool {
+		if len(batch) == 0 || err != nil {
+			return err == nil
+		}
+		results := make([]data.ScoredPair, len(batch))
+		ok := make([]bool, len(batch))
+		err = parallel.ForEach(parallel.Config{Workers: workers, Obs: reg, Ctx: ctx}, len(batch), func(i int) {
+			p := batch[i]
+			a, b := d.Record(p.A), d.Record(p.B)
+			if a == nil || b == nil {
+				return
+			}
+			s, match := m.Match(a, b)
+			if match {
+				results[i] = data.ScoredPair{Pair: p, Score: s}
+				ok[i] = true
+			}
+		})
+		if err != nil {
+			return false
+		}
+		for i, keep := range ok {
+			if keep {
+				out = append(out, results[i])
+			}
+		}
+		batch = batch[:0]
+		return true
+	}
+	src.EmitPairs(func(p data.Pair) bool {
+		batch = append(batch, p)
+		if len(batch) == cap(batch) {
+			return flush()
+		}
+		return true
+	})
+	flush()
+	if err != nil {
+		return nil, err
+	}
+	reg.Counter("matching.matched").Add(int64(len(out)))
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out, nil
+}
+
 // matchAt scores n candidates supplied by at, in parallel, returning
 // accepted pairs sorted by descending score then pair order. Counters
 // are bumped once per batch, never per pair.

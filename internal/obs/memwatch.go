@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// HeapWatch samples the Go heap in the background and tracks its
+// high-water mark — the scaling experiments' stand-in for peak RSS,
+// reported through the registry like every other metric.
+type HeapWatch struct {
+	reg  *Registry
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	mu   sync.Mutex
+	peak uint64
+}
+
+// StartHeapWatch begins sampling runtime.MemStats.HeapAlloc every
+// interval (<= 0 means 20ms) until Stop. The high-water mark lands in
+// the registry's "runtime.peak_heap_bytes" gauge at Stop time; a nil
+// registry still measures, it just records nowhere.
+func StartHeapWatch(reg *Registry, interval time.Duration) *HeapWatch {
+	if interval <= 0 {
+		interval = 20 * time.Millisecond
+	}
+	w := &HeapWatch{reg: reg, done: make(chan struct{})}
+	w.sample()
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-w.done:
+				return
+			case <-t.C:
+				w.sample()
+			}
+		}
+	}()
+	return w
+}
+
+func (w *HeapWatch) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	w.mu.Lock()
+	if ms.HeapAlloc > w.peak {
+		w.peak = ms.HeapAlloc
+	}
+	w.mu.Unlock()
+}
+
+// Stop takes a final sample, halts the sampler and returns the peak
+// heap bytes observed, recording it in the registry's
+// "runtime.peak_heap_bytes" gauge. Stop is idempotent-unsafe: call it
+// once.
+func (w *HeapWatch) Stop() int64 {
+	close(w.done)
+	w.wg.Wait()
+	w.sample()
+	w.mu.Lock()
+	peak := int64(w.peak)
+	w.mu.Unlock()
+	if w.reg != nil {
+		w.reg.Gauge("runtime.peak_heap_bytes").Set(float64(peak))
+	}
+	return peak
+}

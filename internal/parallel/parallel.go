@@ -319,6 +319,83 @@ func ForEachPair(cfg Config, n int, f func(k, i, j int)) error {
 	})
 }
 
+// WeightedRanges splits the n items described by the prefix-sum slice
+// cum (len n+1, cum[i] = total weight of items [0,i)) into at most
+// shards contiguous ranges of roughly equal weight. Boundaries are
+// chosen by binary search on the cumulative weight, so they depend only
+// on (cum, shards) — never on worker count or scheduling — and empty
+// ranges are dropped. This is the shard planner for stages whose
+// per-item cost is known up front (pair generation over blocks, where
+// the weight of a block is its pair count).
+func WeightedRanges(cum []int, shards int) [][2]int {
+	n := len(cum) - 1
+	if n <= 0 {
+		return nil
+	}
+	total := cum[n]
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	if total <= 0 {
+		// All items weightless: fall back to equal item counts so the
+		// items are still covered exactly once.
+		out := make([][2]int, 0, shards)
+		for s := 0; s < shards; s++ {
+			lo, hi := n*s/shards, n*(s+1)/shards
+			if lo < hi {
+				out = append(out, [2]int{lo, hi})
+			}
+		}
+		return out
+	}
+	out := make([][2]int, 0, shards)
+	lo := 0
+	for s := 1; s <= shards; s++ {
+		target := total * s / shards
+		// First index whose cumulative weight reaches the target: the
+		// shard boundary lands on an item edge, never inside an item.
+		hi, _ := slices.BinarySearch(cum[lo:], target)
+		hi += lo
+		if hi > n {
+			hi = n
+		}
+		if s == shards {
+			hi = n
+		}
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+			lo = hi
+		}
+	}
+	return out
+}
+
+// ReduceShards runs m over each [lo, hi) range in parallel on the
+// bounded pool, then reduces the shard outputs sequentially in shard
+// order — the deterministic cross-shard merge used by the sharded
+// blocking engine. The map phase inherits cfg's workers, metrics and
+// cancellation; the reduce phase runs on the calling goroutine, so r
+// needs no synchronisation and its side effects happen in shard order
+// for any worker count. The first error (cancellation, worker panic,
+// or an error returned by r) aborts the job.
+func ReduceShards[T any](cfg Config, ranges [][2]int, m func(shard, lo, hi int) T, r func(shard int, v T) error) error {
+	outs := make([]T, len(ranges))
+	if err := ForEach(cfg, len(ranges), func(s int) {
+		outs[s] = m(s, ranges[s][0], ranges[s][1])
+	}); err != nil {
+		return err
+	}
+	for s, v := range outs {
+		if err := r(s, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // MapSlice applies f to every element of a slice in parallel and
 // returns outputs in input order. On error the partial output is
 // discarded.

@@ -1,0 +1,134 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// cumOf builds the prefix-sum slice WeightedRanges consumes.
+func cumOf(weights ...int) []int {
+	cum := make([]int, len(weights)+1)
+	for i, w := range weights {
+		cum[i+1] = cum[i] + w
+	}
+	return cum
+}
+
+func TestWeightedRangesCoverExactlyOnce(t *testing.T) {
+	cases := [][]int{
+		{1, 1, 1, 1},
+		{100, 1, 1, 1, 1, 1},
+		{1, 1, 1, 1, 1, 100},
+		{0, 0, 5, 0, 0},
+		{0, 0, 0},
+		{7},
+	}
+	for _, weights := range cases {
+		cum := cumOf(weights...)
+		for shards := 1; shards <= len(weights)+2; shards++ {
+			ranges := WeightedRanges(cum, shards)
+			next := 0
+			for _, r := range ranges {
+				if r[0] != next {
+					t.Fatalf("weights %v shards %d: range %v does not start at %d", weights, shards, r, next)
+				}
+				if r[0] >= r[1] {
+					t.Fatalf("weights %v shards %d: empty range %v emitted", weights, shards, r)
+				}
+				next = r[1]
+			}
+			if next != len(weights) {
+				t.Fatalf("weights %v shards %d: ranges %v cover [0,%d), want [0,%d)", weights, shards, ranges, next, len(weights))
+			}
+			if len(ranges) > shards {
+				t.Fatalf("weights %v: got %d ranges for %d shards", weights, len(ranges), shards)
+			}
+		}
+	}
+}
+
+func TestWeightedRangesBalanceByWeight(t *testing.T) {
+	// 64 items of weight 1 plus one of weight 64: the heavy item must
+	// get (roughly) a shard of its own rather than splitting by count.
+	weights := make([]int, 65)
+	for i := range weights {
+		weights[i] = 1
+	}
+	weights[0] = 64
+	ranges := WeightedRanges(cumOf(weights...), 2)
+	if len(ranges) != 2 {
+		t.Fatalf("got %d ranges, want 2: %v", len(ranges), ranges)
+	}
+	if ranges[0] != [2]int{0, 1} {
+		t.Fatalf("heavy item not isolated: first range %v", ranges[0])
+	}
+}
+
+func TestWeightedRangesEmptyAndDegenerate(t *testing.T) {
+	if got := WeightedRanges([]int{0}, 4); got != nil {
+		t.Fatalf("no items: got %v, want nil", got)
+	}
+	if got := WeightedRanges(nil, 4); got != nil {
+		t.Fatalf("nil cum: got %v, want nil", got)
+	}
+	if got := WeightedRanges(cumOf(3, 3), 0); len(got) != 1 || got[0] != [2]int{0, 2} {
+		t.Fatalf("shards<1 must clamp to one covering range, got %v", got)
+	}
+}
+
+func TestWeightedRangesDeterministic(t *testing.T) {
+	cum := cumOf(5, 1, 9, 2, 2, 8, 1, 1, 4)
+	want := fmt.Sprint(WeightedRanges(cum, 4))
+	for i := 0; i < 10; i++ {
+		if got := fmt.Sprint(WeightedRanges(cum, 4)); got != want {
+			t.Fatalf("run %d: %s != %s", i, got, want)
+		}
+	}
+}
+
+func TestReduceShardsOrderedForAnyWorkers(t *testing.T) {
+	ranges := WeightedRanges(cumOf(1, 2, 3, 4, 5, 6, 7, 8), 4)
+	for _, w := range []int{1, 2, 8} {
+		var order []int
+		var sums []int
+		err := ReduceShards(Config{Workers: w}, ranges,
+			func(shard, lo, hi int) int { return lo + hi },
+			func(shard int, v int) error {
+				order = append(order, shard)
+				sums = append(sums, v)
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range ranges {
+			if order[s] != s {
+				t.Fatalf("workers %d: reduce order %v not shard order", w, order)
+			}
+			if want := ranges[s][0] + ranges[s][1]; sums[s] != want {
+				t.Fatalf("workers %d: shard %d sum %d, want %d", w, s, sums[s], want)
+			}
+		}
+	}
+}
+
+func TestReduceShardsReducerErrorAborts(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	err := ReduceShards(Config{Workers: 2}, [][2]int{{0, 1}, {1, 2}, {2, 3}},
+		func(shard, lo, hi int) int { return shard },
+		func(shard int, v int) error {
+			calls++
+			if shard == 1 {
+				return boom
+			}
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("reducer ran %d times, want 2 (abort at the failing shard)", calls)
+	}
+}
