@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-blocking race-fusion race-obs race-source race-shard bench bench-blocking bench-fusion bench-obs bench-source bench-json chaos check
+.PHONY: all build vet test race race-blocking race-fusion race-obs race-source race-shard race-rrf bench bench-blocking bench-fusion bench-obs bench-source bench-json chaos check
 
 all: check
 
@@ -63,11 +63,20 @@ bench-source:
 race-shard:
 	$(GO) test -race -run 'Shard|Spill|Scale|SortedNeighborhood|UnionCandidates' ./internal/blocking/... ./internal/parallel/... ./internal/core/... ./internal/experiments/...
 
+# Race-checks the rank-fusion kernel and the budgeted progressive
+# matcher (PR 7 gate): fused-stream identity across workers × shards,
+# the spilled fused path and budget consumption under concurrency.
+race-rrf:
+	$(GO) test -race -run 'Fuse|Ranked|RRF|Progressive|RecallCurve|Budget' ./internal/blocking/... ./internal/linkage/... ./internal/core/... ./internal/experiments/...
+
 # The sharded-blocking perf baseline (PR 6 acceptance numbers):
 # pair-generation throughput and heap high-water at 1M records under a
-# 25% memory budget, written to BENCH_blocking.json.
+# 25% memory budget, written to BENCH_blocking.json — plus the
+# rank-fusion recall-at-budget baseline (PR 7 acceptance numbers)
+# written to BENCH_progressive.json.
 bench-json:
 	$(GO) run ./cmd/bdibench -exp E24 -e24-sizes 1000000 -e24-workers 1,2,8 -bench-json BENCH_blocking.json
+	$(GO) run ./cmd/bdibench -exp E25 -bench-json BENCH_progressive.json
 
 # Chaos gate: the fault-injection sweep (E23) under the race detector.
 chaos:

@@ -1,10 +1,11 @@
 // Command bdibench regenerates the experiment tables indexed in
-// DESIGN.md (E1–E24): fusion under copying, EM convergence, blocking
+// DESIGN.md (E1–E25): fusion under copying, EM convergence, blocking
 // trade-offs, meta-blocking, matcher quality, clustering comparison,
 // incremental linkage, schema alignment, scale-out, source selection,
 // domain regimes, temporal linkage, the end-to-end pipeline, the
 // stage-ordering ablation, the extension features, ingestion under
-// faults and memory-budgeted pair generation at scale.
+// faults, memory-budgeted pair generation at scale and rank-fused
+// progressive candidate generation.
 //
 // Usage:
 //
@@ -17,6 +18,11 @@
 //
 //	bdibench -exp E24 -e24-sizes 1000000,3000000,10000000 \
 //	    -e24-workers 1,2,8 -shards 16 -bench-json BENCH_blocking.json
+//
+// E25 (rank fusion: recall vs comparison budget) writes its own
+// baseline:
+//
+//	bdibench -exp E25 -rrf-k 600 -bench-json BENCH_progressive.json
 package main
 
 import (
@@ -53,7 +59,8 @@ func run() error {
 		spillDir   = flag.String("spill-dir", "", "E24: directory for blocking spill runs (empty = system temp)")
 		e24Sizes   = flag.String("e24-sizes", "", "E24: comma-separated record counts, e.g. 1000000,3000000,10000000")
 		e24Workers = flag.String("e24-workers", "", "E24: comma-separated worker counts (default 1,2,8)")
-		benchJSON  = flag.String("bench-json", "", "E24: write the blocking perf baseline JSON to this path")
+		rrfK       = flag.Float64("rrf-k", 0, "E25: reciprocal-rank-fusion constant (0 = committed default)")
+		benchJSON  = flag.String("bench-json", "", "E24/E25: write the perf baseline JSON to this path")
 	)
 	flag.Parse()
 
@@ -95,18 +102,30 @@ func run() error {
 			obs.SetDefault(reg)
 		}
 		var tab *experiments.Table
-		if id == "E24" {
+		switch id {
+		case "E24":
 			// E24 goes through the options-aware entry point so the
 			// scale flags and the bench-json baseline apply.
 			var res *experiments.E24Result
 			tab, res, err = experiments.E24Scale(*seed, e24opts)
 			if err == nil && *benchJSON != "" {
-				if werr := writeBenchJSON(*benchJSON, *seed, res); werr != nil {
+				if werr := writeBenchJSON(*benchJSON, "E24", *seed, res); werr != nil {
 					return werr
 				}
 				fmt.Fprintf(os.Stderr, "bdibench: wrote %s\n", *benchJSON)
 			}
-		} else {
+		case "E25":
+			// E25 likewise: the -rrf-k knob and the progressive
+			// baseline (BENCH_progressive.json) apply.
+			var res *experiments.E25Result
+			tab, res, err = experiments.E25RankFusion(*seed, experiments.E25Opts{RRFK: *rrfK})
+			if err == nil && *benchJSON != "" {
+				if werr := writeBenchJSON(*benchJSON, "E25", *seed, res); werr != nil {
+					return werr
+				}
+				fmt.Fprintf(os.Stderr, "bdibench: wrote %s\n", *benchJSON)
+			}
+		default:
 			tab, err = runner.Run(id)
 		}
 		if err != nil {
@@ -144,14 +163,15 @@ func parseInts(s string) ([]int, error) {
 	return out, nil
 }
 
-// writeBenchJSON persists the E24 result as the blocking perf baseline
-// (BENCH_blocking.json) future runs diff against.
-func writeBenchJSON(path string, seed int64, res *experiments.E24Result) error {
+// writeBenchJSON persists an experiment result as a perf baseline
+// (BENCH_blocking.json, BENCH_progressive.json) future runs diff
+// against.
+func writeBenchJSON(path, experiment string, seed int64, res any) error {
 	doc := struct {
 		Experiment string `json:"experiment"`
 		Seed       int64  `json:"seed"`
-		*experiments.E24Result
-	}{Experiment: "E24", Seed: seed, E24Result: res}
+		Result     any    `json:"result"`
+	}{Experiment: experiment, Seed: seed, Result: res}
 	js, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

@@ -51,6 +51,9 @@ func run() error {
 		fuser       = flag.String("fuser", "vote", "fusion method: vote, truthfinder, accu, popaccu, accucopy")
 		clusterer   = flag.String("clusterer", "components", "clustering: components, center, merge, correlation")
 		meta        = flag.Bool("metablock", false, "apply meta-blocking")
+		rankFusion  = flag.Bool("rank-fusion", false, "fuse token/q-gram/minhash/sorted-neighborhood/phonetic blockers with reciprocal-rank fusion")
+		rrfK        = flag.Float64("rrf-k", 0, "reciprocal-rank-fusion constant (0 = default 60)")
+		cmpBudget   = flag.Int("comparison-budget", 0, "cap matcher comparisons; consumes the candidate stream front-first (0 = unlimited)")
 		fs          = flag.Bool("fellegi-sunter", false, "use the probabilistic matcher")
 		workers     = flag.Int("workers", 0, "worker goroutines per stage (0 = NumCPU)")
 		shards      = flag.Int("shards", 0, "blocking data shards (0 = one per worker)")
@@ -143,15 +146,18 @@ func run() error {
 		return fmt.Errorf("-pair-mem-budget: %w", err)
 	}
 	cfg := core.Config{
-		Fuser:         *fuser,
-		Clusterer:     *clusterer,
-		MetaBlock:     *meta,
-		FellegiSunter: *fs,
-		Workers:       *workers,
-		Shards:        *shards,
-		PairMemBudget: budget,
-		SpillDir:      *spillDir,
-		Obs:           reg,
+		Fuser:            *fuser,
+		Clusterer:        *clusterer,
+		MetaBlock:        *meta,
+		RankFusion:       *rankFusion,
+		RRFK:             *rrfK,
+		ComparisonBudget: *cmpBudget,
+		FellegiSunter:    *fs,
+		Workers:          *workers,
+		Shards:           *shards,
+		PairMemBudget:    budget,
+		SpillDir:         *spillDir,
+		Obs:              reg,
 	}
 	switch *order {
 	case "linkage-first":
@@ -168,8 +174,8 @@ func run() error {
 
 	fmt.Printf("pipeline order: %s\n", cfg.Order)
 	fmt.Printf("records: %d   sources: %d\n", d.NumRecords(), d.NumSources())
-	fmt.Printf("candidates: %d   matched: %d   clusters: %d\n",
-		rep.Candidates, len(rep.Matched), len(rep.Clusters))
+	fmt.Printf("candidates: %d   comparisons: %d   matched: %d   clusters: %d\n",
+		rep.Candidates, rep.Comparisons, len(rep.Matched), len(rep.Clusters))
 	fmt.Printf("mediated attributes: %d   transforms: %d\n", len(rep.Schema.Attrs), len(rep.Transforms))
 	fmt.Printf("claims: %d   fused items: %d\n", rep.Claims.Len(), len(rep.Fusion.Values))
 	for _, stage := range []string{"blocking", "matching", "clustering", "alignment", "fusion"} {

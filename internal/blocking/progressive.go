@@ -1,10 +1,11 @@
 package blocking
 
 import (
+	"slices"
 	"sort"
 
 	"repro/internal/data"
-	"repro/internal/parallel"
+	"repro/internal/obs"
 )
 
 // Progressive blocking for budget-limited (anytime) entity resolution:
@@ -23,47 +24,84 @@ type Progressive struct {
 	// Workers bounds the block-building workers (0 = NumCPU). Output
 	// is identical for any value.
 	Workers int
+	// Shards fixes the pair-generation shard count (see Opts.Shards).
+	Shards int
+	// PairMemBudget, when > 0, bounds the bytes of packed pair codes
+	// held in RAM: a stream whose raw codes would exceed it spills
+	// sorted runs to disk and StreamSet returns a spill-backed set
+	// (see Opts.PairMemBudget).
+	PairMemBudget int64
+	// SpillDir is the directory for spill runs ("" = os.TempDir()).
+	SpillDir string
+	// Obs records "blocking." metrics (nil falls back to obs.Default).
+	Obs *obs.Registry
+}
+
+// ProgressiveOrder reorders the collection's blocks into progressive
+// emission order — smaller blocks first, ties by key — and drops
+// singleton blocks (they emit no pairs). The derived collection is for
+// pair emission only: its keys are no longer sorted, so it must not
+// feed key-ordered consumers like meta-blocking. Because candidate
+// generation dedups to first emission, CandidateSet on the result
+// yields the progressive candidate stream through whichever strategy
+// the budget selects (in-memory, sharded, or spilled) — all
+// byte-identical.
+func (x *Indexed) ProgressiveOrder() *Indexed {
+	if x.sink.failed() {
+		return x
+	}
+	order := make([]int, 0, len(x.rows))
+	for i, row := range x.rows {
+		if len(row) >= 2 {
+			order = append(order, i)
+		}
+	}
+	slices.SortFunc(order, func(a, b int) int {
+		if la, lb := len(x.rows[a]), len(x.rows[b]); la != lb {
+			return la - lb
+		}
+		if x.keys[a] < x.keys[b] {
+			return -1
+		}
+		return 1
+	})
+	out := &Indexed{cfg: x.cfg, sink: x.sink, ids: x.ids, shards: x.shards, budget: x.budget, dir: x.dir}
+	out.keys = make([]string, len(order))
+	out.rows = make([][]uint32, len(order))
+	for i, bi := range order {
+		out.keys[i] = x.keys[bi]
+		out.rows[i] = x.rows[bi]
+	}
+	return out
+}
+
+// StreamSet builds the progressive candidate stream as a packed
+// candidate set: blocks ordered smallest-first (ties by key),
+// deduplicated to first emission. Under PairMemBudget the set is
+// spill-backed — pair state lives in sorted disk runs, EmitPairs
+// replays the identical order, and the caller must Close it — so
+// progressive ordering works at scales where the materialized stream
+// would not fit in RAM.
+func (p Progressive) StreamSet(records []*data.Record) *CandidateSet {
+	e := NewEngineOpts(records, Opts{
+		Workers:       p.Workers,
+		Shards:        p.Shards,
+		PairMemBudget: p.PairMemBudget,
+		SpillDir:      p.SpillDir,
+		Obs:           p.Obs,
+	})
+	return e.Blocks(p.Key).Purge(p.MaxBlock).ProgressiveOrder().CandidateSet()
 }
 
 // Stream returns candidate pairs in progressive order, deduplicated.
 // Blocks are built by the interned parallel engine; dedup runs on
-// packed pair codes preserving the sequential emission order.
+// packed pair codes preserving the emission order. The pair slice is
+// materialized by construction — set PairMemBudget and use StreamSet
+// to keep the stream on disk instead.
 func (p Progressive) Stream(records []*data.Record) []data.Pair {
-	x := BuildIndexed(parallel.Config{Workers: p.Workers}, records, p.Key)
-	type blockEntry struct {
-		key string
-		row []uint32
-	}
-	entries := make([]blockEntry, 0, len(x.keys))
-	for i, row := range x.rows {
-		if len(row) < 2 {
-			continue
-		}
-		if p.MaxBlock > 0 && len(row) > p.MaxBlock {
-			continue
-		}
-		entries = append(entries, blockEntry{key: x.keys[i], row: row})
-	}
-	// Smaller blocks first; ties by key for determinism.
-	sort.Slice(entries, func(i, j int) bool {
-		if len(entries[i].row) != len(entries[j].row) {
-			return len(entries[i].row) < len(entries[j].row)
-		}
-		return entries[i].key < entries[j].key
-	})
-	total := 0
-	for _, e := range entries {
-		total += len(e.row) * (len(e.row) - 1) / 2
-	}
-	codes := make([]uint64, 0, total)
-	for _, e := range entries {
-		for i := 0; i < len(e.row); i++ {
-			for j := i + 1; j < len(e.row); j++ {
-				codes = append(codes, pairCode(e.row[i], e.row[j]))
-			}
-		}
-	}
-	return (&CandidateSet{ids: x.ids, codes: dedupCodesStable(codes)}).Pairs()
+	cs := p.StreamSet(records)
+	defer cs.Close()
+	return cs.Pairs()
 }
 
 // Candidates implements Blocker (the full stream).
@@ -73,32 +111,47 @@ func (p Progressive) Candidates(records []*data.Record) []data.Pair {
 
 // RecallCurve measures, for each budget (number of comparisons), the
 // fraction of truth pairs found within the first `budget` pairs of the
-// given candidate order — the progressive-ER evaluation curve.
+// given candidate order — the progressive-ER evaluation curve. The
+// budgets slice is not modified and the result is aligned to it
+// position-for-position (out[i] is the recall at budgets[i], whatever
+// order the caller listed them in). Pair orientation is normalized on
+// both sides, so a stream emitting (B, A) still credits a truth pair
+// (A, B).
 func RecallCurve(ordered []data.Pair, truth []data.Pair, budgets []int) []float64 {
 	truthSet := make(map[data.Pair]bool, len(truth))
 	for _, p := range truth {
-		truthSet[p] = true
+		truthSet[data.NewPair(p.A, p.B)] = true
 	}
 	if len(truthSet) == 0 {
 		return make([]float64, len(budgets))
 	}
-	sort.Ints(budgets)
+	// Walk the stream once against an ascending view of the budgets;
+	// write each recall through the sort permutation so the output
+	// matches the caller's original budget order.
+	order := make([]int, len(budgets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return budgets[order[i]] < budgets[order[j]] })
 	out := make([]float64, len(budgets))
 	found := 0
 	bi := 0
+	for bi < len(order) && budgets[order[bi]] <= 0 {
+		bi++ // non-positive budgets see no pairs
+	}
 	for i, p := range ordered {
-		if truthSet[p] {
+		if truthSet[data.NewPair(p.A, p.B)] {
 			found++
 		}
-		for bi < len(budgets) && i+1 == budgets[bi] {
-			out[bi] = float64(found) / float64(len(truthSet))
+		for bi < len(order) && i+1 == budgets[order[bi]] {
+			out[order[bi]] = float64(found) / float64(len(truthSet))
 			bi++
 		}
 	}
 	// Budgets beyond the stream length get the final recall.
 	final := float64(found) / float64(len(truthSet))
-	for ; bi < len(budgets); bi++ {
-		out[bi] = final
+	for ; bi < len(order); bi++ {
+		out[order[bi]] = final
 	}
 	return out
 }

@@ -89,3 +89,101 @@ func TestProgressiveBeatsRandomOrderOnBudget(t *testing.T) {
 		t.Error("full-budget recall must be order-independent")
 	}
 }
+
+func TestRecallCurveKeepsCallerBudgetOrder(t *testing.T) {
+	truth := []data.Pair{data.NewPair("a", "b"), data.NewPair("c", "d")}
+	ordered := []data.Pair{
+		data.NewPair("a", "b"),
+		data.NewPair("a", "c"),
+		data.NewPair("c", "d"),
+	}
+	// Unsorted budgets with duplicates, a non-positive entry and one
+	// past the stream end: the output must line up position-for-position
+	// with the caller's slice, which must come back untouched.
+	budgets := []int{10, 1, 3, 3, 0, -2}
+	orig := append([]int(nil), budgets...)
+	got := RecallCurve(ordered, truth, budgets)
+	want := []float64{1, 0.5, 1, 1, 0, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("curve = %v, want %v", got, want)
+		}
+	}
+	for i := range orig {
+		if budgets[i] != orig[i] {
+			t.Fatalf("budgets mutated: %v, want %v", budgets, orig)
+		}
+	}
+}
+
+func TestRecallCurveEmptyStreamAndOrientation(t *testing.T) {
+	truth := []data.Pair{data.NewPair("a", "b")}
+	if got := RecallCurve(nil, truth, []int{1, 5}); got[0] != 0 || got[1] != 0 {
+		t.Errorf("empty stream must give zero recall, got %v", got)
+	}
+	// Pairs arriving in reversed orientation on either side still
+	// count: both stream and truth normalise before comparing.
+	ordered := []data.Pair{{A: "b", B: "a"}}
+	reversedTruth := []data.Pair{{A: "b", B: "a"}}
+	if got := RecallCurve(ordered, truth, []int{1}); got[0] != 1 {
+		t.Errorf("reversed stream pair missed: %v", got)
+	}
+	if got := RecallCurve(ordered, reversedTruth, []int{1}); got[0] != 1 {
+		t.Errorf("reversed truth pair missed: %v", got)
+	}
+}
+
+func TestProgressiveMaxBlockBoundaryKeepsExactLimit(t *testing.T) {
+	recs := []*data.Record{
+		rec("q1", "shared"), rec("q2", "shared"), rec("q3", "shared"),
+	}
+	// A block exactly at the limit survives; one past it is purged.
+	if got := (Progressive{Key: TokenKey("title"), MaxBlock: 3}).Stream(recs); len(got) != 3 {
+		t.Errorf("block exactly at MaxBlock must be kept, got %d pairs", len(got))
+	}
+	recs = append(recs, rec("q4", "shared"))
+	if got := (Progressive{Key: TokenKey("title"), MaxBlock: 3}).Stream(recs); len(got) != 0 {
+		t.Errorf("block one past MaxBlock must be purged, got %d pairs", len(got))
+	}
+}
+
+func TestProgressiveStreamSpillsUnderPairBudget(t *testing.T) {
+	w := datagen.NewWorld(datagen.WorldConfig{Seed: 103, NumEntities: 60, Categories: []string{"camera"}})
+	web := datagen.BuildWeb(w, datagen.SourceConfig{
+		Seed: 104, NumSources: 10, DirtLevel: 1, HeadFraction: 0.4, TailCoverage: 0.3,
+	})
+	records := web.Dataset.Records()
+	want := Progressive{Key: TokenKey("title"), MaxBlock: 200}.Stream(records)
+	if len(want) == 0 {
+		t.Fatal("no pairs")
+	}
+
+	budgeted := Progressive{
+		Key: TokenKey("title"), MaxBlock: 200,
+		PairMemBudget: 1, SpillDir: t.TempDir(),
+	}
+	cs := budgeted.StreamSet(records)
+	if !cs.Spilled() {
+		t.Fatal("a 1-byte pair budget must spill the progressive stream")
+	}
+	var got []data.Pair
+	cs.EmitPairs(func(p data.Pair) bool {
+		got = append(got, p)
+		return true
+	})
+	if err := cs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("spilled stream has %d pairs, in-memory %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("spilled order diverged at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	// Stream itself routes through the same spill-aware path.
+	if streamed := budgeted.Stream(records); len(streamed) != len(want) {
+		t.Fatalf("budgeted Stream returned %d pairs, want %d", len(streamed), len(want))
+	}
+}

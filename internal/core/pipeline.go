@@ -71,6 +71,26 @@ type Config struct {
 	MaxBlock   int      // purge blocks larger than this; default 100
 	MetaBlock  bool     // apply meta-blocking (ECBS/WEP) after token blocking
 
+	// RankFusion replaces single-blocker candidate generation with
+	// rank-fused multi-blocker generation: token, q-gram, MinHash LSH,
+	// sorted-neighbourhood, phonetic and identifier blocking each
+	// produce a ranked candidate stream (progressive emission order),
+	// and the streams are fused with reciprocal-rank fusion so
+	// consensus candidates come first — the ordering a ComparisonBudget
+	// consumes. Requires the engine path (incompatible with
+	// MaterializeCandidates).
+	RankFusion bool
+	// RRFK is the reciprocal-rank-fusion constant (score contribution
+	// is 1/(RRFK+rank+1)); 0 means the default 60.
+	RRFK float64
+
+	// ComparisonBudget, when > 0, caps how many candidate pairs the
+	// matcher scores: the candidate stream is consumed front-first and
+	// matching stops at the budget — pay-as-you-go resolution, most
+	// effective over a progressively ordered (rank-fused) stream.
+	// Report.Comparisons records how many comparisons actually ran.
+	ComparisonBudget int
+
 	// Matching.
 	IdentifierAttrs []string // exact-match attributes; default {"pid"}
 	MatchAttrs      []string // comparator attributes; default {"title"}
@@ -171,13 +191,17 @@ func (c *Config) defaults() {
 	if c.Fuser == "" {
 		c.Fuser = "vote"
 	}
+	if c.RRFK == 0 {
+		c.RRFK = blocking.DefaultRRFK
+	}
 }
 
 // Report is the full output of a pipeline run.
 type Report struct {
-	Candidates int               // candidate pairs after blocking
-	Matched    []data.ScoredPair // pairs the matcher accepted
-	Clusters   data.Clustering   // linkage result
+	Candidates  int               // candidate pairs after blocking
+	Comparisons int               // pairs the matcher actually scored (≤ Candidates under a budget)
+	Matched     []data.ScoredPair // pairs the matcher accepted
+	Clusters    data.Clustering   // linkage result
 
 	Schema     *schema.MediatedSchema
 	Transforms []schema.Transform
@@ -230,6 +254,15 @@ func (c Config) Validate() error {
 	}
 	if c.PairMemBudget < 0 {
 		return fmt.Errorf("core: negative pair-memory budget %d", c.PairMemBudget)
+	}
+	if c.RRFK < 0 {
+		return fmt.Errorf("core: negative RRF constant %f", c.RRFK)
+	}
+	if c.ComparisonBudget < 0 {
+		return fmt.Errorf("core: negative comparison budget %d", c.ComparisonBudget)
+	}
+	if c.RankFusion && c.MaterializeCandidates {
+		return fmt.Errorf("core: rank fusion requires the engine path (disable MaterializeCandidates)")
 	}
 	return nil
 }
@@ -392,37 +425,46 @@ func (p *Pipeline) linkStage(ctx context.Context, d *data.Dataset, rep *Report, 
 			Obs:           reg,
 			Ctx:           ctx,
 		})
-		idx := eng.Blocks(keyFn).Purge(p.cfg.MaxBlock)
-		var base *blocking.CandidateSet
-		if p.cfg.MetaBlock {
-			base = blocking.MetaBlocker{
-				Weight: blocking.ECBS, Prune: blocking.WEP, Workers: p.cfg.Workers, Obs: reg,
-			}.Pruned(idx)
+		if p.cfg.RankFusion {
+			// Multi-blocker rank fusion: every blocker contributes a
+			// ranked stream, RRF orders consensus candidates first, and
+			// the fused stream feeds matching front-first (the order a
+			// ComparisonBudget pays for).
+			cs = eng.FuseRanked(p.cfg.RRFK, p.rankedBlockers()...)
 		} else {
-			base = idx.CandidateSet()
-		}
-		// Identifier blocking shares the engine's interning, so the union
-		// dedups on packed codes without leaving rank space.
-		sets := []*blocking.CandidateSet{base}
-		for _, attr := range p.cfg.IdentifierAttrs {
-			sets = append(sets, eng.Blocks(blocking.AttrExactKey(attr)).CandidateSet())
+			idx := eng.Blocks(keyFn).Purge(p.cfg.MaxBlock)
+			var base *blocking.CandidateSet
+			if p.cfg.MetaBlock {
+				base = blocking.MetaBlocker{
+					Weight: blocking.ECBS, Prune: blocking.WEP, Workers: p.cfg.Workers, Obs: reg,
+				}.Pruned(idx)
+			} else {
+				base = idx.CandidateSet()
+			}
+			// Identifier blocking shares the engine's interning, so the union
+			// dedups on packed codes without leaving rank space.
+			sets := []*blocking.CandidateSet{base}
+			for _, attr := range p.cfg.IdentifierAttrs {
+				sets = append(sets, eng.Blocks(blocking.AttrExactKey(attr)).CandidateSet())
+			}
+			cs = blocking.UnionCandidates(sets...)
+			// The union retains any spill runs it shares with its inputs, so
+			// the inputs release their references now and the union's Close
+			// (deferred to stage end) drops the last one. Close is a no-op on
+			// in-memory sets, and UnionCandidates may return an input
+			// unchanged — that one keeps its reference.
+			for _, s := range sets {
+				if s != cs {
+					s.Close()
+				}
+			}
 		}
 		// Err surfaces any cancellation or worker panic the engine's sink
 		// recorded; the recorded error already names the failing pass.
 		if err := eng.Err(); err != nil {
+			cs.Close()
 			sp.End()
 			return err
-		}
-		cs = blocking.UnionCandidates(sets...)
-		// The union retains any spill runs it shares with its inputs, so
-		// the inputs release their references now and the union's Close
-		// (deferred to stage end) drops the last one. Close is a no-op on
-		// in-memory sets, and UnionCandidates may return an input
-		// unchanged — that one keeps its reference.
-		for _, s := range sets {
-			if s != cs {
-				s.Close()
-			}
 		}
 		defer cs.Close()
 		rep.Candidates = cs.Len()
@@ -447,9 +489,16 @@ func (p *Pipeline) linkStage(ctx context.Context, d *data.Dataset, rep *Report, 
 	if p.cfg.NoFeatureIndex {
 		scorer = linkage.NoIndex(matcher)
 	}
+	rep.Comparisons = rep.Candidates
 	switch {
+	case p.cfg.MaterializeCandidates && p.cfg.ComparisonBudget > 0:
+		rep.Matched, rep.Comparisons, err = linkage.MatchBudgetedCtx(ctx, d, linkage.PairSlice(candidates), scorer, p.cfg.ComparisonBudget, p.cfg.Workers, reg)
 	case p.cfg.MaterializeCandidates:
 		rep.Matched, err = linkage.MatchPairsCtx(ctx, d, candidates, scorer, p.cfg.Workers, reg)
+	case p.cfg.ComparisonBudget > 0:
+		// Budgeted progressive matching: consume the stream front-first
+		// and stop at the comparison budget.
+		rep.Matched, rep.Comparisons, err = linkage.MatchBudgetedCtx(ctx, d, cs, scorer, p.cfg.ComparisonBudget, p.cfg.Workers, reg)
 	case cs.Spilled():
 		// Spill-backed sets have no random access: stream them through
 		// the batched matcher (identical output, bounded pair memory).
@@ -488,6 +537,37 @@ func (p *Pipeline) linkStage(ctx context.Context, d *data.Dataset, rep *Report, 
 	}
 	reg.Counter("clustering.multi_record_clusters").Add(int64(multi))
 	return nil
+}
+
+// rankedBlockers assembles the multi-blocker producer set for rank
+// fusion: identifier blocking (the strongest signal, so its streams
+// rank their pairs at the very front), token blocking over the
+// configured attributes, q-gram and phonetic blocking tolerating typos
+// and misspellings, sorted neighbourhood for near-sorted corruption,
+// and MinHash LSH for set similarity without key engineering. Key
+// blockers purge at MaxBlock like the single-blocker path.
+func (p *Pipeline) rankedBlockers() []blocking.RankedBlocker {
+	var bs []blocking.RankedBlocker
+	for _, attr := range p.cfg.IdentifierAttrs {
+		bs = append(bs, blocking.RankedKey{Name: "id:" + attr, Key: blocking.AttrExactKey(attr)})
+	}
+	bs = append(bs, blocking.RankedKey{
+		Name: "token", Key: blocking.TokenKey(p.cfg.BlockAttrs...), MaxBlock: p.cfg.MaxBlock,
+	})
+	lead := p.cfg.BlockAttrs[0]
+	bs = append(bs,
+		blocking.RankedKey{Name: "qgram", Key: blocking.QGramKey(lead, 3), MaxBlock: p.cfg.MaxBlock},
+		blocking.RankedKey{Name: "phonetic", Key: blocking.PhoneticKey(lead, "soundex"), MaxBlock: p.cfg.MaxBlock},
+	)
+	var snKeys []blocking.KeyFunc
+	for _, attr := range p.cfg.BlockAttrs {
+		snKeys = append(snKeys, blocking.AttrExactKey(attr))
+	}
+	bs = append(bs,
+		blocking.RankedSortedNeighborhood{Name: "sortedneighborhood", Keys: snKeys, Window: 5},
+		blocking.RankedMinHash{Name: "minhash", MinHash: blocking.MinHashLSH{Attrs: p.cfg.BlockAttrs}},
+	)
+	return bs
 }
 
 // swooshCluster runs R-Swoosh within each connected component of the

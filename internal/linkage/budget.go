@@ -1,0 +1,154 @@
+package linkage
+
+// Budgeted progressive matching: the pay-as-you-go consumption side of
+// a ranked candidate stream. The scarce resource at web scale is
+// comparisons, not candidate pairs — a budgeted run consumes only the
+// stream's prefix, so the value of the budget depends entirely on how
+// well the stream is ordered (progressive blocking, rank fusion).
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+)
+
+// PairSlice adapts a materialised pair slice to PairStream, so the
+// budgeted matcher can consume legacy candidate lists.
+type PairSlice []data.Pair
+
+// Len implements PairStream.
+func (s PairSlice) Len() int { return len(s) }
+
+// EmitPairs implements PairStream.
+func (s PairSlice) EmitPairs(emit func(data.Pair) bool) {
+	for _, p := range s {
+		if !emit(p) {
+			return
+		}
+	}
+}
+
+// RecordIDs implements PairStream.
+func (s PairSlice) RecordIDs() []string {
+	seen := make(map[string]bool, 2*len(s))
+	out := make([]string, 0, 2*len(s))
+	add := func(id string) {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for _, p := range s {
+		add(p.A)
+		add(p.B)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MatchBudgetedCtx scores at most budget pairs from the front of a
+// streamed candidate source — the budgeted progressive matcher. The
+// stream is consumed through EmitPairs in bounded batches (a spilled
+// set never materialises), stopping as soon as the budget is spent;
+// consumed reports how many comparisons actually ran (less than budget
+// only when the stream is shorter). budget <= 0 means unlimited, which
+// is exactly MatchStreamCtx.
+//
+// Feature-cache warming is pay-as-you-go too: matchers implementing
+// IDIndexPreparer are warmed per batch from the batch's own record IDs,
+// so a small budget over a huge stream never tokenises the full corpus.
+// Scores are identical either way — the cache is an evaluation detail.
+//
+// The registry records matching.comparisons/matched as usual, plus the
+// recall-at-budget inputs: gauges matching.budget (the configured
+// budget), matching.budget_consumed, and matching.budget_match_rate
+// (matched ÷ consumed — the observable proxy for recall when truth is
+// unknown).
+func MatchBudgetedCtx(ctx context.Context, d *data.Dataset, src PairStream, m Matcher, budget, workers int, reg *obs.Registry) (matched []data.ScoredPair, consumed int, err error) {
+	reg = obs.OrDefault(reg)
+	if budget <= 0 || budget >= src.Len() {
+		out, err := MatchStreamCtx(ctx, d, src, m, workers, reg)
+		if err != nil {
+			return nil, 0, err
+		}
+		n := src.Len()
+		reg.Gauge("matching.budget").Set(float64(budget))
+		reg.Gauge("matching.budget_consumed").Set(float64(n))
+		if n > 0 {
+			reg.Gauge("matching.budget_match_rate").Set(float64(len(out)) / float64(n))
+		}
+		return out, n, nil
+	}
+	var out []data.ScoredPair
+	batch := make([]data.Pair, 0, min(budget, matchBatch))
+	flush := func() bool {
+		if len(batch) == 0 || err != nil {
+			return err == nil
+		}
+		switch ip := m.(type) {
+		case IDIndexPreparer:
+			ip.PrepareIndexIDs(d, PairSlice(batch).RecordIDs())
+		case IndexPreparer:
+			ip.PrepareIndex(d, batch)
+		}
+		results := make([]data.ScoredPair, len(batch))
+		ok := make([]bool, len(batch))
+		err = parallel.ForEach(parallel.Config{Workers: workers, Obs: reg, Ctx: ctx}, len(batch), func(i int) {
+			p := batch[i]
+			a, b := d.Record(p.A), d.Record(p.B)
+			if a == nil || b == nil {
+				return
+			}
+			s, match := m.Match(a, b)
+			if match {
+				results[i] = data.ScoredPair{Pair: p, Score: s}
+				ok[i] = true
+			}
+		})
+		if err != nil {
+			return false
+		}
+		for i, keep := range ok {
+			if keep {
+				out = append(out, results[i])
+			}
+		}
+		batch = batch[:0]
+		return true
+	}
+	src.EmitPairs(func(p data.Pair) bool {
+		batch = append(batch, p)
+		consumed++
+		if consumed == budget {
+			return false
+		}
+		if len(batch) == cap(batch) {
+			return flush()
+		}
+		return true
+	})
+	flush()
+	if err != nil {
+		return nil, 0, err
+	}
+	reg.Counter("matching.comparisons").Add(int64(consumed))
+	reg.Counter("matching.matched").Add(int64(len(out)))
+	reg.Gauge("matching.budget").Set(float64(budget))
+	reg.Gauge("matching.budget_consumed").Set(float64(consumed))
+	if consumed > 0 {
+		reg.Gauge("matching.budget_match_rate").Set(float64(len(out)) / float64(consumed))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out, consumed, nil
+}

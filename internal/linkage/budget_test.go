@@ -1,0 +1,93 @@
+package linkage
+
+import (
+	"context"
+	"slices"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/obs"
+	"repro/internal/similarity"
+)
+
+func budgetSample() (*data.Dataset, PairSlice, Matcher) {
+	d := linkageSample()
+	pairs := PairSlice{
+		data.NewPair("a", "b"), // match: near-duplicate titles
+		data.NewPair("a", "c"),
+		data.NewPair("a", "d"), // match at 0.6
+		data.NewPair("b", "c"),
+		data.NewPair("b", "d"),
+		data.NewPair("c", "d"),
+	}
+	m := ThresholdMatcher{
+		Comparator: similarity.UniformComparator(similarity.Jaccard, "title"),
+		Threshold:  0.6,
+	}
+	return d, pairs, m
+}
+
+func TestMatchBudgetedStopsAtBudget(t *testing.T) {
+	d, pairs, m := budgetSample()
+	// Budget 2 covers only the first two stream pairs: (a,b) matches,
+	// (a,c) does not.
+	out, consumed, err := MatchBudgetedCtx(context.Background(), d, pairs, m, 2, 1, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed != 2 {
+		t.Fatalf("consumed = %d, want 2", consumed)
+	}
+	if len(out) != 1 || out[0].Pair != data.NewPair("a", "b") {
+		t.Fatalf("matched = %v, want just (a,b)", out)
+	}
+}
+
+func TestMatchBudgetedUnlimitedEqualsStreamMatcher(t *testing.T) {
+	d, pairs, m := budgetSample()
+	want, err := MatchStreamCtx(context.Background(), d, pairs, m, 1, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("stream matcher found nothing")
+	}
+	for _, budget := range []int{0, -1, len(pairs), len(pairs) + 10} {
+		out, consumed, err := MatchBudgetedCtx(context.Background(), d, pairs, m, budget, 1, obs.NewRegistry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if consumed != len(pairs) {
+			t.Fatalf("budget %d: consumed = %d, want %d", budget, consumed, len(pairs))
+		}
+		if !slices.Equal(out, want) {
+			t.Fatalf("budget %d: matches diverged from MatchStreamCtx", budget)
+		}
+	}
+}
+
+func TestMatchBudgetedRecordsObsGauges(t *testing.T) {
+	d, pairs, m := budgetSample()
+	reg := obs.NewRegistry()
+	_, consumed, err := MatchBudgetedCtx(context.Background(), d, pairs, m, 3, 1, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Gauge("matching.budget").Value(); got != 3 {
+		t.Errorf("matching.budget = %v, want 3", got)
+	}
+	if got := reg.Gauge("matching.budget_consumed").Value(); got != float64(consumed) {
+		t.Errorf("matching.budget_consumed = %v, want %d", got, consumed)
+	}
+}
+
+func TestPairSliceRecordIDs(t *testing.T) {
+	s := PairSlice{
+		data.NewPair("z", "a"), data.NewPair("a", "m"), data.NewPair("z", "m"),
+	}
+	got := s.RecordIDs()
+	want := []string{"a", "m", "z"}
+	if !slices.Equal(got, want) {
+		t.Fatalf("RecordIDs = %v, want %v", got, want)
+	}
+}
