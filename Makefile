@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-blocking race-fusion race-obs race-source race-shard race-rrf bench bench-blocking bench-fusion bench-obs bench-source bench-json chaos check
+.PHONY: all build vet test race race-blocking race-fusion race-obs race-source race-shard race-rrf race-serve bench bench-blocking bench-fusion bench-obs bench-source bench-json loadtest chaos check
 
 all: check
 
@@ -68,6 +68,17 @@ race-shard:
 # the spilled fused path and budget consumption under concurrency.
 race-rrf:
 	$(GO) test -race -run 'Fuse|Ranked|RRF|Progressive|RecallCurve|Budget' ./internal/blocking/... ./internal/linkage/... ./internal/core/... ./internal/experiments/...
+
+# Race-checks the serving layer end to end (PR 8 gate): concurrent
+# handler reads during background snapshot swaps, the bounded reindex
+# queue and the memoized query path.
+race-serve:
+	$(GO) test -race ./internal/serve/... ./internal/core/... ./internal/obs/...
+
+# The serving latency baseline (PR 8 acceptance numbers): p50/p99 at
+# 1/8/64 concurrent clients against an in-process bdiserve.
+loadtest:
+	$(GO) run ./cmd/bdiserve -gen -gen-entities 100 -gen-sources 20 -loadtest 1x50,8x50,64x50
 
 # The sharded-blocking perf baseline (PR 6 acceptance numbers):
 # pair-generation throughput and heap high-water at 1M records under a

@@ -35,6 +35,7 @@ import (
 	"repro/internal/fusion"
 	"repro/internal/linkage"
 	"repro/internal/obs"
+	"repro/internal/serve"
 	"repro/internal/source"
 	"repro/internal/source/faults"
 )
@@ -120,6 +121,46 @@ const (
 // of the threshold fields means "use the default").
 const ZeroThreshold = core.ZeroThreshold
 
+// Serving re-exports. A pipeline Report materializes one immutable
+// Snapshot (entities, inverted token index, feature-index-backed
+// comparator) via Report.Snapshot(); ServeServer answers concurrent
+// HTTP/JSON queries over it lock-free and swaps rebuilt snapshots in
+// atomically behind a bounded reindex queue. cmd/bdiserve is the
+// runnable daemon.
+type (
+	// Snapshot is an immutable, concurrency-safe serving view of an
+	// integration run: entity lookup, keyword search, record
+	// resolution and similar-entity queries, each index built once.
+	Snapshot = core.Snapshot
+	// ServeServer is the HTTP integration service over a Snapshot.
+	ServeServer = serve.Server
+	// ServeConfig tunes the service: reindex queue depth, resolve
+	// match threshold, limit caps, metrics registry.
+	ServeConfig = serve.Config
+	// RebuildFunc produces a fresh Snapshot for the background
+	// reindex path.
+	RebuildFunc = serve.RebuildFunc
+	// LoadConfig drives the in-process load-test driver.
+	LoadConfig = serve.LoadConfig
+	// LoadResult summarises a load test: errors, p50/p99, QPS.
+	LoadResult = serve.LoadResult
+)
+
+var (
+	// BuildSnapshot materializes a serving snapshot from a report
+	// (Report.Snapshot memoizes this per report).
+	BuildSnapshot = core.BuildSnapshot
+	// NewServer builds the HTTP service around an initial snapshot.
+	NewServer = serve.New
+	// LoadTest drives concurrent search traffic against a running
+	// service and reports latency quantiles.
+	LoadTest = serve.LoadTest
+)
+
+// DefaultSearchLimit is the hit cap applied when a search limit of 0
+// is passed (negative limits are rejected).
+const DefaultSearchLimit = core.DefaultSearchLimit
+
 // NewMetrics returns an empty, enabled metrics registry.
 var NewMetrics = obs.NewRegistry
 
@@ -187,6 +228,8 @@ var (
 	ErrTransient = source.ErrTransient
 	// ErrPermanent marks a source failure retries cannot fix.
 	ErrPermanent = source.ErrPermanent
+	// ErrNoSuchEntity reports a snapshot lookup for an unknown entity.
+	ErrNoSuchEntity = core.ErrNoSuchEntity
 	// ErrBreakerOpen reports a fetch skipped by an open circuit breaker.
 	ErrBreakerOpen = source.ErrBreakerOpen
 	// ErrTooFewSources reports ingestion ending below

@@ -1,11 +1,12 @@
 // Command bdibench regenerates the experiment tables indexed in
-// DESIGN.md (E1–E25): fusion under copying, EM convergence, blocking
+// DESIGN.md (E1–E26): fusion under copying, EM convergence, blocking
 // trade-offs, meta-blocking, matcher quality, clustering comparison,
 // incremental linkage, schema alignment, scale-out, source selection,
 // domain regimes, temporal linkage, the end-to-end pipeline, the
 // stage-ordering ablation, the extension features, ingestion under
-// faults, memory-budgeted pair generation at scale and rank-fused
-// progressive candidate generation.
+// faults, memory-budgeted pair generation at scale, rank-fused
+// progressive candidate generation and concurrent serving latency
+// (E26, the bdiserve load benchmark).
 //
 // Usage:
 //

@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/blocking"
@@ -211,6 +212,13 @@ type Report struct {
 	Fusion *fusion.Result
 
 	StageTime map[string]time.Duration
+
+	// Memoized serving snapshot (see Snapshot): built once on first
+	// query, shared by every later Entities/Search call. Reports are
+	// passed by pointer; the Once makes concurrent first queries safe.
+	snapOnce sync.Once
+	snap     *Snapshot
+	snapErr  error
 }
 
 // Pipeline runs the configured integration flow.

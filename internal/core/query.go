@@ -1,17 +1,18 @@
 package core
 
 import (
-	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/data"
-	"repro/internal/similarity"
-	"repro/internal/tokenize"
 )
 
 // Query layer over a completed pipeline Report: look integrated
 // entities up by keyword and read their fused, mediated-schema records
-// — the user-facing payoff of the integration.
+// — the user-facing payoff of the integration. Both entry points
+// delegate to a memoized serving Snapshot (see snapshot.go), so
+// entities are materialised exactly once per report no matter how many
+// queries run.
 
 // Entity is one integrated entity: its cluster, provenance and fused
 // values.
@@ -30,52 +31,39 @@ type Entity struct {
 	Confidence map[string]float64
 }
 
-// Entities materialises every integrated entity from the report,
-// ordered by entity ID.
-func (r *Report) Entities() ([]*Entity, error) {
-	if r.Normalized == nil || r.Clusters == nil || r.Fusion == nil {
-		return nil, fmt.Errorf("core: report is incomplete (run the pipeline first)")
-	}
-	norm := r.Clusters.Normalize()
-	out := make([]*Entity, 0, len(norm))
-	for ci, cl := range norm {
-		e := &Entity{
-			ID:         fmt.Sprintf("e%d", ci),
-			Records:    append([]string(nil), cl...),
-			Values:     map[string]data.Value{},
-			Confidence: map[string]float64{},
-		}
-		srcSet := map[string]bool{}
-		for _, rid := range cl {
-			rec := r.Normalized.Record(rid)
-			if rec == nil {
-				continue
-			}
-			srcSet[rec.SourceID] = true
-			if t := rec.Get("title"); !t.IsNull() && len(t.Str) > len(e.Title) {
-				e.Title = t.Str
-			}
-		}
-		for s := range srcSet {
-			e.Sources = append(e.Sources, s)
-		}
-		sort.Strings(e.Sources)
-		out = append(out, e)
-	}
-	// Attach fused values.
-	for it, v := range r.Fusion.Values {
-		idx := entityIndex(it.Entity)
-		if idx < 0 || idx >= len(out) {
-			continue
-		}
-		out[idx].Values[it.Attr] = v
-		out[idx].Confidence[it.Attr] = r.Fusion.Confidence[it]
-	}
-	return out, nil
+// Snapshot returns the report's serving snapshot, building it on first
+// use and memoizing it for every later call (concurrent callers share
+// one build). The snapshot — and the entities it exposes — are
+// immutable shared views; mutating the report after the first call has
+// no effect on query results.
+func (r *Report) Snapshot() (*Snapshot, error) {
+	r.snapOnce.Do(func() {
+		r.snap, r.snapErr = BuildSnapshot(r)
+	})
+	return r.snap, r.snapErr
 }
 
+// Entities returns every integrated entity from the report, ordered by
+// entity ID. The result is the snapshot's shared, immutable entity
+// list — materialised once per report, not per call — so callers must
+// treat entities as read-only.
+func (r *Report) Entities() ([]*Entity, error) {
+	s, err := r.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return s.Entities(), nil
+}
+
+// entityIndex parses a canonical fusion entity ID ("e<i>", no leading
+// zeros except "e0" itself) into its index, returning -1 for anything
+// else — malformed prefixes, non-digits, leading zeros ("e01" would
+// alias "e1") and digit strings that overflow int.
 func entityIndex(id string) int {
 	if len(id) < 2 || id[0] != 'e' {
+		return -1
+	}
+	if id[1] == '0' && len(id) > 2 {
 		return -1
 	}
 	n := 0
@@ -84,7 +72,11 @@ func entityIndex(id string) int {
 		if c < '0' || c > '9' {
 			return -1
 		}
-		n = n*10 + int(c-'0')
+		d := int(c - '0')
+		if n > (math.MaxInt-d)/10 {
+			return -1
+		}
+		n = n*10 + d
 	}
 	return n
 }
@@ -95,47 +87,19 @@ type Hit struct {
 	Score  float64
 }
 
-// Search ranks integrated entities against a keyword query by Jaccard
-// similarity between the query and each entity's title plus fused
-// string values, returning up to limit hits with score > 0.
+// Search ranks integrated entities against a keyword query by blended
+// overlap/Jaccard similarity between the query and each entity's title
+// plus fused string values, returning up to limit hits with score > 0.
+// limit 0 applies the default DefaultSearchLimit; negative limits
+// return a validation error. Repeated searches share the memoized
+// snapshot, so the warm path is an index probe with no per-query
+// entity materialisation.
 func (r *Report) Search(query string, limit int) ([]Hit, error) {
-	ents, err := r.Entities()
+	s, err := r.Snapshot()
 	if err != nil {
 		return nil, err
 	}
-	if limit <= 0 {
-		limit = 10
-	}
-	qNorm := tokenize.Normalize(query)
-	if qNorm == "" {
-		return nil, fmt.Errorf("core: empty query")
-	}
-	hits := make([]Hit, 0, len(ents))
-	for _, e := range ents {
-		text := e.Title
-		for _, attr := range sortedAttrs(e.Values) {
-			if v := e.Values[attr]; v.Kind == data.KindString {
-				text += " " + v.Str
-			}
-		}
-		// Overlap rewards queries that are sub-descriptions of the
-		// entity; blend with Jaccard so longer entity texts still rank
-		// sanely.
-		s := 0.7*similarity.Overlap(qNorm, text) + 0.3*similarity.Jaccard(qNorm, text)
-		if s > 0 {
-			hits = append(hits, Hit{Entity: e, Score: s})
-		}
-	}
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
-		}
-		return hits[i].Entity.ID < hits[j].Entity.ID
-	})
-	if len(hits) > limit {
-		hits = hits[:limit]
-	}
-	return hits, nil
+	return s.Search(query, limit)
 }
 
 func sortedAttrs(m map[string]data.Value) []string {

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimerQuantile(t *testing.T) {
+	reg := NewRegistry()
+	tm := reg.Timer("q")
+	// 100 observations spread over two decades; exact values are known
+	// so the histogram estimate can be checked against the true ranks.
+	for i := 1; i <= 100; i++ {
+		tm.Observe(time.Duration(i) * time.Millisecond)
+	}
+	ts, ok := reg.Snapshot().Timer("q")
+	if !ok {
+		t.Fatal("timer missing from snapshot")
+	}
+	if ts.Quantile(0) != time.Millisecond {
+		t.Errorf("q0 = %v, want min 1ms", ts.Quantile(0))
+	}
+	if ts.Quantile(1) != 100*time.Millisecond {
+		t.Errorf("q1 = %v, want max 100ms", ts.Quantile(1))
+	}
+	p50, p99 := ts.Quantile(0.5), ts.Quantile(0.99)
+	// log₂ buckets bound the error by 2x of the true value.
+	if p50 < 25*time.Millisecond || p50 > 100*time.Millisecond {
+		t.Errorf("p50 = %v, want within 2x of 50ms", p50)
+	}
+	if p99 < 50*time.Millisecond || p99 > 100*time.Millisecond {
+		t.Errorf("p99 = %v, want within 2x of 99ms", p99)
+	}
+	if p50 > p99 {
+		t.Errorf("p50 %v > p99 %v", p50, p99)
+	}
+}
+
+func TestTimerQuantileEdges(t *testing.T) {
+	var empty TimerStat
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty timer must report 0")
+	}
+	reg := NewRegistry()
+	reg.Timer("one").Observe(7 * time.Millisecond)
+	ts, _ := reg.Snapshot().Timer("one")
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := ts.Quantile(q); got != 7*time.Millisecond {
+			t.Errorf("single-observation q%.2f = %v, want 7ms", q, got)
+		}
+	}
+	if _, ok := reg.Snapshot().Timer("absent"); ok {
+		t.Error("absent timer reported present")
+	}
+}

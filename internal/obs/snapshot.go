@@ -62,6 +62,45 @@ type TimerBucket struct {
 	Count int64         `json:"count"`
 }
 
+// Quantile estimates the q-th quantile (q in [0,1]) of the timer's
+// observations from its log₂ histogram, interpolating linearly inside
+// the containing bucket and clamping to the observed min/max (so the
+// tails never report beyond what was actually seen). With no
+// observations it returns 0. The estimate's error is bounded by the
+// bucket width — a factor of two — which is plenty for the p50/p99
+// latency reporting the serving load tests do.
+func (t TimerStat) Quantile(q float64) time.Duration {
+	if t.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return t.Min
+	}
+	if q >= 1 {
+		return t.Max
+	}
+	target := q * float64(t.Count)
+	var cum float64
+	for _, b := range t.Buckets {
+		if cum+float64(b.Count) >= target {
+			lo, hi := b.Lo, b.Hi
+			if lo < t.Min {
+				lo = t.Min
+			}
+			if hi > t.Max {
+				hi = t.Max
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (target - cum) / float64(b.Count)
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		cum += float64(b.Count)
+	}
+	return t.Max
+}
+
 // SpanStat is one span in the flattened tree. Dur is zero in stable
 // snapshots (and omitted from their JSON).
 type SpanStat struct {
@@ -133,6 +172,18 @@ func (r *Registry) Snapshot() *Snapshot {
 		flattenSpan(root, "", 0, &s.Spans)
 	}
 	return s
+}
+
+// Timer returns the named timer's stats from the snapshot, reporting
+// whether it exists — the lookup the latency reporters (load tests,
+// serving handlers) use to pull p50/p99 out of one snapshot.
+func (s *Snapshot) Timer(name string) (TimerStat, bool) {
+	for _, t := range s.Timers {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return TimerStat{}, false
 }
 
 func flattenSpan(sp *Span, prefix string, depth int, out *[]SpanStat) {

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// LoadConfig drives LoadTest: Clients concurrent workers each issue
+// Requests search calls, rotating through Queries.
+type LoadConfig struct {
+	// Clients is the number of concurrent workers. Default 1.
+	Clients int
+	// Requests is the number of requests per client. Default 100.
+	Requests int
+	// Queries are the search strings to rotate through. Required.
+	Queries []string
+	// Obs receives the loadtest.latency timer (nil: a private registry,
+	// so concurrent load tests don't pollute the process default).
+	Obs *obs.Registry
+}
+
+// LoadResult summarises one load-test run. Latency quantiles come from
+// the obs log₂ histogram, so they are 2x-bounded estimates.
+type LoadResult struct {
+	Clients  int
+	Requests int
+	Errors   int
+	Elapsed  time.Duration
+	P50      time.Duration
+	P99      time.Duration
+	Max      time.Duration
+	QPS      float64
+}
+
+func (r LoadResult) String() string {
+	return fmt.Sprintf("clients=%d requests=%d errors=%d p50=%v p99=%v max=%v qps=%.0f",
+		r.Clients, r.Requests, r.Errors, r.P50, r.P99, r.Max, r.QPS)
+}
+
+// LoadTest hammers baseURL's /search endpoint with cfg.Clients
+// concurrent workers and reports latency quantiles. Any non-200
+// response or transport error counts as an error; the run never
+// aborts early, so the error count is the full picture.
+func LoadTest(baseURL string, cfg LoadConfig) (LoadResult, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 100
+	}
+	if len(cfg.Queries) == 0 {
+		return LoadResult{}, fmt.Errorf("serve: load test needs at least one query")
+	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	baseURL = strings.TrimSuffix(baseURL, "/")
+
+	errs := make(chan int, cfg.Clients)
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		go func(offset int) {
+			nerr := 0
+			client := &http.Client{Timeout: 30 * time.Second}
+			for i := 0; i < cfg.Requests; i++ {
+				q := cfg.Queries[(offset+i)%len(cfg.Queries)]
+				u := baseURL + "/search?q=" + url.QueryEscape(q)
+				t0 := time.Now()
+				resp, err := client.Get(u)
+				if err != nil {
+					nerr++
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				reg.Timer("loadtest.latency").Observe(time.Since(t0))
+				if resp.StatusCode != http.StatusOK {
+					nerr++
+				}
+			}
+			errs <- nerr
+		}(c)
+	}
+	res := LoadResult{Clients: cfg.Clients, Requests: cfg.Clients * cfg.Requests}
+	for c := 0; c < cfg.Clients; c++ {
+		res.Errors += <-errs
+	}
+	res.Elapsed = time.Since(start)
+	if ts, ok := reg.Snapshot().Timer("loadtest.latency"); ok {
+		res.P50 = ts.Quantile(0.5)
+		res.P99 = ts.Quantile(0.99)
+		res.Max = ts.Max
+	}
+	if res.Elapsed > 0 {
+		res.QPS = float64(res.Requests) / res.Elapsed.Seconds()
+	}
+	return res, nil
+}

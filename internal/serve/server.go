@@ -1,0 +1,165 @@
+// Package serve turns a completed integration pipeline into a
+// long-lived service: concurrent HTTP/JSON traffic over an immutable
+// core.Snapshot (entity lookup, keyword search, record resolution,
+// similar-entity queries) with an admin reindex path that rebuilds the
+// snapshot in the background behind a bounded work queue and swaps it
+// in atomically.
+//
+// The concurrency contract is the whole point: read handlers never
+// take a lock — they load the current snapshot through an
+// atomic.Pointer and run entirely on its immutable indexes — while at
+// most one background rebuild runs at a time. Reindex requests beyond
+// the queue's capacity are rejected with 429 (backpressure, not
+// unbounded buffering), mirroring the api/queue/indexing split the
+// system-building agenda papers advocate.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// RebuildFunc produces a fresh serving snapshot — typically by
+// re-running the integration pipeline over the current dataset and
+// calling core.BuildSnapshot on the report. It runs on the single
+// background worker goroutine; the context is cancelled when the
+// server closes.
+type RebuildFunc func(ctx context.Context) (*core.Snapshot, error)
+
+// Config controls a Server. The zero value is usable.
+type Config struct {
+	// QueueDepth bounds the reindex work queue; requests that arrive
+	// while the queue is full are rejected with 429. Default 2.
+	QueueDepth int
+	// MatchThreshold is the resolve decision threshold: a /resolve
+	// response reports match=true when the best candidate scores at or
+	// above it. Default 0.6 (the pipeline's default match threshold).
+	MatchThreshold float64
+	// MaxLimit caps the limit/k query parameters. Default 100.
+	MaxLimit int
+	// Obs records request counters, per-endpoint latency timers and
+	// queue/swap metrics (nil falls back to obs.Default(); a nil
+	// default disables recording).
+	Obs *obs.Registry
+}
+
+func (c *Config) defaults() {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2
+	}
+	if c.MatchThreshold == 0 {
+		c.MatchThreshold = 0.6
+	}
+	if c.MaxLimit <= 0 {
+		c.MaxLimit = 100
+	}
+}
+
+// Server serves integration queries over an atomically swappable
+// snapshot. Construct with New, serve Handler(), and Close when done.
+type Server struct {
+	cfg     Config
+	snap    atomic.Pointer[core.Snapshot]
+	rebuild RebuildFunc
+
+	jobs   chan struct{}
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	swaps  atomic.Int64
+
+	started time.Time
+}
+
+// New builds a server around an initial snapshot. rebuild may be nil,
+// in which case POST /reindex reports 503; otherwise one worker
+// goroutine drains the bounded reindex queue until Close.
+func New(snap *core.Snapshot, rebuild RebuildFunc, cfg Config) (*Server, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("serve: nil snapshot")
+	}
+	cfg.defaults()
+	s := &Server{
+		cfg:     cfg,
+		rebuild: rebuild,
+		jobs:    make(chan struct{}, cfg.QueueDepth),
+		started: time.Now(),
+	}
+	s.snap.Store(snap)
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	if rebuild != nil {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// reg resolves the server's metrics registry per call, so a process
+// default installed after construction is still picked up.
+func (s *Server) reg() *obs.Registry { return obs.OrDefault(s.cfg.Obs) }
+
+// Snapshot returns the snapshot currently being served. Lock-free.
+func (s *Server) Snapshot() *core.Snapshot { return s.snap.Load() }
+
+// Swaps reports how many background rebuilds have been swapped in.
+func (s *Server) Swaps() int64 { return s.swaps.Load() }
+
+// TryReindex enqueues one background rebuild, reporting false when the
+// bounded queue is full (the 429 path) and the current queue depth.
+func (s *Server) TryReindex() (queued bool, depth int) {
+	reg := s.reg()
+	select {
+	case s.jobs <- struct{}{}:
+		depth = len(s.jobs)
+		reg.Counter("serve.reindex_queued").Inc()
+		reg.Gauge("serve.queue_depth").Set(float64(depth))
+		return true, depth
+	default:
+		reg.Counter("serve.reindex_rejected").Inc()
+		return false, len(s.jobs)
+	}
+}
+
+// worker drains the reindex queue one rebuild at a time; a successful
+// rebuild is swapped in atomically, a failed one keeps the old
+// snapshot serving and counts serve.reindex_errors.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	reg := s.reg()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-s.jobs:
+			reg.Gauge("serve.queue_depth").Set(float64(len(s.jobs)))
+			sp := reg.StartSpan("reindex")
+			t0 := time.Now()
+			snap, err := s.rebuild(s.ctx)
+			sp.End()
+			if err != nil || snap == nil {
+				if s.ctx.Err() == nil {
+					reg.Counter("serve.reindex_errors").Inc()
+				}
+				continue
+			}
+			s.snap.Store(snap)
+			s.swaps.Add(1)
+			reg.Counter("serve.snapshot_swaps").Inc()
+			reg.Timer("serve.reindex_time").Observe(time.Since(t0))
+		}
+	}
+}
+
+// Close stops the background worker (cancelling any in-flight rebuild)
+// and waits for it to exit. Read handlers keep working on the last
+// snapshot; Close only shuts the write path down.
+func (s *Server) Close() {
+	s.cancel()
+	s.wg.Wait()
+}
