@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-blocking race-fusion race-obs race-source race-shard race-rrf race-serve bench bench-blocking bench-fusion bench-obs bench-source bench-json loadtest chaos check
+.PHONY: all build vet test race race-blocking race-fusion race-obs race-source race-shard race-rrf race-serve race-stream bench bench-blocking bench-fusion bench-obs bench-source bench-stream bench-json loadtest chaos check
 
 all: check
 
@@ -74,6 +74,17 @@ race-rrf:
 # queue and the memoized query path.
 race-serve:
 	$(GO) test -race ./internal/serve/... ./internal/core/... ./internal/obs/...
+
+# Race-checks the streaming velocity path end to end (PR 9 gate):
+# watchable sources under fault injection, epoch batching, incremental
+# linkage, online fusion publishing and the crash/resume chaos replay.
+race-stream:
+	$(GO) test -race -run 'Watch|Streamer|Stream|Online|Publish' ./internal/source/... ./internal/core/... ./internal/fusion/... ./internal/serve/...
+
+# The streaming benchmarks (PR 9 acceptance numbers): per-epoch apply
+# cost and republish cost on a growing corpus.
+bench-stream:
+	$(GO) test -run xxx -bench 'StreamApplyEpoch|StreamPublish' -benchmem ./internal/core/...
 
 # The serving latency baseline (PR 8 acceptance numbers): p50/p99 at
 # 1/8/64 concurrent clients against an in-process bdiserve.

@@ -211,6 +211,51 @@ var (
 	WrapAllFaults = faults.WrapAll
 )
 
+// Streaming re-exports — the Velocity path. A Streamer batches a fleet
+// of watchable sources into deterministic epochs; a Stream folds each
+// epoch through incremental linkage and online fusion and republishes
+// the serving Snapshot within a configurable staleness window
+// (ServeServer.Publish is the intended sink). With StreamConfig.
+// StatePath set, the stream persists its full state (cursors, posting
+// lists, union-find partition, fusion accuracy estimates) atomically
+// every epoch, and ResumeStream continues a killed stream
+// byte-identically. cmd/bdirun -stream and cmd/bdiserve -stream are the
+// runnable forms; E27 in cmd/bdibench measures the cost advantage over
+// batch relinking.
+type (
+	// StreamConfig tunes the streaming integration processor.
+	StreamConfig = core.StreamConfig
+	// Stream is the long-lived streaming integration processor.
+	Stream = core.Stream
+	// StreamEpoch is one deterministic batch of arrivals with resume
+	// cursors.
+	StreamEpoch = source.Epoch
+	// StreamerConfig tunes epoch batching over a fleet.
+	StreamerConfig = source.StreamConfig
+	// Streamer drains a fleet as a channel of epochs.
+	Streamer = source.Streamer
+	// StreamWatch polls one source for deterministic cursor windows,
+	// refetching through transient faults and truncations.
+	StreamWatch = source.Watch
+)
+
+var (
+	// NewStream builds a fresh streaming processor.
+	NewStream = core.NewStream
+	// LoadStream restores a streaming processor from a state file.
+	LoadStream = core.LoadStream
+	// ResumeStream restores from StreamConfig.StatePath when the file
+	// exists and starts fresh otherwise.
+	ResumeStream = core.ResumeStream
+	// NewStreamer starts epoch batching over a fleet.
+	NewStreamer = source.NewStreamer
+	// NewStreamWatch builds a cursor-window watcher over one source.
+	NewStreamWatch = source.NewWatch
+	// SourceTotals reads per-source record counts from a dataset — the
+	// totals a Streamer needs for static fleets.
+	SourceTotals = source.Totals
+)
+
 // Sentinel errors, re-exported so callers can classify failures with
 // errors.Is without importing internal packages.
 var (
@@ -236,6 +281,12 @@ var (
 	// IngestConfig.MinSources; the partial dataset and report are
 	// still returned alongside it.
 	ErrTooFewSources = source.ErrTooFewSources
+	// ErrBadState reports a corrupt, truncated or wrong-version stream
+	// state file.
+	ErrBadState = core.ErrBadState
+	// ErrShortSource reports a source that kept returning fewer records
+	// than its declared total through the whole refetch budget.
+	ErrShortSource = source.ErrShortSource
 )
 
 // Fusion re-exports.

@@ -24,6 +24,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/data"
@@ -69,6 +70,11 @@ func run() error {
 		metricsJSON = flag.Bool("metrics-json", false, "print the stable metrics snapshot as JSON")
 		metricsFull = flag.Bool("metrics-full", false, "print the full snapshot, including timers and scheduling metrics")
 		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+
+		stream        = flag.Bool("stream", false, "stream the dataset through incremental linkage + online fusion instead of the batch pipeline")
+		streamEpoch   = flag.Int("stream-epoch", 100, "records per stream epoch")
+		streamPublish = flag.Int("stream-publish", 0, "publish every N epochs (0 = staleness-window cadence)")
+		streamState   = flag.String("stream-state", "", "stream state file: restored on start, saved at each epoch (empty = no persistence)")
 	)
 	flag.Parse()
 
@@ -112,9 +118,37 @@ func run() error {
 		defer cancel()
 	}
 
+	fleet := source.FromDataset(d)
+
+	if *stream {
+		if *faultRate > 0 {
+			// The stream path has no drop-a-source fallback — its
+			// resilience is refetch-until-covered — so chaos here is
+			// transient flakes and truncations, not dead sources.
+			fleet = faults.WrapAll(fleet, faults.Config{
+				Seed:             *faultSeed,
+				TransientRate:    *faultRate,
+				TruncateRate:     *faultRate / 2,
+				TruncateFraction: 0.5,
+				Obs:              reg,
+			})
+		}
+		if err := runStream(ctx, d, fleet, core.StreamConfig{
+			EpochSize:    *streamEpoch,
+			PublishEvery: *streamPublish,
+			StatePath:    *streamState,
+			FusionN:      0,
+			Workers:      *workers,
+			Obs:          reg,
+		}); err != nil {
+			return err
+		}
+		printMetrics(reg, *metrics, *metricsJSON, *metricsFull)
+		return nil
+	}
+
 	// Ingest: every run goes through the resilient ingestor, with the
 	// fault injector wrapped in when -fault-rate asks for chaos.
-	fleet := source.FromDataset(d)
 	if *faultRate > 0 {
 		fleet = faults.WrapAll(fleet, faults.Config{
 			Seed:          *faultSeed,
@@ -225,23 +259,61 @@ func run() error {
 		}
 	}
 
-	if *metrics || *metricsJSON || *metricsFull {
-		snap := reg.Snapshot()
-		if !*metricsFull {
-			snap = snap.Stable()
-		}
-		switch {
-		case *metricsJSON:
-			js, err := snap.JSON()
-			if err != nil {
-				return err
-			}
-			fmt.Printf("\n%s\n", js)
-		default:
-			fmt.Printf("\n-- metrics --\n%s", snap.Text())
-		}
+	printMetrics(reg, *metrics, *metricsJSON, *metricsFull)
+	return nil
+}
+
+// runStream drives the velocity path: the fleet is replayed as an
+// epoch stream through incremental linkage and online fusion, with the
+// final published view and cumulative costs reported instead of the
+// batch pipeline's stage table.
+func runStream(ctx context.Context, d *data.Dataset, fleet []source.Source, cfg core.StreamConfig) error {
+	var last *core.Snapshot
+	st, err := core.ResumeStream(cfg, func(snap *core.Snapshot) { last = snap })
+	if err != nil {
+		return err
+	}
+	if st.Epoch() > 0 {
+		fmt.Printf("resumed stream state: epoch %d, %d records already ingested\n", st.Epoch(), st.Ingested())
+	}
+	t0 := time.Now()
+	if err := st.Run(ctx, fleet, source.Totals(d)); err != nil {
+		return err
+	}
+	elapsed := time.Since(t0)
+
+	fmt.Printf("stream: %d records in %d epochs (%v)\n", st.Ingested(), st.Epoch(), elapsed.Round(time.Millisecond))
+	fmt.Printf("publishes: %d   comparisons: %d   clusters: %d\n",
+		st.Publishes(), st.Comparisons(), len(st.Clusters()))
+	if last != nil {
+		fmt.Printf("final view: %d entities\n", last.Len())
+	}
+	if truth := d.GroundTruthClusters(); len(truth) > 0 {
+		prf := eval.Clusters(st.Clusters(), truth)
+		fmt.Printf("linkage quality vs ground truth: %s\n", prf)
 	}
 	return nil
+}
+
+func printMetrics(reg *obs.Registry, metrics, metricsJSON, metricsFull bool) {
+	if !metrics && !metricsJSON && !metricsFull {
+		return
+	}
+	snap := reg.Snapshot()
+	if !metricsFull {
+		snap = snap.Stable()
+	}
+	switch {
+	case metricsJSON:
+		js, err := snap.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bdirun: metrics:", err)
+			return
+		}
+		fmt.Printf("\n%s\n", js)
+	default:
+		fmt.Printf("\n-- metrics --\n%s", snap.Text())
+	}
 }
 
 func sortedKeys(m map[string]data.Value) []string {

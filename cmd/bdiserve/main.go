@@ -21,6 +21,13 @@
 //	bdigen -out web.json && bdiserve -in web.json -addr :8080
 //	bdiserve -gen -gen-entities 200 -addr :8080          # self-generated data
 //	bdiserve -gen -loadtest 1x50,8x50,64x50              # latency benchmark
+//	bdiserve -gen -stream -stream-state bdi.state        # streaming ingestion
+//
+// With -stream the batch pipeline is bypassed: sources are replayed as
+// an epoch stream through incremental linkage and online fusion, and
+// each published view is swapped into the serving snapshot within the
+// -stream-staleness window. -stream-state makes the stream durable —
+// the state file is restored on start and saved at each epoch.
 package main
 
 import (
@@ -41,6 +48,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/source"
 )
 
 func main() {
@@ -68,6 +76,11 @@ func run() error {
 		order       = flag.String("order", "linkage-first", "stage order: linkage-first or schema-first")
 		workers     = flag.Int("workers", 0, "pipeline worker goroutines (0 = NumCPU)")
 		loadtest    = flag.String("loadtest", "", "run a load test instead of serving: comma-separated NxM levels, e.g. 1x50,8x50,64x50")
+
+		stream          = flag.Bool("stream", false, "stream the dataset through incremental linkage + online fusion, republishing the snapshot as epochs land")
+		streamEpoch     = flag.Int("stream-epoch", 100, "records per stream epoch")
+		streamStaleness = flag.Duration("stream-staleness", 2*time.Second, "maximum staleness window before a dirty view is republished")
+		streamState     = flag.String("stream-state", "", "stream state file: restored on start, saved at each epoch (empty = no persistence)")
 	)
 	flag.Parse()
 
@@ -93,34 +106,80 @@ func run() error {
 		return fmt.Errorf("unknown -order %q (want linkage-first or schema-first)", *order)
 	}
 
-	// The rebuild path is the same pipeline over the held dataset, so
-	// POST /reindex on unchanged data swaps in a byte-identical view.
-	rebuild := func(ctx context.Context) (*core.Snapshot, error) {
-		rep, err := core.New(cfg).RunCtx(ctx, dataset)
-		if err != nil {
-			return nil, err
-		}
-		return rep.Snapshot()
-	}
-
-	t0 := time.Now()
-	snap, err := rebuild(context.Background())
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "bdiserve: pipeline done in %v — %d entities from %d records\n",
-		time.Since(t0).Round(time.Millisecond), snap.Len(), dataset.NumRecords())
-
-	srv, err := serve.New(snap, rebuild, serve.Config{
+	srvCfg := serve.Config{
 		QueueDepth:     *queue,
 		MatchThreshold: *threshold,
 		MaxLimit:       *maxLimit,
 		Obs:            reg,
-	})
-	if err != nil {
-		return err
 	}
-	defer srv.Close()
+
+	var srv *serve.Server
+	if *stream {
+		// Streaming mode: the dataset's sources are replayed as a
+		// stream; each published view is pushed into the server's swap
+		// path, so readers always see a snapshot at most one staleness
+		// window behind ingestion. POST /reindex is disabled — the
+		// stream owns the write path.
+		st, err := core.ResumeStream(core.StreamConfig{
+			EpochSize: *streamEpoch,
+			Staleness: *streamStaleness,
+			StatePath: *streamState,
+			Workers:   *workers,
+			Obs:       reg,
+		}, func(snap *core.Snapshot) {
+			if srv != nil {
+				srv.Publish(snap)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		snap, err := st.Rebuild(context.Background())
+		if err != nil {
+			return err
+		}
+		srv, err = serve.New(snap, nil, srvCfg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		streamCtx, streamCancel := context.WithCancel(context.Background())
+		defer streamCancel()
+		go func() {
+			if err := st.Run(streamCtx, source.FromDataset(dataset), source.Totals(dataset)); err != nil {
+				fmt.Fprintln(os.Stderr, "bdiserve: stream:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "bdiserve: stream drained — %d records in %d epochs, %d publishes\n",
+				st.Ingested(), st.Epoch(), st.Publishes())
+		}()
+		fmt.Fprintf(os.Stderr, "bdiserve: streaming %d records (epoch %d, staleness %v)\n",
+			dataset.NumRecords(), *streamEpoch, *streamStaleness)
+	} else {
+		// The rebuild path is the same pipeline over the held dataset, so
+		// POST /reindex on unchanged data swaps in a byte-identical view.
+		rebuild := func(ctx context.Context) (*core.Snapshot, error) {
+			rep, err := core.New(cfg).RunCtx(ctx, dataset)
+			if err != nil {
+				return nil, err
+			}
+			return rep.Snapshot()
+		}
+
+		t0 := time.Now()
+		snap, err := rebuild(context.Background())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bdiserve: pipeline done in %v — %d entities from %d records\n",
+			time.Since(t0).Round(time.Millisecond), snap.Len(), dataset.NumRecords())
+
+		srv, err = serve.New(snap, rebuild, srvCfg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+	}
 
 	if *loadtest != "" {
 		return runLoadTest(srv, *loadtest)

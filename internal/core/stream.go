@@ -1,0 +1,432 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/fusion"
+	"repro/internal/linkage"
+	"repro/internal/obs"
+	"repro/internal/similarity"
+	"repro/internal/source"
+	"repro/internal/tokenize"
+)
+
+// StreamConfig controls a streaming integration run — the Velocity
+// path: arriving records flow through online blocking-key maintenance
+// and incremental linkage into online fusion, and the updated fused
+// entities are republished into the serving snapshot without ever
+// re-running the batch pipeline. The zero value is usable.
+type StreamConfig struct {
+	// Stream shape (see source.StreamConfig).
+	EpochSize int // records per source per epoch; default 100
+	Buffer    int // bounded epoch buffer; default 4
+	Retries   int // refetch budget per poll; default 8, negative = none
+
+	// Incremental linkage. Defaults mirror the batch pipeline's:
+	// identifier equality short-circuits, otherwise a weighted Jaccard
+	// over the match attributes against MatchThreshold.
+	IdentifierAttrs []string // exact-match attributes; nil = {"pid"}
+	MatchAttrs      []string // comparator attributes; empty = {"title"}
+	MatchThreshold  float64  // 0 = default 0.6, ZeroThreshold = literally 0
+	MaxBlock        int      // online stop-token bound; 0 = default 64, negative = unlimited
+
+	// FusionN is fusion.Online's assumed number of false values
+	// (0 = its default 10).
+	FusionN float64
+
+	// Publishing cadence. PublishEvery > 0 republishes every that many
+	// epochs — deterministic, the cadence replay tests use. Otherwise
+	// the staleness window drives it: the view is republished once it
+	// has been dirty for Staleness (default 2s).
+	Staleness    time.Duration
+	PublishEvery int
+
+	// Persistence. StatePath enables snapshot/restore: the stream state
+	// (cursors, dictionaries, posting lists, union-find partition,
+	// fusion accuracy state) is written there atomically every
+	// SaveEvery epochs (default 1) and on drain.
+	StatePath string
+	SaveEvery int
+
+	// Workers bounds the fusion worker pool (0 = NumCPU); output is
+	// identical for any value.
+	Workers int
+	// Obs records stream counters, gauges and timers (nil falls back to
+	// obs.Default()).
+	Obs *obs.Registry
+}
+
+func (c *StreamConfig) defaults() {
+	if c.EpochSize <= 0 {
+		c.EpochSize = 100
+	}
+	if c.Buffer <= 0 {
+		c.Buffer = 4
+	}
+	if c.IdentifierAttrs == nil {
+		c.IdentifierAttrs = []string{"pid"}
+	}
+	if len(c.MatchAttrs) == 0 {
+		c.MatchAttrs = []string{"title"}
+	}
+	switch c.MatchThreshold {
+	case 0:
+		c.MatchThreshold = 0.6
+	case ZeroThreshold:
+		c.MatchThreshold = 0
+	}
+	if c.MaxBlock == 0 {
+		c.MaxBlock = 64
+	}
+	if c.Staleness <= 0 {
+		c.Staleness = 2 * time.Second
+	}
+	if c.SaveEvery <= 0 {
+		c.SaveEvery = 1
+	}
+}
+
+// Validate rejects unusable configurations.
+func (c StreamConfig) Validate() error {
+	if t := c.MatchThreshold; t != ZeroThreshold && (t < 0 || t > 1) {
+		return fmt.Errorf("core: stream match threshold %v outside [0,1]", t)
+	}
+	if c.FusionN < 0 {
+		return fmt.Errorf("core: stream fusion N %v is negative", c.FusionN)
+	}
+	if c.PublishEvery < 0 {
+		return fmt.Errorf("core: stream publish-every %d is negative", c.PublishEvery)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: stream workers %d is negative", c.Workers)
+	}
+	return nil
+}
+
+// Stream is the long-lived streaming integration processor. It is not
+// safe for concurrent use; one goroutine owns it (Run is that loop).
+// All state that decides future behaviour — cursors, the incremental
+// linker, the fusion accuracy estimates, the epoch counter — is
+// persisted by Save and restored by LoadStream, so a resumed stream
+// replays byte-identically (under an epoch-driven publish cadence;
+// wall-clock staleness publishing is inherently schedule-dependent).
+type Stream struct {
+	cfg     StreamConfig
+	keyFn   func(r *data.Record) []string
+	matcher linkage.Matcher
+	inc     *linkage.Incremental
+	publish func(*Snapshot)
+
+	// acc holds the online accuracy estimates fed back into the probe
+	// order: after each publish, every source's estimate becomes its
+	// Laplace-smoothed agreement rate with the fused values.
+	acc     map[string]float64
+	cursors map[string]int
+
+	epoch     int // completed epochs (also the next epoch's sequence)
+	ingested  int64
+	publishes int64
+	lastPub   time.Time
+	dirty     bool
+}
+
+// NewStream builds a fresh stream processor. publish, when non-nil, is
+// called with every republished snapshot (serve.Server.Publish is the
+// intended target); it runs on the stream's goroutine.
+func NewStream(cfg StreamConfig, publish func(*Snapshot)) (*Stream, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.defaults()
+	s := &Stream{
+		cfg:     cfg,
+		keyFn:   streamKeyFunc(cfg.MatchAttrs, cfg.IdentifierAttrs),
+		matcher: streamMatcher(cfg),
+		publish: publish,
+		acc:     map[string]float64{},
+		cursors: map[string]int{},
+		lastPub: time.Now(),
+	}
+	s.inc = linkage.NewIncremental(s.keyFn, s.matcher)
+	s.inc.MaxBlock = cfg.MaxBlock
+	return s, nil
+}
+
+// streamMatcher mirrors the batch pipeline's default rule matcher:
+// identifier equality short-circuits, otherwise weighted Jaccard over
+// the match attributes (title weighted up, like buildMatcher).
+func streamMatcher(cfg StreamConfig) linkage.Matcher {
+	fields := make([]similarity.FieldWeight, 0, len(cfg.MatchAttrs))
+	for _, a := range cfg.MatchAttrs {
+		w := 1.0
+		if a == "title" {
+			w = 2
+		}
+		fields = append(fields, similarity.FieldWeight{Attr: a, Weight: w, Metric: similarity.Jaccard})
+	}
+	return linkage.RuleMatcher{
+		Exact:      cfg.IdentifierAttrs,
+		Comparator: similarity.NewRecordComparator(fields...),
+		Threshold:  cfg.MatchThreshold,
+	}
+}
+
+// streamKeyFunc is the online blocking key: sorted distinct tokens of
+// the match attributes (the posting-list probe order must not inherit
+// map iteration order) plus one exact key per present identifier
+// attribute, NUL-prefixed so identifier keys can't collide with word
+// tokens.
+func streamKeyFunc(matchAttrs, idAttrs []string) func(r *data.Record) []string {
+	return func(r *data.Record) []string {
+		set := map[string]bool{}
+		for _, a := range matchAttrs {
+			for w := range tokenize.WordSet(r.Get(a).String()) {
+				set[w] = true
+			}
+		}
+		keys := make([]string, 0, len(set)+len(idAttrs))
+		for w := range set {
+			keys = append(keys, w)
+		}
+		sort.Strings(keys)
+		for _, a := range idAttrs {
+			if v := r.Get(a); !v.IsNull() {
+				keys = append(keys, "\x00"+a+"\x00"+v.Key())
+			}
+		}
+		return keys
+	}
+}
+
+func (s *Stream) reg() *obs.Registry { return obs.OrDefault(s.cfg.Obs) }
+
+// ApplyEpoch folds one epoch of arrivals into the incremental state:
+// every record is inserted into the online linker (maintaining the
+// blocking-key posting lists and the union-find), cursors advance to
+// the epoch's resume points and the view becomes dirty. metas resolves
+// a record's SourceID to its source metadata.
+func (s *Stream) ApplyEpoch(metas map[string]*data.Source, ep source.Epoch) error {
+	reg := s.reg()
+	t0 := time.Now()
+	for _, r := range ep.Records {
+		meta := metas[r.SourceID]
+		if meta == nil {
+			return fmt.Errorf("core: stream record %s from unknown source %q", r.ID, r.SourceID)
+		}
+		if _, err := s.inc.Insert(meta, r); err != nil {
+			return fmt.Errorf("core: stream apply epoch %d: %w", ep.Seq, err)
+		}
+	}
+	for id, c := range ep.Cursors {
+		s.cursors[id] = c
+	}
+	s.epoch = ep.Seq + 1
+	s.ingested += int64(len(ep.Records))
+	if len(ep.Records) > 0 {
+		s.dirty = true
+	}
+	reg.Counter("stream.epochs").Inc()
+	reg.Counter("stream.records_ingested").Add(int64(len(ep.Records)))
+	reg.Timer("stream.apply_time").Observe(time.Since(t0))
+	reg.Gauge("stream.staleness_seconds").Set(s.StalenessNow().Seconds())
+	return nil
+}
+
+// StalenessNow reports how long the published view has been behind the
+// ingested state: zero when clean, time since the last publish while
+// dirty.
+func (s *Stream) StalenessNow() time.Duration {
+	if !s.dirty {
+		return 0
+	}
+	return time.Since(s.lastPub)
+}
+
+// shouldPublish decides the republish cadence: epoch-driven when
+// PublishEvery is set, staleness-window-driven otherwise.
+func (s *Stream) shouldPublish() bool {
+	if !s.dirty {
+		return false
+	}
+	if s.cfg.PublishEvery > 0 {
+		return s.epoch%s.cfg.PublishEvery == 0
+	}
+	return time.Since(s.lastPub) >= s.cfg.Staleness
+}
+
+// buildView materializes the current integrated view: claims from the
+// current clusters over every observed attribute, fused by
+// fusion.Online under the current accuracy estimates, packaged as a
+// serving snapshot.
+func (s *Stream) buildView(ctx context.Context) (*Snapshot, *fusion.OnlineResult, *data.ClaimSet, error) {
+	d := s.inc.Dataset()
+	clusters := s.inc.Clusters()
+	attrs := make([]string, 0, 8)
+	for _, ac := range d.Attributes() {
+		attrs = append(attrs, ac.Attr)
+	}
+	sort.Strings(attrs)
+	claims := data.ClaimsFromClusters(d, clusters, attrs)
+	onl := fusion.Online{Accuracy: s.acc, N: s.cfg.FusionN, Workers: s.cfg.Workers, Ctx: ctx}
+	res, err := onl.FuseOnline(claims)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	snap, err := BuildSnapshot(&Report{Normalized: d, Clusters: clusters, Fusion: &res.Result})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return snap, res, claims, nil
+}
+
+// Rebuild builds the current serving snapshot without publishing it or
+// touching any stream state — the side-effect-free read used to seed a
+// server after a restore.
+func (s *Stream) Rebuild(ctx context.Context) (*Snapshot, error) {
+	snap, _, _, err := s.buildView(ctx)
+	return snap, err
+}
+
+// Publish rebuilds the view, feeds the fusion outcome back into the
+// accuracy estimates and pushes the snapshot to the publish sink. It
+// returns the published snapshot.
+func (s *Stream) Publish(ctx context.Context) (*Snapshot, error) {
+	reg := s.reg()
+	t0 := time.Now()
+	snap, res, claims, err := s.buildView(ctx)
+	if err != nil {
+		return nil, err
+	}
+	s.updateAccuracy(claims, res)
+	if s.publish != nil {
+		s.publish(snap)
+	}
+	s.publishes++
+	s.dirty = false
+	s.lastPub = time.Now()
+	reg.Counter("stream.publishes").Inc()
+	reg.Timer("stream.republish_time").Observe(time.Since(t0))
+	reg.Gauge("stream.staleness_seconds").Set(0)
+	reg.Gauge("stream.entities").Set(float64(snap.Len()))
+	return snap, nil
+}
+
+// updateAccuracy folds the fused outcome back into the per-source
+// accuracy estimates: Laplace-smoothed agreement with the published
+// values. The estimates steer fusion.Online's probe order on the next
+// publish — the online analogue of ACCU's accuracy iteration.
+func (s *Stream) updateAccuracy(cs *data.ClaimSet, res *fusion.OnlineResult) {
+	for _, src := range cs.Sources() {
+		agree, total := 0, 0
+		for _, c := range cs.SourceClaims(src) {
+			v, ok := res.Values[c.Item]
+			if !ok {
+				continue
+			}
+			total++
+			if v.Key() == c.Value.Key() {
+				agree++
+			}
+		}
+		if total > 0 {
+			s.acc[src] = (float64(agree) + 1) / (float64(total) + 2)
+		}
+	}
+}
+
+// Run drains the fleet as a stream: watch → epoch batches → incremental
+// linkage → online fusion → snapshot publishing within the staleness
+// window, persisting state every SaveEvery epochs when StatePath is
+// set. It returns after every source is drained (with a final publish
+// and save) or on the first error.
+func (s *Stream) Run(ctx context.Context, fleet []source.Source, totals map[string]int) error {
+	metas := make(map[string]*data.Source, len(fleet))
+	for _, src := range fleet {
+		metas[src.Meta().ID] = src.Meta()
+	}
+	cursors := make(map[string]int, len(s.cursors))
+	for id, c := range s.cursors {
+		cursors[id] = c
+	}
+	str, err := source.NewStreamer(ctx, fleet, source.StreamConfig{
+		EpochSize: s.cfg.EpochSize,
+		Buffer:    s.cfg.Buffer,
+		Retries:   s.cfg.Retries,
+		Totals:    totals,
+		Cursors:   cursors,
+		StartSeq:  s.epoch,
+	})
+	if err != nil {
+		return err
+	}
+	defer str.Close()
+
+	for ep := range str.C {
+		if err := s.ApplyEpoch(metas, ep); err != nil {
+			return err
+		}
+		if s.shouldPublish() {
+			if _, err := s.Publish(ctx); err != nil {
+				return err
+			}
+		}
+		if s.cfg.StatePath != "" && s.epoch%s.cfg.SaveEvery == 0 {
+			if err := s.Save(s.cfg.StatePath); err != nil {
+				return err
+			}
+		}
+	}
+	if err := str.Err(); err != nil {
+		return err
+	}
+	if s.dirty {
+		if _, err := s.Publish(ctx); err != nil {
+			return err
+		}
+	}
+	if s.cfg.StatePath != "" {
+		return s.Save(s.cfg.StatePath)
+	}
+	return nil
+}
+
+// Epoch reports how many epochs have been applied.
+func (s *Stream) Epoch() int { return s.epoch }
+
+// Ingested reports how many records have been applied.
+func (s *Stream) Ingested() int64 { return s.ingested }
+
+// Publishes reports how many snapshots have been published.
+func (s *Stream) Publishes() int64 { return s.publishes }
+
+// Comparisons reports the cumulative pairwise match calls — the
+// stream-side cost metric E27 compares against batch relinking.
+func (s *Stream) Comparisons() int { return s.inc.Comparisons() }
+
+// Clusters returns the current clustering.
+func (s *Stream) Clusters() data.Clustering { return s.inc.Clusters() }
+
+// Dataset exposes the accumulated records (read-only use).
+func (s *Stream) Dataset() *data.Dataset { return s.inc.Dataset() }
+
+// Cursors returns a copy of the per-source resume positions.
+func (s *Stream) Cursors() map[string]int {
+	out := make(map[string]int, len(s.cursors))
+	for id, c := range s.cursors {
+		out[id] = c
+	}
+	return out
+}
+
+// Accuracy returns a copy of the current per-source accuracy estimates.
+func (s *Stream) Accuracy() map[string]float64 {
+	out := make(map[string]float64, len(s.acc))
+	for id, a := range s.acc {
+		out[id] = a
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/source"
+	"repro/internal/source/faults"
+)
+
+// chaosFaults is the fault mix the crash/resume tests stream through:
+// transient flakes and truncated payloads are content-preserving (the
+// watch refetches until the cursor window is covered), so replay stays
+// byte-identical. Corruption is deliberately absent — it rewrites
+// record content per fetch, which no resume protocol can make
+// replay-identical.
+func chaosFaults(seed int64) faults.Config {
+	return faults.Config{Seed: seed, TransientRate: 0.25, TruncateRate: 0.25, TruncateFraction: 0.6}
+}
+
+// TestStreamCrashResumeByteIdentical is the chaos gate for stream
+// persistence: run a fault-injected stream, kill it mid-epoch (torn
+// in-memory work, state file still at the last epoch boundary),
+// restore from disk with a freshly fault-wrapped fleet, finish — and
+// require the final clustering/fusion output byte-identical to an
+// uninterrupted run, at every worker count.
+func TestStreamCrashResumeByteIdentical(t *testing.T) {
+	d := streamTestWeb(31, 80, 8)
+	totals := source.Totals(d)
+	metas := map[string]*data.Source{}
+	for _, s := range d.Sources() {
+		metas[s.ID] = s
+	}
+	// Retries sized so a poll failing through the whole budget is
+	// effectively impossible under the 25%/25% fault mix.
+	const retries = 16
+
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			cfg := StreamConfig{
+				EpochSize: 9, PublishEvery: 2, Retries: retries, Workers: workers,
+			}
+
+			// Uninterrupted baseline, itself streaming through the fault
+			// injector.
+			base, err := NewStream(cfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fleet := faults.WrapAll(source.FromDataset(d), chaosFaults(7))
+			if err := base.Run(context.Background(), fleet, totals); err != nil {
+				t.Fatal(err)
+			}
+			want := streamFingerprint(t, base)
+
+			// Crashing run: drive epochs by hand with Run's exact
+			// publish/save cadence, then "crash" mid-epoch — half of the
+			// next epoch applied in memory, nothing saved.
+			path := filepath.Join(t.TempDir(), "stream.state")
+			ccfg := cfg
+			ccfg.StatePath = path
+			crashed, err := NewStream(ccfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			str, err := source.NewStreamer(context.Background(),
+				faults.WrapAll(source.FromDataset(d), chaosFaults(7)),
+				source.StreamConfig{EpochSize: ccfg.EpochSize, Retries: retries, Totals: totals})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer str.Close()
+			const crashAfter = 3
+			for ep := range str.C {
+				if ep.Seq == crashAfter {
+					torn := ep
+					torn.Records = ep.Records[:len(ep.Records)/2]
+					if err := crashed.ApplyEpoch(metas, torn); err != nil {
+						t.Fatal(err)
+					}
+					break // killed: the torn epoch never reaches the state file
+				}
+				if err := crashed.ApplyEpoch(metas, ep); err != nil {
+					t.Fatal(err)
+				}
+				if crashed.shouldPublish() {
+					if _, err := crashed.Publish(context.Background()); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := crashed.Save(path); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Restore from the persisted state with a freshly wrapped
+			// fleet (fault schedules restart, content does not) and let
+			// Run finish the stream.
+			resumed, err := LoadStream(path, ccfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resumed.Epoch() != crashAfter {
+				t.Fatalf("restored at epoch %d, want %d (torn epoch must not persist)", resumed.Epoch(), crashAfter)
+			}
+			if err := resumed.Run(context.Background(),
+				faults.WrapAll(source.FromDataset(d), chaosFaults(7)), totals); err != nil {
+				t.Fatal(err)
+			}
+
+			if got := streamFingerprint(t, resumed); got != want {
+				t.Errorf("resumed output differs from uninterrupted run:\n--- uninterrupted\n%s--- resumed\n%s", want, got)
+			}
+		})
+	}
+}

@@ -422,6 +422,8 @@ func (r Runner) Run(id string) (*Table, error) {
 		tab, _, err = E25(seed)
 	case "E26":
 		tab, _, err = E26(seed)
+	case "E27":
+		tab, _, err = E27(seed)
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 	}
@@ -432,10 +434,11 @@ func (r Runner) Run(id string) (*Table, error) {
 // result shapes; E15–E24 cover the extension features, ablations and
 // the fault-injection chaos sweep; E24 is the sharded/spilled blocking
 // scale-out sweep; E25 is the rank-fusion recall-vs-comparisons
-// evaluation; E26 is the concurrent-serving latency benchmark.
+// evaluation; E26 is the concurrent-serving latency benchmark; E27
+// is the streaming-vs-batch-relink velocity cost comparison.
 func All() []string {
 	return []string{
 		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
-		"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "E24", "E25", "E26",
+		"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "E24", "E25", "E26", "E27",
 	}
 }

@@ -2,6 +2,7 @@ package fusion
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"sort"
 
@@ -21,7 +22,10 @@ type Online struct {
 	// Sources absent from the map default to 0.7.
 	Accuracy map[string]float64
 	// N is the assumed number of false values (ACCU vote weighting).
-	// Default 10.
+	// Only N == 0 means "unset" and takes the default 10; any positive
+	// value — including fractional values and N = 1, which reduces the
+	// weight to the plain log-odds ln(a/(1-a)) — is honoured as given.
+	// Negative N is rejected by Fuse/FuseOnline/FuseWithPrefix.
 	N float64
 	// Workers bounds the per-item probing worker pool (0 = NumCPU);
 	// output is identical for any value.
@@ -52,10 +56,23 @@ func (o Online) Fuse(cs *data.ClaimSet) (*Result, error) {
 	return &or.Result, nil
 }
 
-// weightOf is the ACCU log-odds vote weight of a source.
+// validate rejects unusable configurations. Only N == 0 is "unset";
+// negative N has no interpretation under the ACCU weight model (the
+// log argument n·a/(1-a) would flip sign).
+func (o Online) validate() error {
+	if o.N < 0 {
+		return fmt.Errorf("fusion: online N = %v is negative (0 means the default 10)", o.N)
+	}
+	return nil
+}
+
+// weightOf is the ACCU log-odds vote weight of a source. Note the
+// weight is negative when n·a/(1-a) < 1 — a source so unreliable its
+// vote counts against its own claim — which is why early termination
+// reasons about absolute remaining weight, not the signed sum.
 func (o Online) weightOf(src string) float64 {
 	n := o.N
-	if n <= 1 {
+	if n == 0 {
 		n = 10
 	}
 	a := 0.7
@@ -71,6 +88,9 @@ func (o Online) weightOf(src string) float64 {
 // worker pool; each item writes only its own slot and the result maps
 // assemble sequentially in item order.
 func (o Online) FuseOnline(cs *data.ClaimSet) (*OnlineResult, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
 	order := append([]string(nil), cs.Sources()...)
 	sort.Slice(order, func(i, j int) bool {
 		wi, wj := o.weightOf(order[i]), o.weightOf(order[j])
@@ -89,12 +109,16 @@ func (o Online) FuseOnline(cs *data.ClaimSet) (*OnlineResult, error) {
 		}
 		claimOf[s] = m
 	}
-	// Remaining-weight suffix sums: remaining[i] = sum of weights of
-	// order[i:]. A not-yet-probed source can contribute at most its
-	// weight to any single value.
-	remaining := make([]float64, len(order)+1)
+	// Remaining-influence suffix sums: absRemaining[i] = sum of |weight|
+	// over order[i:]. A not-yet-probed source with weight w can move the
+	// lead-vs-rival gap by at most |w|: a positive-weight source can add
+	// w to a rival, and a negative-weight source can *subtract* |w| from
+	// the leader by claiming it. Summing signed weights here (the old
+	// bound) let a negative-weight tail shrink the bar below zero and
+	// finalise answers those very sources would have overturned.
+	absRemaining := make([]float64, len(order)+1)
 	for i := len(order) - 1; i >= 0; i-- {
-		remaining[i] = remaining[i+1] + o.weightOf(order[i])
+		absRemaining[i] = absRemaining[i+1] + math.Abs(o.weightOf(order[i]))
 	}
 
 	res := &OnlineResult{
@@ -124,17 +148,22 @@ func (o Online) FuseOnline(cs *data.ClaimSet) (*OnlineResult, error) {
 		values := map[string]data.Value{}
 		probes := 0
 		for i, s := range order {
-			v, ok := claimOf[s][it]
-			if ok {
-				probes = i + 1
+			// Probes counts sources *consulted*, whether or not they hold
+			// a claim for this item: an item that never terminates early
+			// reports len(order), not its last claiming source's index.
+			probes = i + 1
+			if v, ok := claimOf[s][it]; ok {
 				k := v.Key()
 				scores[k] += o.weightOf(s)
 				values[k] = v
 			}
-			// Early termination: the leader cannot be overtaken even if
-			// every remaining source voted for the runner-up.
+			// Early termination: the leader cannot be overtaken even in
+			// the worst case over the remaining sources. The rival score
+			// floors at 0 because an as-yet-unclaimed value starts there,
+			// and remaining influence is the absolute-weight suffix sum
+			// (see absRemaining above).
 			lead, second := topTwo(scores)
-			if lead != "" && scores[lead]-second > remaining[i+1] {
+			if lead != "" && scores[lead]-math.Max(second, 0) > absRemaining[i+1] {
 				outs[idx] = probed{value: values[lead], conf: confidenceOf(scores, lead), probes: probes, found: true}
 				return
 			}
@@ -160,6 +189,9 @@ func (o Online) FuseOnline(cs *data.ClaimSet) (*OnlineResult, error) {
 // FuseWithPrefix fuses consulting only the first k sources of the
 // accuracy order — the anytime curve's x-axis.
 func (o Online) FuseWithPrefix(cs *data.ClaimSet, k int) (*Result, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
 	order := append([]string(nil), cs.Sources()...)
 	sort.Slice(order, func(i, j int) bool {
 		wi, wj := o.weightOf(order[i]), o.weightOf(order[j])

@@ -1,6 +1,7 @@
 package fusion
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/data"
@@ -89,6 +90,88 @@ func TestOnlineEmptyAndName(t *testing.T) {
 	}
 	if on.Name() != "online" {
 		t.Error("name")
+	}
+}
+
+// TestOnlineNegativeWeightTermination is the regression for the
+// unsound early-termination bound: a clamped low-accuracy source has a
+// *negative* vote weight (N=10, a=0.05 → ln(0.526) < 0), and the old
+// signed suffix sum let the loop finalise before consulting it — on a
+// value that source's own claim overturns.
+func TestOnlineNegativeWeightTermination(t *testing.T) {
+	cs := data.NewClaimSet()
+	it := data.Item{Entity: "e", Attr: "a"}
+	cs.Add(data.Claim{Item: it, Source: "s1", Value: data.String("A")})
+	cs.Add(data.Claim{Item: it, Source: "s2", Value: data.String("B")})
+	cs.Add(data.Claim{Item: it, Source: "s3", Value: data.String("A")})
+	on := Online{Accuracy: map[string]float64{"s1": 0.5, "s2": 0.4, "s3": 0.05}}
+
+	// Probe order s1 (+2.303, A), s2 (+1.897, B), s3 (−0.642, A).
+	// After s2 the lead margin is 0.406 — above the signed remaining
+	// weight (−0.642) the old bound used, but below the 0.642 the
+	// negative-weight s3 can strip from the leader: its claim drops A
+	// to 1.661, under B's 1.897. B must win, after all three probes.
+	or, err := on.FuseOnline(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := or.Values[it]; got.Str != "B" {
+		t.Errorf("fused value = %v, want B (negative-weight source must be consulted)", got)
+	}
+	if or.Probes[it] != 3 {
+		t.Errorf("probes = %d, want 3", or.Probes[it])
+	}
+}
+
+func TestOnlineNSemantics(t *testing.T) {
+	// N = 1 is a legitimate value (plain log-odds), not "unset": the old
+	// code silently replaced any N <= 1 with 10.
+	on1 := Online{N: 1, Accuracy: map[string]float64{"s": 0.8}}
+	if w := on1.weightOf("s"); math.Abs(w-math.Log(4)) > 1e-12 {
+		t.Errorf("N=1 weight = %v, want ln(4)=%v", w, math.Log(4))
+	}
+	// Only N == 0 means "unset" and takes the default 10.
+	on0 := Online{Accuracy: map[string]float64{"s": 0.8}}
+	if w := on0.weightOf("s"); math.Abs(w-math.Log(40)) > 1e-12 {
+		t.Errorf("N=0 weight = %v, want ln(40)=%v", w, math.Log(40))
+	}
+	// Negative N is rejected on every entry point.
+	if _, err := (Online{N: -1}).Fuse(data.NewClaimSet()); err == nil {
+		t.Error("Fuse accepted negative N")
+	}
+	if _, err := (Online{N: -1}).FuseOnline(data.NewClaimSet()); err == nil {
+		t.Error("FuseOnline accepted negative N")
+	}
+	if _, err := (Online{N: -1}).FuseWithPrefix(data.NewClaimSet(), 1); err == nil {
+		t.Error("FuseWithPrefix accepted negative N")
+	}
+}
+
+// TestOnlineProbesCountConsulted pins the probe statistic: an item that
+// never early-terminates reports the number of sources consulted
+// (len(order)), even when trailing sources hold no claim for it.
+func TestOnlineProbesCountConsulted(t *testing.T) {
+	cs := data.NewClaimSet()
+	it := data.Item{Entity: "e", Attr: "a"}
+	other := data.Item{Entity: "e2", Attr: "a"}
+	cs.Add(data.Claim{Item: it, Source: "s1", Value: data.String("A")})
+	cs.Add(data.Claim{Item: it, Source: "s2", Value: data.String("B")})
+	cs.Add(data.Claim{Item: other, Source: "s3", Value: data.String("C")})
+	on := Online{Accuracy: map[string]float64{"s1": 0.7, "s2": 0.7, "s3": 0.7}}
+
+	// s1 and s2 tie on conflicting values, so "e"/"a" can never finalise
+	// early; s3 is consulted (it holds no claim for the item) and the
+	// loop falls through. The old counter reported 2 — the last claiming
+	// source — instead of the 3 sources consulted.
+	or, err := on.FuseOnline(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if or.Probes[it] != 3 {
+		t.Errorf("probes = %d, want 3 (all sources consulted)", or.Probes[it])
+	}
+	if or.Probes[other] != 3 {
+		t.Errorf("probes(other) = %d, want 3", or.Probes[other])
 	}
 }
 

@@ -114,6 +114,77 @@ func (inc *Incremental) Comparisons() int { return inc.comparisons }
 // Dataset exposes the accumulated records (read-only use).
 func (inc *Incremental) Dataset() *data.Dataset { return inc.dataset }
 
+// IncrementalState is the serializable core of an incremental linker:
+// everything Insert consults to decide future comparisons. Posting
+// lists and records keep insertion order — the probe order — so a
+// restored linker compares exactly the pairs the original would have,
+// and the partition is stored in Sets' canonical form, so Clusters()
+// of a restored linker is byte-identical to the original's regardless
+// of the union-find's internal tree shape.
+type IncrementalState struct {
+	Sources     []*data.Source
+	Records     []*data.Record // insertion order
+	Postings    map[string][]string
+	Partition   [][]string // canonical (Sets) form
+	Comparisons int
+}
+
+// State snapshots the linker. The returned state shares the records
+// and sources with the linker (they are never mutated after Insert);
+// the posting lists and partition are copied, so later Inserts don't
+// bleed into a taken snapshot.
+func (inc *Incremental) State() *IncrementalState {
+	// Sets orders sets by their union-find root — an artifact of union
+	// order that differs between equivalent forests — so the partition
+	// is re-sorted by first member (members are already sorted) to make
+	// equal partitions encode identically.
+	partition := inc.uf.Sets()
+	sort.Slice(partition, func(i, j int) bool { return partition[i][0] < partition[j][0] })
+	st := &IncrementalState{
+		Sources:     inc.dataset.Sources(),
+		Records:     inc.dataset.Records(),
+		Postings:    make(map[string][]string, len(inc.index)),
+		Partition:   partition,
+		Comparisons: inc.comparisons,
+	}
+	for k, ids := range inc.index {
+		st.Postings[k] = append([]string(nil), ids...)
+	}
+	return st
+}
+
+// FromState rebuilds a linker equivalent to the one State captured,
+// under the given key function and matcher (function values can't be
+// serialized; the caller re-supplies the configuration the state was
+// built under — a different key or matcher silently changes future
+// linkage decisions). MaxBlock is restored to the default; override it
+// after construction if the original differed.
+func FromState(st *IncrementalState, key func(r *data.Record) []string, m Matcher) (*Incremental, error) {
+	inc := NewIncremental(key, m)
+	for _, s := range st.Sources {
+		if err := inc.dataset.AddSource(s); err != nil {
+			return nil, fmt.Errorf("linkage: restore source: %w", err)
+		}
+	}
+	for _, r := range st.Records {
+		if err := inc.dataset.AddRecord(r); err != nil {
+			return nil, fmt.Errorf("linkage: restore record: %w", err)
+		}
+		inc.uf.Add(r.ID)
+		inc.n++
+	}
+	for k, ids := range st.Postings {
+		inc.index[k] = append([]string(nil), ids...)
+	}
+	for _, set := range st.Partition {
+		for i := 1; i < len(set); i++ {
+			inc.uf.Union(set[0], set[i])
+		}
+	}
+	inc.comparisons = st.Comparisons
+	return inc, nil
+}
+
 func dedupeKeys(keys []string) []string {
 	seen := map[string]bool{}
 	out := keys[:0:0]

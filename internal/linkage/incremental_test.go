@@ -185,3 +185,68 @@ func TestIncrementalMatchesBatchOnCleanStream(t *testing.T) {
 		t.Errorf("extra pairs: got %d, want %d", len(got.Pairs()), len(truth.Pairs()))
 	}
 }
+
+// TestIncrementalStateRoundTrip pins the snapshot/restore contract: a
+// linker restored from State behaves exactly like the original under
+// further inserts — same clusters, same posting lists, same comparison
+// count — which is what stream persistence relies on.
+func TestIncrementalStateRoundTrip(t *testing.T) {
+	mk := func(i int, title string) *data.Record {
+		return data.NewRecord(fmt.Sprintf("r%d", i), "s").Set("title", data.String(title))
+	}
+	titles := []string{
+		"acme rocket skate", "zenix blender pro", "acme rocket skate pro",
+		"omega juicer", "zenix blender", "omega juicer deluxe",
+		"acme rocket", "nova camera x100", "nova camera x100 kit",
+	}
+	src := &data.Source{ID: "s"}
+
+	orig := NewIncremental(TitleTokenKey, incMatcher())
+	half := len(titles) / 2
+	for i, title := range titles[:half] {
+		if _, err := orig.Insert(src, mk(i, title)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	restored, err := FromState(orig.State(), TitleTokenKey, incMatcher())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != orig.Len() || restored.Comparisons() != orig.Comparisons() {
+		t.Fatalf("restored len/comparisons %d/%d, want %d/%d",
+			restored.Len(), restored.Comparisons(), orig.Len(), orig.Comparisons())
+	}
+
+	// Both linkers consume the rest of the stream; every observable must
+	// stay in lockstep.
+	for i, title := range titles[half:] {
+		r1 := mk(half+i, title)
+		r2 := mk(half+i, title)
+		m1, err1 := orig.Insert(src, r1)
+		m2, err2 := restored.Insert(src, r2)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if fmt.Sprint(m1) != fmt.Sprint(m2) {
+			t.Fatalf("insert %d matched %v vs %v", half+i, m1, m2)
+		}
+	}
+	c1, c2 := fmt.Sprint(orig.Clusters()), fmt.Sprint(restored.Clusters())
+	if c1 != c2 {
+		t.Fatalf("clusters diverged:\n%s\n%s", c1, c2)
+	}
+	if orig.Comparisons() != restored.Comparisons() {
+		t.Errorf("comparisons %d vs %d", orig.Comparisons(), restored.Comparisons())
+	}
+
+	// State is a snapshot: inserts after State must not leak into it.
+	st := orig.State()
+	n := len(st.Records)
+	if _, err := orig.Insert(src, mk(99, "fresh widget")); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Records) != n {
+		t.Error("State must not alias the live record list")
+	}
+}

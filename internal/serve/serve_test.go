@@ -433,3 +433,31 @@ func TestLoadTestDriver(t *testing.T) {
 		t.Error("load test without queries must error")
 	}
 }
+
+func TestPublishSwapsSnapshot(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, ts := newTestServer(t, Config{Obs: reg})
+
+	rep := testReport(t)
+	next, err := core.BuildSnapshot(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Publish(next)
+	if srv.Snapshot() != next {
+		t.Error("Publish did not swap the served snapshot")
+	}
+	if srv.Swaps() != 1 {
+		t.Errorf("swaps = %d, want 1", srv.Swaps())
+	}
+	// A nil publish is ignored: the last good snapshot keeps serving.
+	srv.Publish(nil)
+	if srv.Snapshot() != next || srv.Swaps() != 1 {
+		t.Error("nil Publish must be a no-op")
+	}
+	// Readers see the published view immediately.
+	code, _ := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Errorf("healthz after publish = %d", code)
+	}
+}

@@ -156,6 +156,21 @@ func (s *Server) worker() {
 	}
 }
 
+// Publish atomically swaps in an externally built snapshot — the
+// streaming ingestion path, where a stream processor pushes updated
+// fused entities instead of the reindex queue pulling a rebuild. It
+// counts as a swap like a background rebuild would; nil snapshots are
+// ignored. Safe to call concurrently with reads and with the reindex
+// worker (last store wins, readers always see a complete snapshot).
+func (s *Server) Publish(snap *core.Snapshot) {
+	if snap == nil {
+		return
+	}
+	s.snap.Store(snap)
+	s.swaps.Add(1)
+	s.reg().Counter("serve.snapshot_swaps").Inc()
+}
+
 // Close stops the background worker (cancelling any in-flight rebuild)
 // and waits for it to exit. Read handlers keep working on the last
 // snapshot; Close only shuts the write path down.

@@ -1,0 +1,269 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/data"
+)
+
+// ErrShortSource reports a Watch poll that exhausted its refetch budget
+// without ever seeing a payload covering the target cursor range —
+// either the source keeps truncating or it genuinely holds fewer
+// records than the declared total.
+var ErrShortSource = errors.New("source: fetches never covered the watch cursor range")
+
+// Epoch is one batch of newly arrived records across the watched fleet
+// — the unit of work a stream processor applies atomically.
+type Epoch struct {
+	// Seq numbers epochs from StreamConfig.StartSeq upward.
+	Seq int
+	// Records holds this epoch's arrivals in delivery order: sources in
+	// ascending ID order, each source's records in its canonical
+	// sequence order.
+	Records []*data.Record
+	// Cursors snapshots, per source ID, how many of that source's
+	// records have been delivered once this epoch is applied — the
+	// resume point a stream processor persists alongside its state.
+	Cursors map[string]int
+}
+
+// Watch turns a Source into a deterministic stream cursor: each Poll
+// delivers the next (at most) epochSize records of the source's
+// canonical record sequence. Delivery is schedule-independent even
+// under fault injection — a poll refetches (up to retries times) until
+// the payload covers the target window, so transient errors and
+// truncated fetches delay records but never change their content or
+// order. That property is what makes crash/resume replay byte-identical.
+//
+// total declares the length of the canonical sequence. It must come
+// from the caller (for a fault-wrapped source a truncated fetch is
+// indistinguishable from a genuinely short one); Totals derives it
+// from the backing dataset.
+type Watch struct {
+	src     Source
+	total   int
+	epoch   int
+	retries int
+	cursor  int
+}
+
+// NewWatch builds a watch over src delivering epochSize records per
+// poll (default 100) with the given refetch budget per poll (default 8
+// retries after the first attempt; negative means none).
+func NewWatch(src Source, total, epochSize, retries int) *Watch {
+	if epochSize <= 0 {
+		epochSize = 100
+	}
+	if retries == 0 {
+		retries = 8
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	if total < 0 {
+		total = 0
+	}
+	return &Watch{src: src, total: total, epoch: epochSize, retries: retries}
+}
+
+// Meta returns the watched source's metadata.
+func (w *Watch) Meta() *data.Source { return w.src.Meta() }
+
+// Cursor reports how many records have been delivered so far.
+func (w *Watch) Cursor() int { return w.cursor }
+
+// Seek positions the cursor (clamped to [0, total]) — the restore half
+// of snapshot/resume: a restored stream seeks each watch to its
+// persisted cursor and replay continues from there.
+func (w *Watch) Seek(cursor int) {
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor > w.total {
+		cursor = w.total
+	}
+	w.cursor = cursor
+}
+
+// Done reports whether the whole canonical sequence has been delivered.
+func (w *Watch) Done() bool { return w.cursor >= w.total }
+
+// Poll delivers the next batch: records [cursor, min(cursor+epoch,
+// total)) of the canonical sequence. A drained watch returns (nil,
+// nil). Permanent failures and context cancellation abort immediately;
+// transient failures and short (truncated) payloads are refetched up
+// to the retry budget, then reported wrapping both the last error and
+// ErrShortSource/ErrTransient so callers can classify.
+func (w *Watch) Poll(ctx context.Context) ([]*data.Record, error) {
+	if w.Done() {
+		return nil, nil
+	}
+	target := w.cursor + w.epoch
+	if target > w.total {
+		target = w.total
+	}
+	var lastErr error
+	for attempt := 0; attempt <= w.retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		recs, err := w.src.Fetch(ctx)
+		if err != nil {
+			if errors.Is(err, ErrPermanent) || ctx.Err() != nil {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		if len(recs) < target {
+			// Truncated (or genuinely short) payload: it cannot cover the
+			// window, so delivering from it would make content depend on
+			// the fault schedule. Refetch.
+			lastErr = fmt.Errorf("source: %s delivered %d records, need %d: %w",
+				w.Meta().ID, len(recs), target, ErrShortSource)
+			continue
+		}
+		batch := recs[w.cursor:target]
+		w.cursor = target
+		return batch, nil
+	}
+	return nil, fmt.Errorf("source: watch poll on %s exhausted %d attempts: %w",
+		w.Meta().ID, w.retries+1, lastErr)
+}
+
+// StreamConfig tunes a Streamer. The zero value is usable.
+type StreamConfig struct {
+	// EpochSize is the records delivered per source per epoch.
+	// Default 100.
+	EpochSize int
+	// Buffer bounds the epoch channel between the producer and the
+	// consumer — backpressure, not unbounded queueing. Default 4.
+	Buffer int
+	// Retries is the refetch budget per poll (on top of the first
+	// attempt); transient faults and truncations consume it. Default 8;
+	// negative means none.
+	Retries int
+	// Totals declares each source's canonical record count by ID.
+	// Sources without an entry fall back to the length of their static
+	// record slice when the source is a *Static; otherwise the streamer
+	// refuses to watch them.
+	Totals map[string]int
+	// Cursors positions each watch at construction (resume points from
+	// a persisted stream state). Absent IDs start at 0.
+	Cursors map[string]int
+	// StartSeq numbers the first emitted epoch (a resumed stream
+	// continues its epoch numbering). Default 0.
+	StartSeq int
+}
+
+// Streamer drives a fleet of watches concurrently with the consumer:
+// one producer goroutine polls every live watch once per epoch, bundles
+// the arrivals into an Epoch and sends it on the bounded channel C.
+// The channel closes when every source is drained or on the first
+// error (see Err).
+type Streamer struct {
+	// C delivers epochs in sequence order.
+	C <-chan Epoch
+
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu  sync.Mutex
+	err error
+}
+
+// Totals maps each source of a dataset to its record count — the
+// canonical-sequence lengths a Streamer needs when the fleet is
+// wrapped (fault injection) and payload lengths can't be trusted.
+func Totals(d *data.Dataset) map[string]int {
+	out := make(map[string]int, d.NumSources())
+	for _, s := range d.Sources() {
+		out[s.ID] = len(d.SourceRecords(s.ID))
+	}
+	return out
+}
+
+// NewStreamer starts streaming the fleet. Sources are watched in
+// ascending ID order (duplicate IDs are rejected); the producer stops
+// on context cancellation, on the first poll error, or when every
+// source is drained.
+func NewStreamer(ctx context.Context, sources []Source, cfg StreamConfig) (*Streamer, error) {
+	sorted, err := sortSources(sources)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 4
+	}
+	watches := make([]*Watch, 0, len(sorted))
+	for _, s := range sorted {
+		id := s.Meta().ID
+		total, ok := cfg.Totals[id]
+		if !ok {
+			st, isStatic := s.(*Static)
+			if !isStatic {
+				return nil, fmt.Errorf("source: no declared total for watched source %q", id)
+			}
+			total = len(st.Recs)
+		}
+		w := NewWatch(s, total, cfg.EpochSize, cfg.Retries)
+		if c, ok := cfg.Cursors[id]; ok {
+			w.Seek(c)
+		}
+		watches = append(watches, w)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	ch := make(chan Epoch, cfg.Buffer)
+	str := &Streamer{C: ch, cancel: cancel, done: make(chan struct{})}
+	go func() {
+		defer close(str.done)
+		defer close(ch)
+		for seq := cfg.StartSeq; ; seq++ {
+			ep := Epoch{Seq: seq, Cursors: make(map[string]int, len(watches))}
+			for _, w := range watches {
+				recs, err := w.Poll(ctx)
+				if err != nil {
+					str.setErr(err)
+					return
+				}
+				ep.Records = append(ep.Records, recs...)
+				ep.Cursors[w.Meta().ID] = w.Cursor()
+			}
+			if len(ep.Records) == 0 {
+				return // every source drained
+			}
+			select {
+			case ch <- ep:
+			case <-ctx.Done():
+				str.setErr(ctx.Err())
+				return
+			}
+		}
+	}()
+	return str, nil
+}
+
+func (s *Streamer) setErr(err error) {
+	s.mu.Lock()
+	s.err = err
+	s.mu.Unlock()
+}
+
+// Err reports why the stream stopped: nil after a clean drain. Valid
+// once C is closed.
+func (s *Streamer) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close stops the producer and waits for it to exit. The channel is
+// closed; a consumer ranging over C terminates.
+func (s *Streamer) Close() {
+	s.cancel()
+	<-s.done
+}

@@ -1,0 +1,247 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/datagen"
+)
+
+func streamWeb(seed int64) *data.Dataset {
+	w := datagen.NewWorld(datagen.WorldConfig{Seed: seed, NumEntities: 40})
+	web := datagen.BuildWeb(w, datagen.SourceConfig{
+		Seed: seed + 1, NumSources: 6, DirtLevel: 1,
+		IdentifierRate: 0.9, Heterogeneity: 0.3,
+	})
+	return web.Dataset
+}
+
+func TestWatchDeliversCanonicalSequence(t *testing.T) {
+	d := streamWeb(1)
+	src := FromDataset(d)[0]
+	want := d.SourceRecords(src.Meta().ID)
+	w := NewWatch(src, len(want), 7, 0)
+
+	var got []*data.Record
+	for !w.Done() {
+		batch, err := w.Poll(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) == 0 {
+			t.Fatal("live watch delivered an empty batch")
+		}
+		if len(batch) > 7 {
+			t.Fatalf("batch of %d exceeds epoch size 7", len(batch))
+		}
+		got = append(got, batch...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("record %d = %s, want %s (order must be canonical)", i, got[i].ID, want[i].ID)
+		}
+	}
+	if batch, err := w.Poll(context.Background()); batch != nil || err != nil {
+		t.Fatalf("drained watch: %v %v", batch, err)
+	}
+}
+
+// flakySource fails its first n fetches with a transient error and
+// truncates the next m to a prefix, then behaves.
+type flakySource struct {
+	inner     *Static
+	transient int
+	truncated int
+}
+
+func (f *flakySource) Meta() *data.Source { return f.inner.Src }
+
+func (f *flakySource) Fetch(ctx context.Context) ([]*data.Record, error) {
+	if f.transient > 0 {
+		f.transient--
+		return nil, ErrTransient
+	}
+	if f.truncated > 0 {
+		f.truncated--
+		return f.inner.Recs[:len(f.inner.Recs)/2], nil
+	}
+	return f.inner.Fetch(ctx)
+}
+
+func TestWatchRefetchesThroughFaults(t *testing.T) {
+	d := streamWeb(2)
+	static := FromDataset(d)[0].(*Static)
+	total := len(static.Recs)
+	flaky := &flakySource{inner: static, transient: 2, truncated: 2}
+
+	// Epoch covers the whole source, so truncated payloads can never
+	// cover the window and must be refetched.
+	w := NewWatch(flaky, total, total, 8)
+	batch, err := w.Poll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != total {
+		t.Fatalf("delivered %d records, want %d", len(batch), total)
+	}
+
+	// With the retry budget below the fault count the poll must fail,
+	// classifiably.
+	flaky = &flakySource{inner: static, transient: 5}
+	w = NewWatch(flaky, total, total, 3)
+	if _, err := w.Poll(context.Background()); !errors.Is(err, ErrTransient) {
+		t.Fatalf("err = %v, want ErrTransient", err)
+	}
+	flaky = &flakySource{inner: static, truncated: 50}
+	w = NewWatch(flaky, total, total, 3)
+	if _, err := w.Poll(context.Background()); !errors.Is(err, ErrShortSource) {
+		t.Fatalf("err = %v, want ErrShortSource", err)
+	}
+}
+
+func TestWatchSeekResumesMidStream(t *testing.T) {
+	d := streamWeb(3)
+	src := FromDataset(d)[0]
+	want := d.SourceRecords(src.Meta().ID)
+	w := NewWatch(src, len(want), 5, 0)
+	if _, err := w.Poll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	cursor := w.Cursor()
+
+	// A fresh watch seeked to the persisted cursor continues the exact
+	// sequence.
+	w2 := NewWatch(src, len(want), 5, 0)
+	w2.Seek(cursor)
+	batch, err := w2.Poll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range batch {
+		if r.ID != want[cursor+i].ID {
+			t.Fatalf("resumed record %d = %s, want %s", i, r.ID, want[cursor+i].ID)
+		}
+	}
+}
+
+func TestStreamerEpochsAreDeterministic(t *testing.T) {
+	d := streamWeb(4)
+
+	drain := func() []Epoch {
+		str, err := NewStreamer(context.Background(), FromDataset(d), StreamConfig{EpochSize: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer str.Close()
+		var eps []Epoch
+		for ep := range str.C {
+			eps = append(eps, ep)
+		}
+		if err := str.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return eps
+	}
+
+	a, b := drain(), drain()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("epoch counts %d vs %d", len(a), len(b))
+	}
+	total := 0
+	for i := range a {
+		if a[i].Seq != i {
+			t.Errorf("epoch %d has seq %d", i, a[i].Seq)
+		}
+		if len(a[i].Records) != len(b[i].Records) {
+			t.Fatalf("epoch %d sizes differ: %d vs %d", i, len(a[i].Records), len(b[i].Records))
+		}
+		for j := range a[i].Records {
+			if a[i].Records[j].ID != b[i].Records[j].ID {
+				t.Fatalf("epoch %d record %d differs across runs", i, j)
+			}
+		}
+		total += len(a[i].Records)
+	}
+	if total != d.NumRecords() {
+		t.Errorf("streamed %d records, want %d", total, d.NumRecords())
+	}
+	last := a[len(a)-1]
+	for _, s := range d.Sources() {
+		if last.Cursors[s.ID] != len(d.SourceRecords(s.ID)) {
+			t.Errorf("final cursor for %s = %d, want %d", s.ID, last.Cursors[s.ID], len(d.SourceRecords(s.ID)))
+		}
+	}
+}
+
+func TestStreamerResumeFromCursors(t *testing.T) {
+	d := streamWeb(5)
+	fleet := FromDataset(d)
+
+	full, err := NewStreamer(context.Background(), fleet, StreamConfig{EpochSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	var all []Epoch
+	for ep := range full.C {
+		all = append(all, ep)
+	}
+	if len(all) < 3 {
+		t.Fatalf("want ≥3 epochs, got %d", len(all))
+	}
+
+	// Resume from the cursors of epoch k-1: the remaining epochs must be
+	// identical to the uninterrupted run's tail, numbering included.
+	k := len(all) / 2
+	resumed, err := NewStreamer(context.Background(), fleet, StreamConfig{
+		EpochSize: 4, Cursors: all[k-1].Cursors, StartSeq: k,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	i := k
+	for ep := range resumed.C {
+		if i >= len(all) {
+			t.Fatal("resumed stream delivered extra epochs")
+		}
+		if ep.Seq != all[i].Seq {
+			t.Errorf("resumed seq %d, want %d", ep.Seq, all[i].Seq)
+		}
+		if len(ep.Records) != len(all[i].Records) {
+			t.Fatalf("resumed epoch %d sizes differ", i)
+		}
+		for j := range ep.Records {
+			if ep.Records[j].ID != all[i].Records[j].ID {
+				t.Fatalf("resumed epoch %d record %d differs", i, j)
+			}
+		}
+		i++
+	}
+	if i != len(all) {
+		t.Errorf("resumed stream stopped at %d, want %d", i, len(all))
+	}
+}
+
+func TestStreamerRejectsUnknownTotals(t *testing.T) {
+	d := streamWeb(6)
+	static := FromDataset(d)[0].(*Static)
+	wrapped := &flakySource{inner: static} // not a *Static: totals required
+	if _, err := NewStreamer(context.Background(), []Source{wrapped}, StreamConfig{}); err == nil {
+		t.Fatal("streamer accepted a wrapped source with no declared total")
+	} else if !strings.Contains(err.Error(), "total") {
+		t.Fatalf("err = %v", err)
+	}
+	str, err := NewStreamer(context.Background(), []Source{wrapped},
+		StreamConfig{Totals: map[string]int{static.Src.ID: len(static.Recs)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	str.Close()
+}
