@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-blocking race-fusion race-obs race-source race-shard race-rrf race-serve race-stream bench bench-blocking bench-fusion bench-obs bench-source bench-stream bench-json loadtest chaos check
+.PHONY: all build vet test race race-blocking race-fusion race-obs race-source race-shard race-rrf race-serve race-stream race-mutate bench bench-blocking bench-fusion bench-obs bench-source bench-stream bench-json loadtest chaos chaos-compact check
 
 all: check
 
@@ -81,6 +81,13 @@ race-serve:
 race-stream:
 	$(GO) test -race -run 'Watch|Streamer|Stream|Online|Publish' ./internal/source/... ./internal/core/... ./internal/fusion/... ./internal/serve/...
 
+# Race-checks the mutable-stream path (PR 10 gate): typed deltas,
+# churn workloads, delta fault mangling, retraction/reclustering,
+# tombstones and state compaction — including the serving-layer
+# deleted-entities gate.
+race-mutate:
+	$(GO) test -race -run 'Delta|Churn|Mangle|Retract|IncrementalDelete|Compact|Tombstone|Deleted|StreamState' ./internal/source/... ./internal/linkage/... ./internal/core/... ./internal/serve/...
+
 # The streaming benchmarks (PR 9 acceptance numbers): per-epoch apply
 # cost and republish cost on a growing corpus.
 bench-stream:
@@ -103,6 +110,12 @@ bench-json:
 # Chaos gate: the fault-injection sweep (E23) under the race detector.
 chaos:
 	$(GO) run -race ./cmd/bdibench -exp E23
+
+# Compaction chaos gate (PR 10): kill-mid-compaction at workers
+# {1,2,8} with byte-identity of the restored state, backup-file
+# recovery and the codec corruption sweep, all under the race detector.
+chaos-compact:
+	$(GO) test -race -run 'TestStreamKillMidCompactionChaos|TestStreamStateBackupRecovery|TestStreamStateDecodeRobust|FuzzStreamStateDecode' ./internal/core/...
 
 # Everything the CI gate runs.
 check: build vet race

@@ -256,6 +256,57 @@ var (
 	SourceTotals = source.Totals
 )
 
+// Mutable-stream re-exports — updates and deletions. Sources can emit
+// typed deltas (upsert/delete) instead of bare records; the stream
+// retracts deleted records from posting lists and the partition
+// (deterministic recluster of the affected component), keeps
+// tombstones for crash-safe resume, and compacts its persisted state
+// when the tombstone garbage ratio crosses StreamConfig.CompactRatio.
+// cmd/bdirun -stream-update-rate/-stream-delete-rate/-compact are the
+// runnable forms; E28 in cmd/bdibench is the churn evaluation.
+type (
+	// Delta is one typed stream mutation: an upsert carrying a record,
+	// or a deletion carrying only the record ID.
+	Delta = source.Delta
+	// DeltaOp discriminates upserts from deletions.
+	DeltaOp = source.DeltaOp
+	// DeltaSource is a source that exposes its change log as deltas.
+	DeltaSource = source.DeltaSource
+	// DeltaStatic replays a fixed delta log as a DeltaSource.
+	DeltaStatic = source.DeltaStatic
+	// DeltaEpoch is one deterministic batch of deltas with resume
+	// cursors.
+	DeltaEpoch = source.DeltaEpoch
+	// DeltaStreamer drains a delta fleet as a channel of epochs.
+	DeltaStreamer = source.DeltaStreamer
+	// ChurnConfig shapes a synthetic update/delete workload over a
+	// dataset (corrupt-then-correct updates, late deletions).
+	ChurnConfig = source.ChurnConfig
+	// DeltaFaultConfig seeds the delta manglers: duplicate deletes,
+	// delete-before-insert, update storms.
+	DeltaFaultConfig = faults.DeltaConfig
+)
+
+var (
+	// UpsertDelta lifts a record into an upsert delta.
+	UpsertDelta = source.Upsert
+	// DeletionDelta builds a delete delta for a record ID.
+	DeletionDelta = source.Deletion
+	// AsDeltaSources lifts record sources into upsert-only delta
+	// sources.
+	AsDeltaSources = source.AsDeltaSources
+	// Churn turns a dataset into a churned delta log plus the planned
+	// delete set.
+	Churn = source.Churn
+	// ChurnSources splits a churned dataset into a per-source delta
+	// fleet with totals.
+	ChurnSources = source.ChurnSources
+	// NewDeltaStreamer starts epoch batching over a delta fleet.
+	NewDeltaStreamer = source.NewDeltaStreamer
+	// WrapDeltaFaults wraps a whole delta fleet with seeded manglers.
+	WrapDeltaFaults = faults.WrapDeltasAll
+)
+
 // Sentinel errors, re-exported so callers can classify failures with
 // errors.Is without importing internal packages.
 var (

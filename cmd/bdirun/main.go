@@ -75,8 +75,19 @@ func run() error {
 		streamEpoch   = flag.Int("stream-epoch", 100, "records per stream epoch")
 		streamPublish = flag.Int("stream-publish", 0, "publish every N epochs (0 = staleness-window cadence)")
 		streamState   = flag.String("stream-state", "", "stream state file: restored on start, saved at each epoch (empty = no persistence)")
+		streamUpdate  = flag.Float64("stream-update-rate", 0, "with -stream: churn this fraction of records as corrupt-then-correct updates")
+		streamDelete  = flag.Float64("stream-delete-rate", 0, "with -stream: churn this fraction of records as late deletions")
+		streamCompact = flag.Float64("stream-compact-ratio", 0, "with -stream: compact state when tombstone garbage reaches this posting-slot ratio (0 = never)")
+		compactOnce   = flag.Bool("compact", false, "one-shot: compact the -stream-state file in place and exit")
 	)
 	flag.Parse()
+
+	if *compactOnce {
+		if *streamState == "" {
+			return fmt.Errorf("-compact requires -stream-state")
+		}
+		return compactStateFile(*streamState)
+	}
 
 	r := os.Stdin
 	if *in != "-" {
@@ -121,6 +132,31 @@ func run() error {
 	fleet := source.FromDataset(d)
 
 	if *stream {
+		scfg := core.StreamConfig{
+			EpochSize:    *streamEpoch,
+			PublishEvery: *streamPublish,
+			StatePath:    *streamState,
+			CompactRatio: *streamCompact,
+			FusionN:      0,
+			Workers:      *workers,
+			Obs:          reg,
+		}
+		if *streamUpdate > 0 || *streamDelete > 0 {
+			// Mutable-stream mode: the dataset is replayed as a typed
+			// delta log with synthetic churn (corrupt-then-correct
+			// updates, late deletions); -fault-rate mangles the deltas
+			// (duplicate deletes, delete-before-insert, update storms)
+			// instead of flaking fetches.
+			if err := runDeltaStream(ctx, d, scfg, source.ChurnConfig{
+				Seed:       *faultSeed,
+				UpdateRate: *streamUpdate,
+				DeleteRate: *streamDelete,
+			}, *faultRate, *faultSeed, reg); err != nil {
+				return err
+			}
+			printMetrics(reg, *metrics, *metricsJSON, *metricsFull)
+			return nil
+		}
 		if *faultRate > 0 {
 			// The stream path has no drop-a-source fallback — its
 			// resilience is refetch-until-covered — so chaos here is
@@ -133,14 +169,7 @@ func run() error {
 				Obs:              reg,
 			})
 		}
-		if err := runStream(ctx, d, fleet, core.StreamConfig{
-			EpochSize:    *streamEpoch,
-			PublishEvery: *streamPublish,
-			StatePath:    *streamState,
-			FusionN:      0,
-			Workers:      *workers,
-			Obs:          reg,
-		}); err != nil {
+		if err := runStream(ctx, d, fleet, scfg); err != nil {
 			return err
 		}
 		printMetrics(reg, *metrics, *metricsJSON, *metricsFull)
@@ -292,6 +321,86 @@ func runStream(ctx context.Context, d *data.Dataset, fleet []source.Source, cfg 
 		prf := eval.Clusters(st.Clusters(), truth)
 		fmt.Printf("linkage quality vs ground truth: %s\n", prf)
 	}
+	return nil
+}
+
+// runDeltaStream drives the mutable velocity path: churned delta logs
+// (upserts + deletions) through incremental linkage with retraction,
+// online fusion over live claims only, and optional auto-compaction.
+func runDeltaStream(ctx context.Context, d *data.Dataset, cfg core.StreamConfig,
+	churn source.ChurnConfig, faultRate float64, faultSeed int64, reg *obs.Registry) error {
+	fleet, totals, planned := source.ChurnSources(d, churn)
+	if faultRate > 0 {
+		mcfg := faults.DeltaConfig{
+			Seed:            faultSeed,
+			DupDeleteRate:   faultRate,
+			EarlyDeleteRate: faultRate / 2,
+			UpdateStormRate: faultRate / 2,
+			Obs:             reg,
+		}
+		mangled := map[string]int{}
+		for _, s := range fleet {
+			ds := s.(*source.DeltaStatic)
+			mangled[ds.Src.ID] = faults.MangledTotal(ds.Src.ID, ds.Log, mcfg)
+		}
+		fleet, totals = faults.WrapDeltasAll(fleet, mcfg), mangled
+	}
+
+	var last *core.Snapshot
+	st, err := core.ResumeStream(cfg, func(snap *core.Snapshot) { last = snap })
+	if err != nil {
+		return err
+	}
+	if st.Epoch() > 0 {
+		fmt.Printf("resumed stream state: epoch %d, %d records already ingested\n", st.Epoch(), st.Ingested())
+	}
+	t0 := time.Now()
+	if err := st.RunDeltas(ctx, fleet, totals); err != nil {
+		return err
+	}
+	elapsed := time.Since(t0)
+
+	fmt.Printf("stream: %d records inserted, %d deleted (%d planned) in %d epochs (%v)\n",
+		st.Ingested(), st.Deleted(), len(planned), st.Epoch(), elapsed.Round(time.Millisecond))
+	fmt.Printf("publishes: %d   comparisons: %d   clusters: %d   live records: %d\n",
+		st.Publishes(), st.Comparisons(), len(st.Clusters()), st.Dataset().NumRecords())
+	fmt.Printf("tombstones: %d live (garbage ratio %.3f)   compactions: %d\n",
+		st.Tombstones(), st.GarbageRatio(), st.Compactions())
+	if last != nil {
+		fmt.Printf("final view: %d entities\n", last.Len())
+	}
+	if truth := d.GroundTruthClusters(); len(truth) > 0 {
+		live := make(data.Clustering, 0, len(truth))
+		for _, cl := range truth {
+			keep := make([]string, 0, len(cl))
+			for _, id := range cl {
+				if st.Dataset().Record(id) != nil {
+					keep = append(keep, id)
+				}
+			}
+			if len(keep) > 0 {
+				live = append(live, keep)
+			}
+		}
+		fmt.Printf("linkage quality vs live ground truth: %s\n", eval.Clusters(st.Clusters(), live))
+	}
+	return nil
+}
+
+// compactStateFile is the -compact one-shot: load a persisted stream
+// state, rewrite its posting lists and partition dropping tombstoned
+// IDs, and save it back atomically (the previous state rotates to .bak).
+func compactStateFile(path string) error {
+	st, err := core.LoadStream(path, core.StreamConfig{StatePath: path}, nil)
+	if err != nil {
+		return err
+	}
+	slots, keys, tombs := st.Compact()
+	if err := st.Save(path); err != nil {
+		return err
+	}
+	fmt.Printf("compacted %s: reclaimed %d posting slots across %d keys, dropped %d tombstones\n",
+		path, slots, keys, tombs)
 	return nil
 }
 

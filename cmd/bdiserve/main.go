@@ -81,6 +81,7 @@ func run() error {
 		streamEpoch     = flag.Int("stream-epoch", 100, "records per stream epoch")
 		streamStaleness = flag.Duration("stream-staleness", 2*time.Second, "maximum staleness window before a dirty view is republished")
 		streamState     = flag.String("stream-state", "", "stream state file: restored on start, saved at each epoch (empty = no persistence)")
+		streamCompact   = flag.Float64("stream-compact-ratio", 0, "compact stream state when tombstone garbage reaches this posting-slot ratio (0 = never)")
 	)
 	flag.Parse()
 
@@ -121,11 +122,12 @@ func run() error {
 		// window behind ingestion. POST /reindex is disabled — the
 		// stream owns the write path.
 		st, err := core.ResumeStream(core.StreamConfig{
-			EpochSize: *streamEpoch,
-			Staleness: *streamStaleness,
-			StatePath: *streamState,
-			Workers:   *workers,
-			Obs:       reg,
+			EpochSize:    *streamEpoch,
+			Staleness:    *streamStaleness,
+			StatePath:    *streamState,
+			CompactRatio: *streamCompact,
+			Workers:      *workers,
+			Obs:          reg,
 		}, func(snap *core.Snapshot) {
 			if srv != nil {
 				srv.Publish(snap)

@@ -38,6 +38,15 @@ type StreamConfig struct {
 	// (0 = its default 10).
 	FusionN float64
 
+	// CompactRatio enables automatic state compaction: when the
+	// incremental linker's garbage ratio (posting slots owned by
+	// tombstoned IDs) reaches this threshold after an epoch, the
+	// posting lists are rewritten dropping dead entries before the next
+	// save. 0 disables automatic compaction (Compact can still be
+	// called explicitly); compaction never changes match behaviour,
+	// only the size of the in-memory index and the state file.
+	CompactRatio float64
+
 	// Publishing cadence. PublishEvery > 0 republishes every that many
 	// epochs — deterministic, the cadence replay tests use. Otherwise
 	// the staleness window drives it: the view is republished once it
@@ -101,6 +110,9 @@ func (c StreamConfig) Validate() error {
 	if c.PublishEvery < 0 {
 		return fmt.Errorf("core: stream publish-every %d is negative", c.PublishEvery)
 	}
+	if c.CompactRatio < 0 || c.CompactRatio > 1 {
+		return fmt.Errorf("core: stream compact ratio %v outside [0,1]", c.CompactRatio)
+	}
 	if c.Workers < 0 {
 		return fmt.Errorf("core: stream workers %d is negative", c.Workers)
 	}
@@ -127,11 +139,13 @@ type Stream struct {
 	acc     map[string]float64
 	cursors map[string]int
 
-	epoch     int // completed epochs (also the next epoch's sequence)
-	ingested  int64
-	publishes int64
-	lastPub   time.Time
-	dirty     bool
+	epoch       int // completed epochs (also the next epoch's sequence)
+	ingested    int64
+	deleted     int64
+	compactions int64
+	publishes   int64
+	lastPub     time.Time
+	dirty       bool
 }
 
 // NewStream builds a fresh stream processor. publish, when non-nil, is
@@ -204,36 +218,97 @@ func streamKeyFunc(matchAttrs, idAttrs []string) func(r *data.Record) []string {
 
 func (s *Stream) reg() *obs.Registry { return obs.OrDefault(s.cfg.Obs) }
 
-// ApplyEpoch folds one epoch of arrivals into the incremental state:
-// every record is inserted into the online linker (maintaining the
-// blocking-key posting lists and the union-find), cursors advance to
-// the epoch's resume points and the view becomes dirty. metas resolves
-// a record's SourceID to its source metadata.
+// ApplyEpoch folds one epoch of insert-only arrivals into the
+// incremental state — the PR-9 record path, now a thin wrapper over
+// ApplyDeltas with every record lifted to an upsert.
 func (s *Stream) ApplyEpoch(metas map[string]*data.Source, ep source.Epoch) error {
+	return s.ApplyDeltas(metas, source.DeltaEpoch{
+		Seq: ep.Seq, Deltas: source.UpsertLog(ep.Records), Cursors: ep.Cursors,
+	})
+}
+
+// ApplyDeltas folds one epoch of changes into the incremental state:
+// upserts (re)insert into the online linker — a live record with the
+// same ID is retracted first — and deletes tombstone the record,
+// recluster its component and drop it from the dataset, so the next
+// publish rebuilds claims from live records only and online fusion
+// never credits a ghost. Duplicate deletes and deletes of unknown IDs
+// are no-ops (a dirty upstream must not corrupt state). Cursors
+// advance to the epoch's resume points and the view becomes dirty.
+func (s *Stream) ApplyDeltas(metas map[string]*data.Source, ep source.DeltaEpoch) error {
 	reg := s.reg()
 	t0 := time.Now()
-	for _, r := range ep.Records {
-		meta := metas[r.SourceID]
-		if meta == nil {
-			return fmt.Errorf("core: stream record %s from unknown source %q", r.ID, r.SourceID)
-		}
-		if _, err := s.inc.Insert(meta, r); err != nil {
-			return fmt.Errorf("core: stream apply epoch %d: %w", ep.Seq, err)
+	applied := false
+	for _, dl := range ep.Deltas {
+		switch dl.Op {
+		case source.OpUpsert:
+			r := dl.Record
+			if r == nil {
+				return fmt.Errorf("core: stream epoch %d: upsert of %s carries no record", ep.Seq, dl.ID)
+			}
+			meta := metas[r.SourceID]
+			if meta == nil {
+				return fmt.Errorf("core: stream record %s from unknown source %q", r.ID, r.SourceID)
+			}
+			_, updated, err := s.inc.Upsert(meta, r)
+			if err != nil {
+				return fmt.Errorf("core: stream apply epoch %d: %w", ep.Seq, err)
+			}
+			if updated {
+				reg.Counter("stream.updates").Inc()
+			} else {
+				s.ingested++
+				reg.Counter("stream.records_ingested").Inc()
+			}
+			applied = true
+		case source.OpDelete:
+			if s.inc.Delete(dl.ID) {
+				s.deleted++
+				reg.Counter("stream.deletes").Inc()
+				applied = true
+			}
+		default:
+			return fmt.Errorf("core: stream epoch %d: unknown delta op %v", ep.Seq, dl.Op)
 		}
 	}
 	for id, c := range ep.Cursors {
 		s.cursors[id] = c
 	}
 	s.epoch = ep.Seq + 1
-	s.ingested += int64(len(ep.Records))
-	if len(ep.Records) > 0 {
+	if applied {
 		s.dirty = true
 	}
 	reg.Counter("stream.epochs").Inc()
-	reg.Counter("stream.records_ingested").Add(int64(len(ep.Records)))
 	reg.Timer("stream.apply_time").Observe(time.Since(t0))
 	reg.Gauge("stream.staleness_seconds").Set(s.StalenessNow().Seconds())
+	reg.Gauge("stream.tombstones_live").Set(float64(s.inc.Tombstones()))
 	return nil
+}
+
+// Compact rewrites the linker's posting lists dropping tombstoned
+// slots. Match behaviour is unchanged (probes already skip the dead);
+// only the in-memory index and the next saved state shrink. It reports
+// the reclaimed posting slots, emptied keys and cleared tombstones.
+func (s *Stream) Compact() (slots, keys, tombstones int) {
+	reg := s.reg()
+	t0 := time.Now()
+	slots, keys, tombstones = s.inc.Compact()
+	if tombstones > 0 {
+		s.compactions++
+		reg.Counter("stream.compactions").Inc()
+		reg.Counter("stream.compacted_slots").Add(int64(slots))
+	}
+	reg.Timer("stream.compact_time").Observe(time.Since(t0))
+	reg.Gauge("stream.tombstones_live").Set(float64(s.inc.Tombstones()))
+	return slots, keys, tombstones
+}
+
+// maybeCompact runs Compact when the configured garbage-ratio trigger
+// fires.
+func (s *Stream) maybeCompact() {
+	if s.cfg.CompactRatio > 0 && s.inc.GarbageRatio() >= s.cfg.CompactRatio {
+		s.Compact()
+	}
 }
 
 // StalenessNow reports how long the published view has been behind the
@@ -369,25 +444,82 @@ func (s *Stream) Run(ctx context.Context, fleet []source.Source, totals map[stri
 		if err := s.ApplyEpoch(metas, ep); err != nil {
 			return err
 		}
-		if s.shouldPublish() {
-			if _, err := s.Publish(ctx); err != nil {
-				return err
-			}
-		}
-		if s.cfg.StatePath != "" && s.epoch%s.cfg.SaveEvery == 0 {
-			if err := s.Save(s.cfg.StatePath); err != nil {
-				return err
-			}
+		if err := s.afterEpoch(ctx); err != nil {
+			return err
 		}
 	}
 	if err := str.Err(); err != nil {
 		return err
 	}
+	return s.finish(ctx)
+}
+
+// RunDeltas drains a mutable fleet: delta watch → epoch batches →
+// upsert/delete application → online fusion → snapshot publishing,
+// with the same persistence and compaction cadence as Run. totals
+// declares each source's canonical log length (mandatory for wrapped
+// sources; see StreamConfig.Totals).
+func (s *Stream) RunDeltas(ctx context.Context, fleet []source.DeltaSource, totals map[string]int) error {
+	metas := make(map[string]*data.Source, len(fleet))
+	for _, src := range fleet {
+		metas[src.Meta().ID] = src.Meta()
+	}
+	cursors := make(map[string]int, len(s.cursors))
+	for id, c := range s.cursors {
+		cursors[id] = c
+	}
+	str, err := source.NewDeltaStreamer(ctx, fleet, source.StreamConfig{
+		EpochSize: s.cfg.EpochSize,
+		Buffer:    s.cfg.Buffer,
+		Retries:   s.cfg.Retries,
+		Totals:    totals,
+		Cursors:   cursors,
+		StartSeq:  s.epoch,
+	})
+	if err != nil {
+		return err
+	}
+	defer str.Close()
+
+	for ep := range str.C {
+		if err := s.ApplyDeltas(metas, ep); err != nil {
+			return err
+		}
+		if err := s.afterEpoch(ctx); err != nil {
+			return err
+		}
+	}
+	if err := str.Err(); err != nil {
+		return err
+	}
+	return s.finish(ctx)
+}
+
+// afterEpoch runs the shared per-epoch tail: publish cadence, garbage
+// trigger, save cadence.
+func (s *Stream) afterEpoch(ctx context.Context) error {
+	if s.shouldPublish() {
+		if _, err := s.Publish(ctx); err != nil {
+			return err
+		}
+	}
+	s.maybeCompact()
+	if s.cfg.StatePath != "" && s.epoch%s.cfg.SaveEvery == 0 {
+		if err := s.Save(s.cfg.StatePath); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finish publishes any dirty tail and persists the final state.
+func (s *Stream) finish(ctx context.Context) error {
 	if s.dirty {
 		if _, err := s.Publish(ctx); err != nil {
 			return err
 		}
 	}
+	s.maybeCompact()
 	if s.cfg.StatePath != "" {
 		return s.Save(s.cfg.StatePath)
 	}
@@ -397,8 +529,25 @@ func (s *Stream) Run(ctx context.Context, fleet []source.Source, totals map[stri
 // Epoch reports how many epochs have been applied.
 func (s *Stream) Epoch() int { return s.epoch }
 
-// Ingested reports how many records have been applied.
+// Ingested reports how many distinct record insertions have been
+// applied (updates of a live record are counted once, at first
+// insert).
 func (s *Stream) Ingested() int64 { return s.ingested }
+
+// Deleted reports how many record deletions have been applied
+// (no-op deletes excluded).
+func (s *Stream) Deleted() int64 { return s.deleted }
+
+// Compactions reports how many compaction passes actually reclaimed
+// tombstones.
+func (s *Stream) Compactions() int64 { return s.compactions }
+
+// Tombstones reports how many deleted IDs still occupy posting slots.
+func (s *Stream) Tombstones() int { return s.inc.Tombstones() }
+
+// GarbageRatio reports the fraction of posting slots owned by
+// tombstoned IDs.
+func (s *Stream) GarbageRatio() float64 { return s.inc.GarbageRatio() }
 
 // Publishes reports how many snapshots have been published.
 func (s *Stream) Publishes() int64 { return s.publishes }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"log"
 	"math"
 	"os"
 	"path/filepath"
@@ -27,17 +28,27 @@ import (
 // section maps are written in sorted key order so the same state
 // always encodes to the same bytes. Save writes to a temp file in the
 // target directory, syncs and renames — a crash never leaves a torn
-// state file behind.
+// state file behind — and rotates the previous good state to a .bak
+// the loader falls back to when the primary is corrupt.
+//
+// Version history: v1 (PR 9) ends after the comparisons counter; v2
+// appends a delete counter and a tombstone section (deleted IDs still
+// occupying posting slots, with their keys). Encoding always writes
+// v2; decoding accepts both, giving v1 files an empty tombstone set.
 const (
-	streamStateMagic   = "BDISTATE"
-	streamStateVersion = 1
+	streamStateMagic     = "BDISTATE"
+	streamStateVersion   = 2
+	streamStateVersionV1 = 1
 )
 
 // ErrBadState reports a stream state file that is corrupt, truncated
 // or of an incompatible version.
 var ErrBadState = errors.New("core: stream state corrupt or incompatible")
 
-// Save atomically persists the stream state to path.
+// Save atomically persists the stream state to path, rotating the
+// previous good state to path+".bak" first. The rotation hard-links
+// the primary (falling back to a copy), so there is no instant at
+// which neither a primary nor a backup exists.
 func (s *Stream) Save(path string) error {
 	buf := s.encodeState()
 	dir := filepath.Dir(path)
@@ -60,6 +71,7 @@ func (s *Stream) Save(path string) error {
 		os.Remove(tmp)
 		return fmt.Errorf("core: stream save: %w", err)
 	}
+	rotateBackup(path)
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("core: stream save: %w", err)
@@ -70,11 +82,49 @@ func (s *Stream) Save(path string) error {
 	return nil
 }
 
+// rotateBackup points path+".bak" at the current primary, best-effort:
+// a first save (no primary yet) or an exotic filesystem without hard
+// links must not fail the save itself.
+func rotateBackup(path string) {
+	if _, err := os.Stat(path); err != nil {
+		return // no primary to rotate
+	}
+	bak := path + ".bak"
+	os.Remove(bak)
+	if err := os.Link(path, bak); err == nil {
+		return
+	}
+	if buf, err := os.ReadFile(path); err == nil {
+		os.WriteFile(bak, buf, 0o644)
+	}
+}
+
 // LoadStream restores a stream from a state file written by Save. cfg
 // must describe the same linkage configuration (key attributes,
 // matcher, thresholds) the state was built under — functions can't be
-// serialized, so the codec persists state, not configuration.
+// serialized, so the codec persists state, not configuration. A
+// corrupt primary falls back to the rotated path+".bak" with a logged
+// warning; only when both are unusable does the load fail.
 func LoadStream(path string, cfg StreamConfig, publish func(*Snapshot)) (*Stream, error) {
+	s, err := loadStreamFile(path, cfg, publish)
+	if err == nil {
+		return s, nil
+	}
+	if !errors.Is(err, ErrBadState) {
+		return nil, err
+	}
+	bak := path + ".bak"
+	s2, err2 := loadStreamFile(bak, cfg, publish)
+	if err2 != nil {
+		return nil, err // report the primary's corruption
+	}
+	log.Printf("core: stream state %s unusable (%v); recovered from backup %s", path, err, bak)
+	s2.reg().Counter("stream.state_recoveries").Inc()
+	return s2, nil
+}
+
+// loadStreamFile restores from exactly one file, no fallback.
+func loadStreamFile(path string, cfg StreamConfig, publish func(*Snapshot)) (*Stream, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -90,14 +140,27 @@ func LoadStream(path string, cfg StreamConfig, publish func(*Snapshot)) (*Stream
 }
 
 // ResumeStream restores from cfg.StatePath when a state file exists
-// there and starts fresh otherwise — the entry point both -stream
-// commands use.
+// there (falling back to the .bak on corruption — and when the primary
+// itself is missing but a backup survives, restoring from that) and
+// starts fresh otherwise — the entry point both -stream commands use.
 func ResumeStream(cfg StreamConfig, publish func(*Snapshot)) (*Stream, error) {
 	if cfg.StatePath != "" {
 		if _, err := os.Stat(cfg.StatePath); err == nil {
 			return LoadStream(cfg.StatePath, cfg, publish)
 		} else if !errors.Is(err, os.ErrNotExist) {
 			return nil, err
+		}
+		bak := cfg.StatePath + ".bak"
+		if _, err := os.Stat(bak); err == nil {
+			s, err := loadStreamFile(bak, cfg, publish)
+			if err == nil {
+				log.Printf("core: stream state %s missing; resumed from backup %s", cfg.StatePath, bak)
+				s.reg().Counter("stream.state_recoveries").Inc()
+				return s, nil
+			}
+			if !errors.Is(err, ErrBadState) {
+				return nil, err
+			}
 		}
 	}
 	return NewStream(cfg, publish)
@@ -164,6 +227,19 @@ func (s *Stream) encodeState() []byte {
 	}
 	b = binary.AppendUvarint(b, uint64(st.Comparisons))
 
+	// v2 sections: delete counter, then tombstones sorted by ID (each
+	// ID with its posting keys in stored — death — order).
+	b = binary.AppendUvarint(b, uint64(s.deleted))
+	b = binary.AppendUvarint(b, uint64(len(st.Tombstones)))
+	for _, id := range sortedKeysSlice(st.Tombstones) {
+		b = appendString(b, id)
+		keys := st.Tombstones[id]
+		b = binary.AppendUvarint(b, uint64(len(keys)))
+		for _, k := range keys {
+			b = appendString(b, k)
+		}
+	}
+
 	crc := crc32.ChecksumIEEE(b)
 	return binary.LittleEndian.AppendUint32(b, crc)
 }
@@ -180,8 +256,9 @@ func (s *Stream) decodeState(buf []byte) error {
 		return fmt.Errorf("%w: bad magic", ErrBadState)
 	}
 	d := &stateDecoder{buf: payload[len(streamStateMagic):]}
-	if v := d.uvarint(); v != streamStateVersion {
-		return fmt.Errorf("%w: version %d, want %d", ErrBadState, v, streamStateVersion)
+	version := d.uvarint()
+	if version != streamStateVersion && version != streamStateVersionV1 {
+		return fmt.Errorf("%w: version %d, want ≤%d", ErrBadState, version, streamStateVersion)
 	}
 
 	s.epoch = int(d.uvarint())
@@ -234,6 +311,19 @@ func (s *Stream) decodeState(buf []byte) error {
 		st.Partition = append(st.Partition, set)
 	}
 	st.Comparisons = int(d.uvarint())
+	st.Tombstones = map[string][]string{}
+	s.deleted = 0
+	if version >= 2 {
+		s.deleted = int64(d.uvarint())
+		for n := d.uvarint(); n > 0 && d.err == nil; n-- {
+			id := d.string()
+			keys := make([]string, 0, 4)
+			for m := d.uvarint(); m > 0 && d.err == nil; m-- {
+				keys = append(keys, d.string())
+			}
+			st.Tombstones[id] = keys
+		}
+	}
 	if d.err != nil {
 		return fmt.Errorf("%w: %v", ErrBadState, d.err)
 	}

@@ -424,6 +424,8 @@ func (r Runner) Run(id string) (*Table, error) {
 		tab, _, err = E26(seed)
 	case "E27":
 		tab, _, err = E27(seed)
+	case "E28":
+		tab, _, err = E28(seed)
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 	}
@@ -435,10 +437,11 @@ func (r Runner) Run(id string) (*Table, error) {
 // the fault-injection chaos sweep; E24 is the sharded/spilled blocking
 // scale-out sweep; E25 is the rank-fusion recall-vs-comparisons
 // evaluation; E26 is the concurrent-serving latency benchmark; E27
-// is the streaming-vs-batch-relink velocity cost comparison.
+// is the streaming-vs-batch-relink velocity cost comparison; E28 is
+// the update/delete churn correctness and bounded-state evaluation.
 func All() []string {
 	return []string{
 		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
-		"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "E24", "E25", "E26", "E27",
+		"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "E24", "E25", "E26", "E27", "E28",
 	}
 }

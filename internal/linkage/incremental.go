@@ -9,16 +9,23 @@ import (
 )
 
 // Incremental maintains a linkage result under a stream of record
-// insertions — the Velocity answer to re-running batch linkage on every
-// snapshot. New records are compared only against records sharing a
-// blocking key (an inverted index is maintained online) and merged into
-// existing clusters via union-find. Cost per insert is proportional to
-// the record's block sizes, not to the corpus.
+// insertions, updates and deletions — the Velocity answer to re-running
+// batch linkage on every snapshot. New records are compared only
+// against records sharing a blocking key (an inverted index is
+// maintained online) and merged into existing clusters via union-find.
+// Cost per insert is proportional to the record's block sizes, not to
+// the corpus.
+//
+// Deletion is tombstoning: the dead record leaves the dataset and the
+// partition immediately (its component is reclustered), but its posting
+// entries stay behind as garbage until Compact rewrites the lists —
+// probes skip tombstoned IDs, so match behaviour is identical whether
+// or not a compaction has run.
 type Incremental struct {
 	Key     func(r *data.Record) []string
 	Matcher Matcher
 	// MaxBlock is the online analogue of block purging: once a key's
-	// posting list exceeds MaxBlock entries the key is treated as a
+	// posting list exceeds MaxBlock live entries the key is treated as a
 	// stop-token — new records still join the list (it may matter for
 	// other keys' statistics) but no comparisons are generated from it.
 	// Rare keys (model numbers, brand+series) carry the recall.
@@ -26,11 +33,23 @@ type Incremental struct {
 	MaxBlock int
 
 	dataset *data.Dataset
-	index   map[string][]string // key → record IDs
+	index   map[string][]string // key → record IDs (may contain tombstoned IDs)
 	uf      *UnionFind
 	n       int
 	// comparisons counts pairwise match calls, for the E7 cost metric.
 	comparisons int
+
+	// dead maps each tombstoned record ID to the posting keys it still
+	// occupies — exactly dedupeKeys(Key(r)) at death, since records are
+	// never mutated after insert. Entries leave via Compact or when the
+	// ID is re-inserted (the stale slots are exhumed first, so a revived
+	// record is only ever probed under its current keys).
+	dead map[string][]string
+	// postRefs counts every posting-list slot (live + dead); deadRefs
+	// counts the tombstoned ones. Their ratio is the garbage metric
+	// compaction triggers on.
+	postRefs int
+	deadRefs int
 }
 
 // NewIncremental returns an empty incremental linker over its own
@@ -43,6 +62,7 @@ func NewIncremental(key func(r *data.Record) []string, m Matcher) *Incremental {
 		dataset:  data.NewDataset(),
 		index:    map[string][]string{},
 		uf:       NewUnionFind(),
+		dead:     map[string][]string{},
 	}
 }
 
@@ -61,12 +81,18 @@ func TitleTokenKey(r *data.Record) []string {
 }
 
 // Insert adds a record, links it against its block neighbours and
-// returns the IDs of the records it matched.
+// returns the IDs of the records it matched. Inserting an ID that is
+// currently tombstoned revives it: the stale posting slots from its
+// previous life are exhumed first, so the record is only ever probed
+// under the keys of the version being inserted.
 func (inc *Incremental) Insert(src *data.Source, r *data.Record) ([]string, error) {
 	if inc.dataset.Source(src.ID) == nil {
 		if err := inc.dataset.AddSource(src); err != nil {
 			return nil, err
 		}
+	}
+	if keys, ok := inc.dead[r.ID]; ok {
+		inc.exhume(r.ID, keys)
 	}
 	if err := inc.dataset.AddRecord(r); err != nil {
 		return nil, fmt.Errorf("linkage: incremental insert: %w", err)
@@ -78,8 +104,20 @@ func (inc *Incremental) Insert(src *data.Source, r *data.Record) ([]string, erro
 	var matched []string
 	for _, k := range dedupeKeys(inc.Key(r)) {
 		ids := inc.index[k]
-		if inc.MaxBlock <= 0 || len(ids) <= inc.MaxBlock {
-			for _, other := range ids {
+		live := ids
+		if inc.deadRefs > 0 {
+			live = make([]string, 0, len(ids))
+			for _, id := range ids {
+				if _, gone := inc.dead[id]; !gone {
+					live = append(live, id)
+				}
+			}
+		}
+		// The stop-token gate counts live entries only, so match
+		// decisions do not depend on whether a compaction has already
+		// swept this list.
+		if inc.MaxBlock <= 0 || len(live) <= inc.MaxBlock {
+			for _, other := range live {
 				if seen[other] {
 					continue
 				}
@@ -91,9 +129,147 @@ func (inc *Incremental) Insert(src *data.Source, r *data.Record) ([]string, erro
 				}
 			}
 		}
-		inc.index[k] = append(inc.index[k], r.ID)
+		inc.index[k] = append(ids, r.ID)
+		inc.postRefs++
 	}
 	return matched, nil
+}
+
+// Upsert inserts r, first retracting any live record with the same ID —
+// the update half of a mutable stream. It reports the IDs the new
+// version matched and whether an old version was replaced.
+func (inc *Incremental) Upsert(src *data.Source, r *data.Record) (matched []string, updated bool, err error) {
+	if inc.dataset.Record(r.ID) != nil {
+		inc.Delete(r.ID)
+		updated = true
+	}
+	matched, err = inc.Insert(src, r)
+	return matched, updated, err
+}
+
+// Delete retracts a record: it leaves the dataset immediately, its
+// cluster component is deterministically reclustered without it, and
+// its posting slots are tombstoned (skipped by probes, reclaimed by
+// Compact). Deleting an unknown or already-deleted ID is a no-op
+// reporting false — duplicate and early deletes from a dirty upstream
+// must not corrupt state.
+func (inc *Incremental) Delete(id string) bool {
+	r := inc.dataset.Record(id)
+	if r == nil {
+		return false
+	}
+	inc.recluster(id)
+	keys := dedupeKeys(inc.Key(r))
+	inc.dataset.RemoveRecord(id)
+	inc.n--
+	inc.dead[id] = keys
+	inc.deadRefs += len(keys)
+	return true
+}
+
+// recluster rebuilds the union-find partition without id: every other
+// component carries over verbatim; the members of id's component are
+// re-linked by exhaustive pairwise matching in sorted order, so records
+// that were only transitively connected through the deleted record
+// split apart. Deterministic: Sets() and the pair order are canonical.
+func (inc *Incremental) recluster(id string) {
+	rebuilt := NewUnionFind()
+	for _, set := range inc.uf.Sets() {
+		idx := -1
+		for i, m := range set {
+			if m == id {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			rebuilt.Add(set[0])
+			for i := 1; i < len(set); i++ {
+				rebuilt.Union(set[0], set[i])
+			}
+			continue
+		}
+		rest := make([]string, 0, len(set)-1)
+		rest = append(rest, set[:idx]...)
+		rest = append(rest, set[idx+1:]...)
+		for _, m := range rest {
+			rebuilt.Add(m)
+		}
+		for i := 0; i < len(rest); i++ {
+			for j := i + 1; j < len(rest); j++ {
+				inc.comparisons++
+				if _, ok := inc.Matcher.Match(inc.dataset.Record(rest[i]), inc.dataset.Record(rest[j])); ok {
+					rebuilt.Union(rest[i], rest[j])
+				}
+			}
+		}
+	}
+	inc.uf = rebuilt
+}
+
+// exhume removes the stale posting slots of a tombstoned ID (first
+// occurrence in each of its death keys) ahead of its re-insertion.
+func (inc *Incremental) exhume(id string, keys []string) {
+	for _, k := range keys {
+		ids := inc.index[k]
+		for i, other := range ids {
+			if other == id {
+				inc.index[k] = append(ids[:i], ids[i+1:]...)
+				inc.postRefs--
+				inc.deadRefs--
+				break
+			}
+		}
+		if len(inc.index[k]) == 0 {
+			delete(inc.index, k)
+		}
+	}
+	delete(inc.dead, id)
+}
+
+// Compact rewrites every posting list dropping tombstoned slots and
+// clears the tombstone set — the garbage-collection half of deletion.
+// List order of surviving entries is preserved, so probe behaviour
+// (and therefore all future match decisions) is unchanged; only the
+// encoded state shrinks. It reports how many posting slots, emptied
+// keys and tombstones were reclaimed.
+func (inc *Incremental) Compact() (slots, keys, tombstones int) {
+	if len(inc.dead) == 0 {
+		return 0, 0, 0
+	}
+	for k, ids := range inc.index {
+		keep := ids[:0]
+		for _, id := range ids {
+			if _, gone := inc.dead[id]; gone {
+				slots++
+			} else {
+				keep = append(keep, id)
+			}
+		}
+		if len(keep) == 0 {
+			delete(inc.index, k)
+			keys++
+		} else {
+			inc.index[k] = keep
+		}
+	}
+	tombstones = len(inc.dead)
+	inc.dead = map[string][]string{}
+	inc.postRefs -= slots
+	inc.deadRefs = 0
+	return slots, keys, tombstones
+}
+
+// Tombstones reports how many deleted IDs still occupy posting slots.
+func (inc *Incremental) Tombstones() int { return len(inc.dead) }
+
+// GarbageRatio reports the fraction of posting slots owned by
+// tombstoned IDs — the metric a compaction trigger thresholds on.
+func (inc *Incremental) GarbageRatio() float64 {
+	if inc.postRefs == 0 {
+		return 0
+	}
+	return float64(inc.deadRefs) / float64(inc.postRefs)
 }
 
 // Clusters returns the current clustering.
@@ -123,10 +299,14 @@ func (inc *Incremental) Dataset() *data.Dataset { return inc.dataset }
 // of the union-find's internal tree shape.
 type IncrementalState struct {
 	Sources     []*data.Source
-	Records     []*data.Record // insertion order
+	Records     []*data.Record // insertion order, live records only
 	Postings    map[string][]string
-	Partition   [][]string // canonical (Sets) form
+	Partition   [][]string // canonical (Sets) form, live records only
 	Comparisons int
+	// Tombstones maps each deleted ID still occupying posting slots to
+	// the keys it occupies. Empty after a compaction (and always empty
+	// in pre-deletion v1 state files).
+	Tombstones map[string][]string
 }
 
 // State snapshots the linker. The returned state shares the records
@@ -146,9 +326,13 @@ func (inc *Incremental) State() *IncrementalState {
 		Postings:    make(map[string][]string, len(inc.index)),
 		Partition:   partition,
 		Comparisons: inc.comparisons,
+		Tombstones:  make(map[string][]string, len(inc.dead)),
 	}
 	for k, ids := range inc.index {
 		st.Postings[k] = append([]string(nil), ids...)
+	}
+	for id, keys := range inc.dead {
+		st.Tombstones[id] = append([]string(nil), keys...)
 	}
 	return st
 }
@@ -175,11 +359,16 @@ func FromState(st *IncrementalState, key func(r *data.Record) []string, m Matche
 	}
 	for k, ids := range st.Postings {
 		inc.index[k] = append([]string(nil), ids...)
+		inc.postRefs += len(ids)
 	}
 	for _, set := range st.Partition {
 		for i := 1; i < len(set); i++ {
 			inc.uf.Union(set[0], set[i])
 		}
+	}
+	for id, keys := range st.Tombstones {
+		inc.dead[id] = append([]string(nil), keys...)
+		inc.deadRefs += len(keys)
 	}
 	inc.comparisons = st.Comparisons
 	return inc, nil

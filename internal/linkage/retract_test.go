@@ -1,0 +1,269 @@
+package linkage
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func retractRecord(id, title string) *data.Record {
+	return data.NewRecord(id, "s").Set("title", data.String(title))
+}
+
+func TestIncrementalDeleteNeverInserted(t *testing.T) {
+	inc := NewIncremental(TitleTokenKey, incMatcher())
+	src := &data.Source{ID: "s"}
+	if _, err := inc.Insert(src, retractRecord("r1", "acme rocket skate")); err != nil {
+		t.Fatal(err)
+	}
+	if inc.Delete("ghost") {
+		t.Error("deleting a never-inserted ID must report false")
+	}
+	if inc.Len() != 1 || inc.Tombstones() != 0 {
+		t.Errorf("no-op delete mutated state: len=%d tombstones=%d", inc.Len(), inc.Tombstones())
+	}
+	// The linker keeps working after the no-op.
+	if m, err := inc.Insert(src, retractRecord("r2", "acme rocket skate pro")); err != nil || len(m) != 1 {
+		t.Fatalf("insert after no-op delete: %v %v", m, err)
+	}
+}
+
+func TestIncrementalDeleteSameIDTwice(t *testing.T) {
+	inc := NewIncremental(TitleTokenKey, incMatcher())
+	src := &data.Source{ID: "s"}
+	for i, title := range []string{"acme rocket skate", "acme rocket skate pro"} {
+		if _, err := inc.Insert(src, retractRecord(fmt.Sprintf("r%d", i), title)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !inc.Delete("r0") {
+		t.Fatal("first delete must succeed")
+	}
+	if inc.Delete("r0") {
+		t.Error("second delete of the same ID must be a no-op")
+	}
+	if inc.Len() != 1 || inc.Tombstones() != 1 {
+		t.Errorf("after duplicate delete: len=%d tombstones=%d, want 1/1", inc.Len(), inc.Tombstones())
+	}
+	clusters := inc.Clusters()
+	if len(clusters) != 1 || len(clusters[0]) != 1 || clusters[0][0] != "r1" {
+		t.Errorf("clusters after delete = %v, want [[r1]]", clusters)
+	}
+}
+
+func TestIncrementalDeleteLastMemberOfCluster(t *testing.T) {
+	inc := NewIncremental(TitleTokenKey, incMatcher())
+	src := &data.Source{ID: "s"}
+	if _, err := inc.Insert(src, retractRecord("solo", "unique widget xj9")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Insert(src, retractRecord("other", "different thing entirely")); err != nil {
+		t.Fatal(err)
+	}
+	if !inc.Delete("solo") {
+		t.Fatal("delete failed")
+	}
+	for _, cl := range inc.Clusters() {
+		for _, id := range cl {
+			if id == "solo" {
+				t.Fatalf("deleted singleton still present in partition: %v", inc.Clusters())
+			}
+		}
+	}
+	if got := len(inc.Clusters()); got != 1 {
+		t.Errorf("clusters = %d, want 1", got)
+	}
+}
+
+// TestIncrementalDeleteSplitsTransitiveCluster pins the recluster
+// contract: a and c were joined only through bridge b, so retracting b
+// must split them apart again.
+func TestIncrementalDeleteSplitsTransitiveCluster(t *testing.T) {
+	inc := NewIncremental(TitleTokenKey, incMatcher())
+	src := &data.Source{ID: "s"}
+	// a ~ b (share 3/4 tokens), b ~ c (share 3/4), a vs c share 2/4 —
+	// below the 0.6 Jaccard threshold.
+	for _, rc := range []struct{ id, title string }{
+		{"a", "acme rocket skate turbo"},
+		{"b", "acme rocket skate deluxe"},
+		{"c", "acme rocket deluxe primo"},
+	} {
+		if _, err := inc.Insert(src, retractRecord(rc.id, rc.title)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !inc.uf.Same("a", "c") {
+		t.Fatal("setup: a and c should be transitively linked through b")
+	}
+	if !inc.Delete("b") {
+		t.Fatal("delete failed")
+	}
+	if inc.uf.Same("a", "c") {
+		t.Errorf("a and c still clustered after their bridge was deleted: %v", inc.Clusters())
+	}
+}
+
+// TestIncrementalDeleteThenReinsertEqualsInsertOnly pins that a
+// delete + reinsert of the same record converges to the insert-only
+// partition: the revived record re-earns exactly its old links and the
+// stale posting slots from its first life never distort probing.
+func TestIncrementalDeleteThenReinsertEqualsInsertOnly(t *testing.T) {
+	titles := []struct{ id, title string }{
+		{"r0", "acme rocket skate"},
+		{"r1", "zenix blender pro"},
+		{"r2", "acme rocket skate pro"},
+		{"r3", "omega juicer deluxe"},
+		{"r4", "zenix blender"},
+	}
+	src := &data.Source{ID: "s"}
+	build := func() *Incremental {
+		inc := NewIncremental(TitleTokenKey, incMatcher())
+		for _, rc := range titles {
+			if _, err := inc.Insert(src, retractRecord(rc.id, rc.title)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return inc
+	}
+
+	insertOnly := build()
+	churned := build()
+	for _, victim := range []string{"r2", "r4"} {
+		if !churned.Delete(victim) {
+			t.Fatalf("delete %s failed", victim)
+		}
+	}
+	for _, rc := range titles {
+		if rc.id == "r2" || rc.id == "r4" {
+			if _, err := churned.Insert(src, retractRecord(rc.id, rc.title)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	want := fmt.Sprint(insertOnly.Clusters())
+	got := fmt.Sprint(churned.Clusters())
+	if got != want {
+		t.Errorf("delete-then-reinsert partition %s differs from insert-only %s", got, want)
+	}
+	if churned.Tombstones() != 0 {
+		t.Errorf("reinsert left %d tombstones, want 0 (stale slots must be exhumed)", churned.Tombstones())
+	}
+	if churned.Len() != insertOnly.Len() {
+		t.Errorf("len %d vs %d", churned.Len(), insertOnly.Len())
+	}
+}
+
+// TestIncrementalCompactPreservesBehaviour pins compaction neutrality:
+// a compacted and an uncompacted linker with identical histories make
+// identical decisions on every subsequent operation.
+func TestIncrementalCompactPreservesBehaviour(t *testing.T) {
+	src := &data.Source{ID: "s"}
+	seedOps := func(inc *Incremental) {
+		for i := 0; i < 20; i++ {
+			r := retractRecord(fmt.Sprintf("r%02d", i), fmt.Sprintf("brand%d gadget model%d common", i%5, i))
+			if _, err := inc.Insert(src, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, id := range []string{"r03", "r07", "r11"} {
+			if !inc.Delete(id) {
+				t.Fatalf("delete %s failed", id)
+			}
+		}
+	}
+	plain := NewIncremental(TitleTokenKey, incMatcher())
+	compacted := NewIncremental(TitleTokenKey, incMatcher())
+	seedOps(plain)
+	seedOps(compacted)
+
+	slots, _, tombs := compacted.Compact()
+	if slots == 0 || tombs != 3 {
+		t.Fatalf("compact reclaimed %d slots / %d tombstones, want >0 / 3", slots, tombs)
+	}
+	if compacted.GarbageRatio() != 0 {
+		t.Errorf("garbage ratio after compact = %v, want 0", compacted.GarbageRatio())
+	}
+	if again, _, _ := compacted.Compact(); again != 0 {
+		t.Errorf("second compact reclaimed %d slots, want 0", again)
+	}
+
+	// Both linkers consume the same follow-up stream, including a revive
+	// of a deleted ID; every observable must stay in lockstep.
+	follow := []struct{ id, title string }{
+		{"r03", "brand3 gadget model3 common"}, // revive
+		{"r20", "brand0 gadget model0 common"},
+		{"r21", "fresh unrelated item"},
+	}
+	for _, rc := range follow {
+		m1, err1 := plain.Insert(src, retractRecord(rc.id, rc.title))
+		m2, err2 := compacted.Insert(src, retractRecord(rc.id, rc.title))
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if fmt.Sprint(m1) != fmt.Sprint(m2) {
+			t.Fatalf("insert %s matched %v (plain) vs %v (compacted)", rc.id, m1, m2)
+		}
+	}
+	if a, b := fmt.Sprint(plain.Clusters()), fmt.Sprint(compacted.Clusters()); a != b {
+		t.Errorf("clusters diverged after compaction:\n%s\n%s", a, b)
+	}
+	if plain.Comparisons() != compacted.Comparisons() {
+		t.Errorf("comparisons %d vs %d", plain.Comparisons(), compacted.Comparisons())
+	}
+}
+
+// TestIncrementalStateRoundTripWithTombstones extends the PR 9
+// round-trip contract to deleted state: tombstones survive State /
+// FromState and a restored linker keeps behaving identically, including
+// through a post-restore compaction.
+func TestIncrementalStateRoundTripWithTombstones(t *testing.T) {
+	src := &data.Source{ID: "s"}
+	orig := NewIncremental(TitleTokenKey, incMatcher())
+	for i := 0; i < 10; i++ {
+		r := retractRecord(fmt.Sprintf("r%d", i), fmt.Sprintf("widget mk%d shared", i))
+		if _, err := orig.Insert(src, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	orig.Delete("r4")
+	orig.Delete("r8")
+
+	restored, err := FromState(orig.State(), TitleTokenKey, incMatcher())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Tombstones() != orig.Tombstones() {
+		t.Fatalf("restored tombstones %d, want %d", restored.Tombstones(), orig.Tombstones())
+	}
+	if restored.GarbageRatio() != orig.GarbageRatio() {
+		t.Fatalf("restored garbage ratio %v, want %v", restored.GarbageRatio(), orig.GarbageRatio())
+	}
+	for i, inc := range []*Incremental{orig, restored} {
+		m, err := inc.Insert(src, retractRecord("probe", "widget mk1 shared"))
+		if err != nil {
+			t.Fatalf("linker %d: %v", i, err)
+		}
+		for _, id := range m {
+			if id == "r4" || id == "r8" {
+				t.Fatalf("linker %d matched tombstoned record %s", i, id)
+			}
+		}
+	}
+	if a, b := fmt.Sprint(orig.Clusters()), fmt.Sprint(restored.Clusters()); a != b {
+		t.Errorf("clusters diverged:\n%s\n%s", a, b)
+	}
+	if orig.Comparisons() != restored.Comparisons() {
+		t.Errorf("comparisons %d vs %d", orig.Comparisons(), restored.Comparisons())
+	}
+
+	slots1, _, _ := orig.Compact()
+	slots2, _, _ := restored.Compact()
+	if slots1 != slots2 {
+		t.Errorf("compact reclaimed %d vs %d slots", slots1, slots2)
+	}
+	if a, b := fmt.Sprint(orig.Clusters()), fmt.Sprint(restored.Clusters()); a != b {
+		t.Errorf("clusters diverged after compaction:\n%s\n%s", a, b)
+	}
+}

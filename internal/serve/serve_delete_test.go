@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/source"
+)
+
+// TestDeletedEntitiesDisappearAfterPublish is the serving-layer gate
+// for mutable streams: a stream publishes into the server, records of
+// one entity are deleted upstream, and after the next publish that
+// entity is absent from /entities, /search and /resolve candidates.
+// Entities are identified by title — snapshot entity IDs are
+// positional and reshuffle when records disappear.
+func TestDeletedEntitiesDisappearAfterPublish(t *testing.T) {
+	w := datagen.NewWorld(datagen.WorldConfig{Seed: 81, NumEntities: 30})
+	web := datagen.BuildWeb(w, datagen.SourceConfig{
+		Seed: 82, NumSources: 6, DirtLevel: 1,
+		IdentifierRate: 0.9, Heterogeneity: 0.3,
+		HeadFraction: 0.5, TailCoverage: 0.4,
+	})
+	d := web.Dataset
+
+	// Stream phase 1: upsert-only logs, published into a live server.
+	logs := map[string][]source.Delta{}
+	for _, s := range d.Sources() {
+		logs[s.ID] = source.UpsertLog(d.SourceRecords(s.ID))
+	}
+	fleet := func() ([]source.DeltaSource, map[string]int) {
+		out := make([]source.DeltaSource, 0, len(logs))
+		totals := map[string]int{}
+		for _, s := range d.Sources() {
+			out = append(out, &source.DeltaStatic{Src: s, Log: logs[s.ID]})
+			totals[s.ID] = len(logs[s.ID])
+		}
+		return out, totals
+	}
+
+	var srv *Server
+	stream, err := core.NewStream(core.StreamConfig{EpochSize: 25, PublishEvery: 1},
+		func(snap *core.Snapshot) {
+			if srv == nil {
+				var err error
+				srv, err = New(snap, nil, Config{})
+				if err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				srv.Publish(snap)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, t1 := fleet()
+	if err := stream.RunDeltas(context.Background(), f1, t1); err != nil {
+		t.Fatal(err)
+	}
+	if srv == nil {
+		t.Fatal("stream never published")
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+
+	// Pick a victim entity whose title is unique in the snapshot, so
+	// absence-by-title is unambiguous.
+	titleCount := map[string]int{}
+	for _, e := range srv.Snapshot().Entities() {
+		titleCount[e.Title]++
+	}
+	var victim *core.Entity
+	for _, e := range srv.Snapshot().Entities() {
+		if e.Title != "" && titleCount[e.Title] == 1 && len(e.Records) >= 2 {
+			victim = e
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatal("no unique-titled multi-record entity to delete")
+	}
+	victimRecords := map[string]bool{}
+	for _, id := range victim.Records {
+		victimRecords[id] = true
+	}
+
+	// Pre-delete presence, over HTTP.
+	if code, _ := get(t, ts.URL+"/entities/"+victim.ID); code != http.StatusOK {
+		t.Fatalf("victim %s not served before delete: %d", victim.ID, code)
+	}
+	if !titleHit(t, ts.URL, victim.Title) {
+		t.Fatalf("victim title %q not searchable before delete", victim.Title)
+	}
+
+	// Stream phase 2: append a delete of every victim record to its
+	// owning source's log and drain the suffix through the same stream
+	// (cursors resume past the upserts already applied).
+	for id := range victimRecords {
+		r := d.Record(id)
+		if r == nil {
+			t.Fatalf("victim record %s not in dataset", id)
+		}
+		logs[r.SourceID] = append(logs[r.SourceID], source.Deletion(id))
+	}
+	f2, t2 := fleet()
+	if err := stream.RunDeltas(context.Background(), f2, t2); err != nil {
+		t.Fatal(err)
+	}
+	if stream.Deleted() != int64(len(victimRecords)) {
+		t.Fatalf("stream deleted %d records, want %d", stream.Deleted(), len(victimRecords))
+	}
+
+	// Post-publish absence: /entities — no served entity carries the
+	// victim's title or cites its records.
+	for _, e := range srv.Snapshot().Entities() {
+		code, body := get(t, ts.URL+"/entities/"+e.ID)
+		if code != http.StatusOK {
+			t.Fatalf("entities/%s: %d", e.ID, code)
+		}
+		var ej EntityJSON
+		if err := json.Unmarshal(body, &ej); err != nil {
+			t.Fatal(err)
+		}
+		if ej.Title == victim.Title {
+			t.Errorf("deleted entity title %q still served as %s", victim.Title, e.ID)
+		}
+		for _, id := range ej.Records {
+			if victimRecords[id] {
+				t.Errorf("entity %s still cites deleted record %s", e.ID, id)
+			}
+		}
+	}
+	// /search.
+	if titleHit(t, ts.URL, victim.Title) {
+		t.Errorf("deleted entity still reachable via /search?q=%q", victim.Title)
+	}
+	// /resolve candidates.
+	req := fmt.Sprintf(`{"values":{"title":%q},"k":5}`, victim.Title)
+	code, body := post(t, ts.URL+"/resolve", req)
+	if code != http.StatusOK {
+		t.Fatalf("resolve: %d %s", code, body)
+	}
+	var r struct {
+		Match      bool       `json:"match"`
+		Best       EntityJSON `json:"best"`
+		Candidates []HitJSON  `json:"candidates"`
+	}
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range r.Candidates {
+		if c.Title == victim.Title {
+			t.Errorf("deleted entity %q still a /resolve candidate", victim.Title)
+		}
+	}
+	if r.Match && r.Best.Title == victim.Title {
+		t.Errorf("resolve still matches the deleted entity")
+	}
+
+	// The other entities kept serving: total records dropped by exactly
+	// the deleted ones.
+	total := 0
+	for _, e := range srv.Snapshot().Entities() {
+		total += len(e.Records)
+	}
+	if want := d.NumRecords() - len(victimRecords); total != want {
+		t.Errorf("served records = %d, want %d", total, want)
+	}
+}
+
+// titleHit reports whether /search returns a hit with exactly the
+// given title.
+func titleHit(t *testing.T, base, title string) bool {
+	t.Helper()
+	code, body := get(t, base+"/search?q="+strings.ReplaceAll(title, " ", "+")+"&limit=20")
+	if code != http.StatusOK {
+		t.Fatalf("search: %d %s", code, body)
+	}
+	var r struct {
+		Hits []HitJSON `json:"hits"`
+	}
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range r.Hits {
+		if h.Title == title {
+			return true
+		}
+	}
+	return false
+}

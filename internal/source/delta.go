@@ -1,0 +1,337 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/data"
+)
+
+// DeltaOp is the kind of mutation a Delta carries.
+type DeltaOp uint8
+
+const (
+	// OpUpsert inserts a record or replaces the live version with the
+	// same ID.
+	OpUpsert DeltaOp = iota
+	// OpDelete retracts the record with Delta.ID. Deleting an ID that
+	// was never inserted (or is already dead) is a no-op downstream.
+	OpDelete
+)
+
+// String renders the op for logs and fingerprints.
+func (op DeltaOp) String() string {
+	switch op {
+	case OpUpsert:
+		return "upsert"
+	case OpDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Delta is one mutation in a source's canonical change log: either a
+// record upsert or a deletion by ID. Record is nil for OpDelete.
+type Delta struct {
+	Op     DeltaOp
+	ID     string
+	Record *data.Record
+}
+
+// Upsert builds an upsert delta for r.
+func Upsert(r *data.Record) Delta { return Delta{Op: OpUpsert, ID: r.ID, Record: r} }
+
+// Deletion builds a delete delta for id.
+func Deletion(id string) Delta { return Delta{Op: OpDelete, ID: id} }
+
+// DeltaSource is a source whose canonical sequence is a change log
+// rather than a record list. FetchDeltas returns (a possibly truncated
+// prefix of) the log; like Source.Fetch, callers never mutate the
+// returned slice.
+type DeltaSource interface {
+	// Meta returns the source's metadata. Cheap and side-effect free.
+	Meta() *data.Source
+	// FetchDeltas returns the source's change log.
+	FetchDeltas(ctx context.Context) ([]Delta, error)
+}
+
+// DeltaStatic is a DeltaSource over an in-memory log — the adapter for
+// churn workloads and tests. FetchDeltas never fails.
+type DeltaStatic struct {
+	Src *data.Source
+	Log []Delta
+}
+
+// Meta implements DeltaSource.
+func (s *DeltaStatic) Meta() *data.Source { return s.Src }
+
+// FetchDeltas implements DeltaSource, returning the shared log as-is.
+func (s *DeltaStatic) FetchDeltas(ctx context.Context) ([]Delta, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.Log, nil
+}
+
+// UpsertLog lifts a record list into an all-upsert change log.
+func UpsertLog(recs []*data.Record) []Delta {
+	out := make([]Delta, len(recs))
+	for i, r := range recs {
+		out[i] = Upsert(r)
+	}
+	return out
+}
+
+// AsDeltaSource adapts a record Source into a DeltaSource whose log is
+// one upsert per record. Because the mapping is positional, a
+// truncated or faulty record fetch becomes an equally truncated delta
+// log — fault wrappers (faults.Wrap) compose transparently underneath.
+func AsDeltaSource(src Source) DeltaSource { return recordDeltas{src} }
+
+type recordDeltas struct{ src Source }
+
+func (a recordDeltas) Meta() *data.Source { return a.src.Meta() }
+
+func (a recordDeltas) FetchDeltas(ctx context.Context) ([]Delta, error) {
+	recs, err := a.src.Fetch(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return UpsertLog(recs), nil
+}
+
+// AsDeltaSources adapts a whole record fleet.
+func AsDeltaSources(srcs []Source) []DeltaSource {
+	out := make([]DeltaSource, len(srcs))
+	for i, s := range srcs {
+		out[i] = AsDeltaSource(s)
+	}
+	return out
+}
+
+// pollWindow is the refetch-until-covered core shared by Watch and
+// DeltaWatch: it refetches src's canonical sequence (up to retries
+// extra attempts) until a payload covers [0, target), then returns the
+// window [cursor, target). Transient errors and short payloads consume
+// the budget; permanent errors and cancellation abort immediately.
+// Because a delivered window always comes from a payload that covered
+// it, content and order depend only on the canonical sequence — never
+// on the fault schedule.
+func pollWindow[T any](ctx context.Context, id string,
+	fetch func(context.Context) ([]T, error), cursor, target, retries int) ([]T, error) {
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		items, err := fetch(ctx)
+		if err != nil {
+			if errors.Is(err, ErrPermanent) || ctx.Err() != nil {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		if len(items) < target {
+			lastErr = fmt.Errorf("source: %s delivered %d items, need %d: %w",
+				id, len(items), target, ErrShortSource)
+			continue
+		}
+		return items[cursor:target], nil
+	}
+	return nil, fmt.Errorf("source: watch poll on %s exhausted %d attempts: %w",
+		id, retries+1, lastErr)
+}
+
+// DeltaEpoch is one batch of changes across the watched fleet — the
+// mutable-stream analogue of Epoch.
+type DeltaEpoch struct {
+	// Seq numbers epochs from StreamConfig.StartSeq upward.
+	Seq int
+	// Deltas holds this epoch's changes in delivery order: sources in
+	// ascending ID order, each source's deltas in canonical log order.
+	Deltas []Delta
+	// Cursors snapshots, per source ID, how many of that source's log
+	// entries have been delivered once this epoch is applied.
+	Cursors map[string]int
+}
+
+// DeltaWatch is Watch over a change log: each Poll delivers the next
+// (at most) epochSize deltas of the source's canonical log with the
+// same refetch-until-covered determinism guarantee.
+type DeltaWatch struct {
+	src     DeltaSource
+	total   int
+	epoch   int
+	retries int
+	cursor  int
+}
+
+// NewDeltaWatch builds a watch over src delivering epochSize deltas
+// per poll (default 100) with the given refetch budget (default 8;
+// negative means none). total declares the canonical log length.
+func NewDeltaWatch(src DeltaSource, total, epochSize, retries int) *DeltaWatch {
+	if epochSize <= 0 {
+		epochSize = 100
+	}
+	if retries == 0 {
+		retries = 8
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	if total < 0 {
+		total = 0
+	}
+	return &DeltaWatch{src: src, total: total, epoch: epochSize, retries: retries}
+}
+
+// Meta returns the watched source's metadata.
+func (w *DeltaWatch) Meta() *data.Source { return w.src.Meta() }
+
+// Cursor reports how many deltas have been delivered so far.
+func (w *DeltaWatch) Cursor() int { return w.cursor }
+
+// Seek positions the cursor (clamped to [0, total]).
+func (w *DeltaWatch) Seek(cursor int) {
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor > w.total {
+		cursor = w.total
+	}
+	w.cursor = cursor
+}
+
+// Done reports whether the whole log has been delivered.
+func (w *DeltaWatch) Done() bool { return w.cursor >= w.total }
+
+// Poll delivers the next batch of deltas; a drained watch returns
+// (nil, nil). Error classification matches Watch.Poll.
+func (w *DeltaWatch) Poll(ctx context.Context) ([]Delta, error) {
+	if w.Done() {
+		return nil, nil
+	}
+	target := w.cursor + w.epoch
+	if target > w.total {
+		target = w.total
+	}
+	batch, err := pollWindow(ctx, w.Meta().ID, w.src.FetchDeltas, w.cursor, target, w.retries)
+	if err != nil {
+		return nil, err
+	}
+	w.cursor = target
+	return batch, nil
+}
+
+// DeltaTotals maps each source ID to its declared log length —
+// the Totals analogue for delta fleets built from in-memory logs.
+func DeltaTotals(sources []DeltaSource) (map[string]int, error) {
+	out := make(map[string]int, len(sources))
+	for _, s := range sources {
+		st, ok := s.(*DeltaStatic)
+		if !ok {
+			return nil, fmt.Errorf("source: no declared log length for delta source %q", s.Meta().ID)
+		}
+		out[st.Src.ID] = len(st.Log)
+	}
+	return out, nil
+}
+
+// DeltaStreamer drives a fleet of delta watches exactly like Streamer
+// drives record watches: one producer polls every live watch per
+// epoch, bundles the changes into a DeltaEpoch and sends it on the
+// bounded channel C, closing on drain or first error.
+type DeltaStreamer struct {
+	// C delivers delta epochs in sequence order.
+	C <-chan DeltaEpoch
+
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewDeltaStreamer starts streaming the fleet. Sources are watched in
+// ascending ID order (duplicate IDs rejected). cfg.Totals declares
+// each source's log length; sources without an entry fall back to
+// len(Log) when the source is a *DeltaStatic.
+func NewDeltaStreamer(ctx context.Context, sources []DeltaSource, cfg StreamConfig) (*DeltaStreamer, error) {
+	sorted, err := sortSources(sources)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 4
+	}
+	watches := make([]*DeltaWatch, 0, len(sorted))
+	for _, s := range sorted {
+		id := s.Meta().ID
+		total, ok := cfg.Totals[id]
+		if !ok {
+			st, isStatic := s.(*DeltaStatic)
+			if !isStatic {
+				return nil, fmt.Errorf("source: no declared total for watched delta source %q", id)
+			}
+			total = len(st.Log)
+		}
+		w := NewDeltaWatch(s, total, cfg.EpochSize, cfg.Retries)
+		if c, ok := cfg.Cursors[id]; ok {
+			w.Seek(c)
+		}
+		watches = append(watches, w)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	ch := make(chan DeltaEpoch, cfg.Buffer)
+	str := &DeltaStreamer{C: ch, cancel: cancel, done: make(chan struct{})}
+	go func() {
+		defer close(str.done)
+		defer close(ch)
+		for seq := cfg.StartSeq; ; seq++ {
+			ep := DeltaEpoch{Seq: seq, Cursors: make(map[string]int, len(watches))}
+			for _, w := range watches {
+				ds, err := w.Poll(ctx)
+				if err != nil {
+					str.setErr(err)
+					return
+				}
+				ep.Deltas = append(ep.Deltas, ds...)
+				ep.Cursors[w.Meta().ID] = w.Cursor()
+			}
+			if len(ep.Deltas) == 0 {
+				return // every source drained
+			}
+			select {
+			case ch <- ep:
+			case <-ctx.Done():
+				str.setErr(ctx.Err())
+				return
+			}
+		}
+	}()
+	return str, nil
+}
+
+func (s *DeltaStreamer) setErr(err error) {
+	s.mu.Lock()
+	s.err = err
+	s.mu.Unlock()
+}
+
+// Err reports why the stream stopped: nil after a clean drain. Valid
+// once C is closed.
+func (s *DeltaStreamer) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close stops the producer and waits for it to exit.
+func (s *DeltaStreamer) Close() {
+	s.cancel()
+	<-s.done
+}

@@ -94,9 +94,10 @@ func FromWeb(w *datagen.Web) []Source {
 
 // sortSources returns the sources in ascending Meta().ID order,
 // rejecting duplicate IDs (two sources feeding the same ID would make
-// the assembled dataset depend on scheduling).
-func sortSources(sources []Source) ([]Source, error) {
-	out := append([]Source(nil), sources...)
+// the assembled dataset depend on scheduling). Generic so record and
+// delta fleets share it.
+func sortSources[S interface{ Meta() *data.Source }](sources []S) ([]S, error) {
+	out := append([]S(nil), sources...)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Meta().ID < out[j].Meta().ID })
 	for i := 1; i < len(out); i++ {
 		if out[i].Meta().ID == out[i-1].Meta().ID {

@@ -105,33 +105,12 @@ func (w *Watch) Poll(ctx context.Context) ([]*data.Record, error) {
 	if target > w.total {
 		target = w.total
 	}
-	var lastErr error
-	for attempt := 0; attempt <= w.retries; attempt++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		recs, err := w.src.Fetch(ctx)
-		if err != nil {
-			if errors.Is(err, ErrPermanent) || ctx.Err() != nil {
-				return nil, err
-			}
-			lastErr = err
-			continue
-		}
-		if len(recs) < target {
-			// Truncated (or genuinely short) payload: it cannot cover the
-			// window, so delivering from it would make content depend on
-			// the fault schedule. Refetch.
-			lastErr = fmt.Errorf("source: %s delivered %d records, need %d: %w",
-				w.Meta().ID, len(recs), target, ErrShortSource)
-			continue
-		}
-		batch := recs[w.cursor:target]
-		w.cursor = target
-		return batch, nil
+	batch, err := pollWindow(ctx, w.Meta().ID, w.src.Fetch, w.cursor, target, w.retries)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("source: watch poll on %s exhausted %d attempts: %w",
-		w.Meta().ID, w.retries+1, lastErr)
+	w.cursor = target
+	return batch, nil
 }
 
 // StreamConfig tunes a Streamer. The zero value is usable.
